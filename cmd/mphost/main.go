@@ -1,0 +1,46 @@
+// Command mphost runs the real pure-Go STREAM baseline on the host
+// machine — the reality anchor next to the simulated targets.
+//
+// Example:
+//
+//	mphost -n 16777216 -ntimes 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"mpstream/internal/hoststream"
+	"mpstream/internal/report"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1<<24, "elements per array (float64)")
+		ntimes = flag.Int("ntimes", 5, "repetitions")
+		procs  = flag.Int("workers", 0, "worker goroutines (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if err := run(*n, *ntimes, *procs, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mphost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, ntimes, workers int, out io.Writer) error {
+	res, err := hoststream.Run(hoststream.Config{Elems: n, NTimes: ntimes, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "host STREAM: %d elements/array (%s/array), %d workers, GOMAXPROCS=%d\n",
+		n, report.HumanBytes(int64(n)*8), res.Workers, runtime.GOMAXPROCS(0))
+	tb := report.NewTable("function", "best GB/s", "avg time (s)", "min time (s)")
+	for _, kr := range res.Kernels {
+		tb.AddRowf(kr.Op.String(), kr.GBps, kr.AvgSeconds, kr.BestSeconds)
+	}
+	return tb.WriteText(out)
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var sb strings.Builder
+	if err := run(1<<14, 2, 0, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"host STREAM", "copy", "triad", "best GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunError(t *testing.T) {
+	var sb strings.Builder
+	if err := run(0, 1, 0, &sb); err == nil {
+		t.Error("zero elements must error")
+	}
+}

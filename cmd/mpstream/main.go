@@ -1,0 +1,147 @@
+// Command mpstream runs one MP-STREAM configuration on one simulated
+// target and prints a STREAM-style report — the reproduction of the
+// paper's benchmark binary.
+//
+// Examples:
+//
+//	mpstream -target aocl -size 4MB -vec 16
+//	mpstream -target sdaccel -loop nested -pattern colmajor
+//	mpstream -target gpu -size 64MB -dtype double -ntimes 5
+//	mpstream -target aocl -simd 8 -wg 256 -loop ndrange -source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/kernel"
+	"mpstream/internal/report"
+	"mpstream/internal/sim/mem"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "aocl", "target device: aocl|sdaccel|cpu|gpu")
+		size     = flag.String("size", "4MB", "per-array size, e.g. 256KB, 4MB, 1GB")
+		dtype    = flag.String("dtype", "int", "element type: int|double")
+		vec      = flag.Int("vec", 1, "vector width: 1|2|4|8|16")
+		loop     = flag.String("loop", "auto", "loop management: auto|ndrange|flat|nested")
+		pattern  = flag.String("pattern", "contig", "access pattern: contig|colmajor|stride:N")
+		ntimes   = flag.Int("ntimes", core.DefaultNTimes, "repetitions (best time excludes the first)")
+		unroll   = flag.Int("unroll", 0, "loop unroll factor (loop kernels)")
+		simd     = flag.Int("simd", 0, "AOCL num_simd_work_items")
+		cu       = flag.Int("cu", 0, "AOCL num_compute_units")
+		wg       = flag.Int("wg", 0, "reqd_work_group_size")
+		hostIO   = flag.Bool("hostio", false, "stream to/from host memory (PCIe in the timed path)")
+		noVerify = flag.Bool("noverify", false, "skip functional execution and validation")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of a table")
+		source   = flag.Bool("source", false, "print the equivalent OpenCL C before running")
+	)
+	flag.Parse()
+
+	if err := run(*target, *size, *dtype, *vec, *loop, *pattern, *ntimes,
+		*unroll, *simd, *cu, *wg, *hostIO, *noVerify, *asCSV, *source); err != nil {
+		fmt.Fprintln(os.Stderr, "mpstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, size, dtype string, vec int, loop, pattern string, ntimes,
+	unroll, simd, cu, wg int, hostIO, noVerify, asCSV, source bool) error {
+	dev, err := targets.ByID(target)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.NTimes = ntimes
+	cfg.Verify = !noVerify
+	cfg.HostIO = hostIO
+	cfg.VecWidth = vec
+	cfg.Attrs = kernel.Attrs{
+		Unroll:            unroll,
+		NumSIMDWorkItems:  simd,
+		NumComputeUnits:   cu,
+		ReqdWorkGroupSize: wg,
+	}
+
+	if cfg.ArrayBytes, err = report.ParseBytes(size); err != nil {
+		return err
+	}
+	switch dtype {
+	case "int":
+		cfg.Type = kernel.Int32
+	case "double":
+		cfg.Type = kernel.Float64
+	default:
+		return fmt.Errorf("unknown dtype %q", dtype)
+	}
+	switch loop {
+	case "auto":
+		cfg.OptimalLoop = true
+	case "ndrange":
+		cfg.OptimalLoop, cfg.Loop = false, kernel.NDRange
+	case "flat":
+		cfg.OptimalLoop, cfg.Loop = false, kernel.FlatLoop
+	case "nested":
+		cfg.OptimalLoop, cfg.Loop = false, kernel.NestedLoop
+	default:
+		return fmt.Errorf("unknown loop mode %q", loop)
+	}
+	switch {
+	case pattern == "contig":
+		cfg.Pattern = mem.ContiguousPattern()
+	case pattern == "colmajor":
+		cfg.Pattern = mem.ColMajorPattern()
+	case strings.HasPrefix(pattern, "stride:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(pattern, "stride:"))
+		if err != nil {
+			return fmt.Errorf("bad stride in %q", pattern)
+		}
+		cfg.Pattern = mem.StridedPattern(n)
+	default:
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+
+	if source {
+		loopMode := cfg.Loop
+		if cfg.OptimalLoop {
+			loopMode = dev.Info().OptimalLoop
+		}
+		for _, op := range kernel.Ops() {
+			k := kernel.Kernel{Op: op, Type: cfg.Type, VecWidth: cfg.VecWidth, Loop: loopMode, Attrs: cfg.Attrs}
+			fmt.Println("//", k.Name())
+			fmt.Println(k.OpenCLSource())
+		}
+	}
+
+	res, err := core.Run(dev, cfg)
+	if err != nil {
+		return err
+	}
+
+	info := res.Device
+	fmt.Printf("MP-STREAM (simulated) -- %s\n", info.Description)
+	fmt.Printf("target=%s peak=%.1f GB/s arrays=%s x3 type=%s vec=%d pattern=%s ntimes=%d\n",
+		info.ID, info.PeakMemGBps, report.HumanBytes(cfg.ArrayBytes), cfg.Type, cfg.VecWidth,
+		cfg.Pattern.Kind, cfg.NTimes)
+	if res.HasResources {
+		fmt.Printf("fpga: fmax=%.0f MHz logic=%d regs=%d bram=%d dsp=%d\n",
+			res.FmaxMHz, res.Resources.Logic, res.Resources.Registers,
+			res.Resources.BRAM, res.Resources.DSP)
+	}
+
+	tb := report.NewTable("function", "best GB/s", "best MB/s", "avg time (s)", "min time (s)", "verified")
+	for _, kr := range res.Kernels {
+		tb.AddRowf(kr.Op.String(), kr.GBps, kr.MBps(), kr.AvgSeconds, kr.BestSeconds,
+			fmt.Sprintf("%v", kr.Verified))
+	}
+	if asCSV {
+		return tb.WriteCSV(os.Stdout)
+	}
+	return tb.WriteText(os.Stdout)
+}

@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+func ok(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	ok(t, run("aocl", "1MB", "int", 1, "auto", "contig", 2, 0, 0, 0, 0,
+		false, false, false, false))
+}
+
+func TestRunVariants(t *testing.T) {
+	// Explicit loop mode + strided pattern + CSV + source emission.
+	ok(t, run("sdaccel", "256KB", "double", 2, "nested", "colmajor", 1, 0, 0, 0, 0,
+		false, false, true, true))
+	// Fixed-stride pattern.
+	ok(t, run("gpu", "1MB", "int", 1, "ndrange", "stride:4", 1, 0, 0, 0, 0,
+		false, true, false, false))
+	// AOCL SIMD attributes.
+	ok(t, run("aocl", "1MB", "int", 1, "ndrange", "contig", 1, 0, 4, 0, 256,
+		false, false, false, false))
+	// Host-IO mode.
+	ok(t, run("gpu", "1MB", "int", 1, "auto", "contig", 1, 0, 0, 0, 0,
+		true, false, false, false))
+	// Flat loop with unroll.
+	ok(t, run("cpu", "1MB", "int", 1, "flat", "contig", 1, 4, 0, 0, 0,
+		false, false, false, false))
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"bad target", func() error {
+			return run("tpu", "1MB", "int", 1, "auto", "contig", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad size", func() error {
+			return run("cpu", "huge", "int", 1, "auto", "contig", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad dtype", func() error {
+			return run("cpu", "1MB", "float16", 1, "auto", "contig", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad loop", func() error {
+			return run("cpu", "1MB", "int", 1, "spiral", "contig", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad pattern", func() error {
+			return run("cpu", "1MB", "int", 1, "auto", "zigzag", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad stride", func() error {
+			return run("cpu", "1MB", "int", 1, "auto", "stride:x", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"bad vec", func() error {
+			return run("cpu", "1MB", "int", 3, "auto", "contig", 1, 0, 0, 0, 0, false, false, false, false)
+		}},
+		{"simd without wg", func() error {
+			return run("aocl", "1MB", "int", 1, "ndrange", "contig", 1, 0, 4, 0, 0, false, false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.f(); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}

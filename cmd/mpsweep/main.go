@@ -1,0 +1,78 @@
+// Command mpsweep regenerates the paper's figures and tables (and this
+// reproduction's ablation experiments) as text tables, ASCII charts and
+// paper-deviation summaries.
+//
+// Examples:
+//
+//	mpsweep -exp fig1a
+//	mpsweep -exp fig4b
+//	mpsweep -all
+//	mpsweep -all -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpstream/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig1a|fig1b|fig2|fig3|fig4a|fig4b|targets|pcie|resources|unroll|preshape|dtype)")
+		all      = flag.Bool("all", false, "run every experiment")
+		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *all, *markdown); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, all, markdown bool) error {
+	if !all && exp == "" {
+		return fmt.Errorf("pass -exp <id> or -all (ids: %s)", ids())
+	}
+	emit := func(e *experiments.Experiment) error {
+		if markdown {
+			return e.WriteMarkdown(os.Stdout)
+		}
+		return e.WriteText(os.Stdout)
+	}
+	if all {
+		for _, ent := range experiments.Registry() {
+			fmt.Fprintf(os.Stderr, "running %s...\n", ent.ID)
+			e, err := ent.Run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", ent.ID, err)
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	run, err := experiments.ByID(exp)
+	if err != nil {
+		return err
+	}
+	e, err := run()
+	if err != nil {
+		return err
+	}
+	return emit(e)
+}
+
+func ids() string {
+	s := ""
+	for i, ent := range experiments.Registry() {
+		if i > 0 {
+			s += " "
+		}
+		s += ent.ID
+	}
+	return s
+}

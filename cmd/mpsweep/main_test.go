@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("targets", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("targets", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", false, false); err == nil {
+		t.Error("missing -exp/-all must error")
+	}
+	if err := run("bogus", false, false); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestIDsListsAll(t *testing.T) {
+	s := ids()
+	for _, want := range []string{"fig1a", "fig4b", "hmc", "efficiency"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ids() missing %q: %s", want, s)
+		}
+	}
+}

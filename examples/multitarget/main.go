@@ -1,0 +1,49 @@
+// Multi-target comparison: all four STREAM kernels on all four simulated
+// targets (the paper's Figure 4(a)), anchored by a real host STREAM run
+// on the machine executing this example.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mpstream"
+	"mpstream/internal/report"
+)
+
+func main() {
+	cfg := mpstream.DefaultConfig()
+	cfg.ArrayBytes = 4 << 20
+
+	tb := report.NewTable("target", "copy KB/s", "scale KB/s", "add KB/s", "triad KB/s")
+	for _, dev := range mpstream.Targets() {
+		res, err := mpstream.Run(dev, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", dev.Info().ID, err)
+		}
+		tb.AddRowf(dev.Info().ID,
+			fmt.Sprintf("%.3g", res.Kernel(mpstream.Copy).KBps()),
+			fmt.Sprintf("%.3g", res.Kernel(mpstream.Scale).KBps()),
+			fmt.Sprintf("%.3g", res.Kernel(mpstream.Add).KBps()),
+			fmt.Sprintf("%.3g", res.Kernel(mpstream.Triad).KBps()),
+		)
+	}
+	fmt.Println("Figure 4(a) reproduction: all four kernels, 4 MB arrays (KB/s, the figure's unit)")
+	if err := tb.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreality anchor — STREAM on THIS machine (pure Go, wall clock):")
+	host, err := mpstream.RunHost(mpstream.HostConfig{Elems: 1 << 22, NTimes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	htb := report.NewTable("function", "GB/s")
+	for _, kr := range host.Kernels {
+		htb.AddRowf(kr.Op.String(), kr.GBps)
+	}
+	if err := htb.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

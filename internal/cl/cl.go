@@ -1,0 +1,298 @@
+// Package cl is an OpenCL-flavoured host runtime over the simulated
+// devices: platforms, contexts, buffers, programs, kernels, and in-order
+// command queues with profiling events.
+//
+// The benchmark core is written against this API the same way MP-STREAM
+// is written against OpenCL. Execution is split in two:
+//
+//   - functionally, kernels really compute (a(i) = b(i) + q*c(i) on Go
+//     slices), so results are verified exactly as STREAM verifies its
+//     checksums;
+//   - temporally, each command advances the queue's virtual clock by the
+//     duration the device model predicts, and events expose the
+//     start/end times CL_QUEUE_PROFILING_ENABLE would.
+//
+// Contexts can be switched to timing-only mode (Functional=false) for
+// sweeps over arrays too large to materialize.
+package cl
+
+import (
+	"fmt"
+	"time"
+
+	"mpstream/internal/device"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/clock"
+	"mpstream/internal/sim/mem"
+)
+
+// Platform is a set of available devices, the OpenCL platform analogue.
+type Platform struct {
+	devices []device.Device
+}
+
+// NewPlatform builds a platform over the given devices.
+func NewPlatform(devs ...device.Device) *Platform {
+	return &Platform{devices: devs}
+}
+
+// Devices lists the platform's devices.
+func (p *Platform) Devices() []device.Device { return p.devices }
+
+// DeviceByID finds a device by its short id.
+func (p *Platform) DeviceByID(id string) (device.Device, error) {
+	return device.ByID(p.devices, id)
+}
+
+// Context owns buffers and programs for one device.
+type Context struct {
+	dev device.Device
+	// Functional controls whether buffers hold real data and kernels
+	// really execute. Timing is identical either way.
+	Functional bool
+}
+
+// CreateContext makes a functional context for dev.
+func CreateContext(dev device.Device) *Context {
+	return &Context{dev: dev, Functional: true}
+}
+
+// Device returns the context's device.
+func (c *Context) Device() device.Device { return c.dev }
+
+// Buffer is a device-resident array.
+type Buffer struct {
+	ctx   *Context
+	dt    kernel.DataType
+	elems int
+	data  any // []int32 or []float64 when functional
+}
+
+// CreateBuffer allocates a device buffer of elems elements.
+func (c *Context) CreateBuffer(dt kernel.DataType, elems int) (*Buffer, error) {
+	if elems <= 0 {
+		return nil, fmt.Errorf("cl: buffer size %d must be positive", elems)
+	}
+	b := &Buffer{ctx: c, dt: dt, elems: elems}
+	if c.Functional {
+		switch dt {
+		case kernel.Int32:
+			b.data = make([]int32, elems)
+		case kernel.Float64:
+			b.data = make([]float64, elems)
+		default:
+			return nil, fmt.Errorf("cl: unsupported data type %v", dt)
+		}
+	}
+	return b, nil
+}
+
+// Elems returns the element count.
+func (b *Buffer) Elems() int { return b.elems }
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(b.elems) * int64(b.dt.Bytes()) }
+
+// Type returns the element type.
+func (b *Buffer) Type() kernel.DataType { return b.dt }
+
+// Data exposes the backing slice ([]int32 or []float64); nil in
+// timing-only contexts.
+func (b *Buffer) Data() any { return b.data }
+
+// Int32s returns the backing slice for int buffers, or nil.
+func (b *Buffer) Int32s() []int32 {
+	s, _ := b.data.([]int32)
+	return s
+}
+
+// Float64s returns the backing slice for double buffers, or nil.
+func (b *Buffer) Float64s() []float64 {
+	s, _ := b.data.([]float64)
+	return s
+}
+
+// Fill sets every element to v (host-side initialization, not timed).
+func (b *Buffer) Fill(v float64) {
+	switch d := b.data.(type) {
+	case []int32:
+		iv := int32(v)
+		for i := range d {
+			d[i] = iv
+		}
+	case []float64:
+		for i := range d {
+			d[i] = v
+		}
+	}
+}
+
+// Program compiles kernels for the context's device.
+type Program struct {
+	ctx *Context
+}
+
+// CreateProgram returns a program builder for the context.
+func (c *Context) CreateProgram() *Program { return &Program{ctx: c} }
+
+// Kernel is a compiled kernel with bound arguments.
+type Kernel struct {
+	ctx      *Context
+	spec     kernel.Kernel
+	compiled device.Compiled
+
+	dst, b, c *Buffer
+	q         float64
+}
+
+// BuildKernel compiles spec for the device (the clBuildProgram analogue,
+// including FPGA synthesis for FPGA targets).
+func (p *Program) BuildKernel(spec kernel.Kernel) (*Kernel, error) {
+	compiled, err := p.ctx.dev.Compile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("cl: build %s on %s: %w", spec.Name(), p.ctx.dev.Info().ID, err)
+	}
+	return &Kernel{ctx: p.ctx, spec: spec, compiled: compiled}, nil
+}
+
+// Spec returns the kernel configuration.
+func (k *Kernel) Spec() kernel.Kernel { return k.spec }
+
+// Compiled exposes the device plan (resources, fmax).
+func (k *Kernel) Compiled() device.Compiled { return k.compiled }
+
+// SetArgs binds the destination and source buffers plus the scalar q.
+// c must be nil for one-input operations.
+func (k *Kernel) SetArgs(dst, b, c *Buffer, q float64) error {
+	if dst == nil || b == nil {
+		return fmt.Errorf("cl: %s needs dst and b", k.spec.Name())
+	}
+	needC := k.spec.Op.InputStreams() == 2
+	if needC && c == nil {
+		return fmt.Errorf("cl: %s needs a second input", k.spec.Name())
+	}
+	if !needC && c != nil {
+		return fmt.Errorf("cl: %s takes no second input", k.spec.Name())
+	}
+	bufs := []*Buffer{dst, b}
+	if c != nil {
+		bufs = append(bufs, c)
+	}
+	for _, buf := range bufs {
+		if buf.dt != k.spec.Type {
+			return fmt.Errorf("cl: buffer type %v does not match kernel type %v", buf.dt, k.spec.Type)
+		}
+		if buf.elems != dst.elems {
+			return fmt.Errorf("cl: buffer sizes differ: %d vs %d", buf.elems, dst.elems)
+		}
+	}
+	k.dst, k.b, k.c, k.q = dst, b, c, q
+	return nil
+}
+
+// Event reports the profiled interval of one command.
+type Event struct {
+	Kind  string
+	Start clock.Time
+	End   clock.Time
+}
+
+// Seconds returns the command duration in seconds.
+func (e *Event) Seconds() float64 { return (e.End - e.Start).Seconds() }
+
+// Duration returns the command duration.
+func (e *Event) Duration() time.Duration { return (e.End - e.Start).Duration() }
+
+// CommandQueue is an in-order queue with a virtual clock.
+type CommandQueue struct {
+	ctx *Context
+	now clock.Time
+}
+
+// CreateCommandQueue makes an empty in-order queue.
+func (c *Context) CreateCommandQueue() *CommandQueue {
+	return &CommandQueue{ctx: c}
+}
+
+// Now returns the queue's virtual time.
+func (q *CommandQueue) Now() clock.Time { return q.now }
+
+// advance appends a command of the given duration, returning its event.
+func (q *CommandQueue) advance(kind string, seconds float64) *Event {
+	ev := &Event{Kind: kind, Start: q.now, End: q.now.AddSeconds(seconds)}
+	q.now = ev.End
+	return ev
+}
+
+// EnqueueWriteBuffer transfers host data into a device buffer over the
+// device link (clEnqueueWriteBuffer).
+func (q *CommandQueue) EnqueueWriteBuffer(dst *Buffer, host any) (*Event, error) {
+	if q.ctx.Functional && host != nil {
+		if err := copyInto(dst.data, host); err != nil {
+			return nil, err
+		}
+	}
+	sec := q.ctx.dev.Link().TransferSeconds(uint64(dst.Bytes()))
+	return q.advance("write-buffer", sec), nil
+}
+
+// EnqueueReadBuffer transfers a device buffer back to host memory.
+func (q *CommandQueue) EnqueueReadBuffer(src *Buffer, host any) (*Event, error) {
+	if q.ctx.Functional && host != nil {
+		if err := copyInto(host, src.data); err != nil {
+			return nil, err
+		}
+	}
+	sec := q.ctx.dev.Link().TransferSeconds(uint64(src.Bytes()))
+	return q.advance("read-buffer", sec), nil
+}
+
+func copyInto(dst, src any) error {
+	switch d := dst.(type) {
+	case []int32:
+		s, ok := src.([]int32)
+		if !ok || len(s) != len(d) {
+			return fmt.Errorf("cl: host/device type or size mismatch")
+		}
+		copy(d, s)
+	case []float64:
+		s, ok := src.([]float64)
+		if !ok || len(s) != len(d) {
+			return fmt.Errorf("cl: host/device type or size mismatch")
+		}
+		copy(d, s)
+	default:
+		return fmt.Errorf("cl: unsupported transfer type %T", dst)
+	}
+	return nil
+}
+
+// EnqueueKernel launches the kernel over its bound buffers with the given
+// access pattern (clEnqueueNDRangeKernel; for single work-item kernels
+// the global size is 1 and the loop runs on the device).
+func (q *CommandQueue) EnqueueKernel(k *Kernel, pattern mem.Pattern) (*Event, error) {
+	if k.dst == nil {
+		return nil, fmt.Errorf("cl: %s has unbound arguments", k.spec.Name())
+	}
+	exec := device.Exec{ArrayBytes: k.dst.Bytes(), Pattern: pattern}
+	sec, err := k.compiled.Seconds(exec)
+	if err != nil {
+		return nil, fmt.Errorf("cl: enqueue %s: %w", k.spec.Name(), err)
+	}
+	sec += q.ctx.dev.LaunchOverheadSeconds()
+
+	if q.ctx.Functional {
+		var cdata any
+		if k.c != nil {
+			cdata = k.c.data
+		}
+		if err := kernel.Apply(k.spec.Op, k.q, k.dst.data, k.b.data, cdata); err != nil {
+			return nil, fmt.Errorf("cl: execute %s: %w", k.spec.Name(), err)
+		}
+	}
+	return q.advance("kernel:"+k.spec.Op.String(), sec), nil
+}
+
+// Finish returns the queue's virtual time once all commands complete (the
+// queue is in-order and synchronous, so this is simply Now).
+func (q *CommandQueue) Finish() clock.Time { return q.now }

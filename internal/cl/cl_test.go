@@ -1,0 +1,293 @@
+package cl
+
+import (
+	"testing"
+
+	"mpstream/internal/device/targets"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/mem"
+)
+
+func gpuContext(t *testing.T) *Context {
+	t.Helper()
+	d, err := targets.ByID("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CreateContext(d)
+}
+
+func TestPlatform(t *testing.T) {
+	p := NewPlatform(targets.All()...)
+	if len(p.Devices()) != 4 {
+		t.Fatalf("got %d devices", len(p.Devices()))
+	}
+	d, err := p.DeviceByID("aocl")
+	if err != nil || d.Info().ID != "aocl" {
+		t.Errorf("DeviceByID: %v, %v", d, err)
+	}
+	if _, err := p.DeviceByID("nope"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestBufferCreation(t *testing.T) {
+	ctx := gpuContext(t)
+	b, err := ctx.CreateBuffer(kernel.Int32, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Elems() != 1024 || b.Bytes() != 4096 || b.Type() != kernel.Int32 {
+		t.Errorf("buffer metadata wrong: %d elems %d bytes", b.Elems(), b.Bytes())
+	}
+	if len(b.Int32s()) != 1024 {
+		t.Error("functional buffer must have backing data")
+	}
+	if b.Float64s() != nil {
+		t.Error("int buffer must not expose float data")
+	}
+	if _, err := ctx.CreateBuffer(kernel.Int32, 0); err == nil {
+		t.Error("zero-size buffer accepted")
+	}
+}
+
+func TestTimingOnlyBuffers(t *testing.T) {
+	ctx := gpuContext(t)
+	ctx.Functional = false
+	b, err := ctx.CreateBuffer(kernel.Float64, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Data() != nil {
+		t.Error("timing-only buffer must not allocate")
+	}
+}
+
+func TestFill(t *testing.T) {
+	ctx := gpuContext(t)
+	b, _ := ctx.CreateBuffer(kernel.Int32, 8)
+	b.Fill(3)
+	for _, v := range b.Int32s() {
+		if v != 3 {
+			t.Fatalf("Fill failed: %v", b.Int32s())
+		}
+	}
+	f, _ := ctx.CreateBuffer(kernel.Float64, 8)
+	f.Fill(2.5)
+	if f.Float64s()[7] != 2.5 {
+		t.Error("float Fill failed")
+	}
+}
+
+func TestWriteReadBuffer(t *testing.T) {
+	ctx := gpuContext(t)
+	q := ctx.CreateCommandQueue()
+	b, _ := ctx.CreateBuffer(kernel.Int32, 4)
+	host := []int32{1, 2, 3, 4}
+	ev, err := q.EnqueueWriteBuffer(b, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seconds() <= 0 {
+		t.Error("write must take time over the link")
+	}
+	if b.Int32s()[2] != 3 {
+		t.Error("write did not copy data")
+	}
+	back := make([]int32, 4)
+	if _, err := q.EnqueueReadBuffer(b, back); err != nil {
+		t.Fatal(err)
+	}
+	if back[3] != 4 {
+		t.Error("read did not copy data")
+	}
+	if _, err := q.EnqueueWriteBuffer(b, []float64{1}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := q.EnqueueWriteBuffer(b, []int32{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestKernelBuildAndRun(t *testing.T) {
+	ctx := gpuContext(t)
+	q := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram()
+
+	k, err := prog.BuildKernel(kernel.Kernel{Op: kernel.Triad, Type: kernel.Float64, VecWidth: 1, Loop: kernel.NDRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1024
+	a, _ := ctx.CreateBuffer(kernel.Float64, n)
+	b, _ := ctx.CreateBuffer(kernel.Float64, n)
+	c, _ := ctx.CreateBuffer(kernel.Float64, n)
+	b.Fill(2)
+	c.Fill(0.5)
+	if err := k.SetArgs(a, b, c, 3); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueKernel(k, mem.ContiguousPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seconds() <= 0 {
+		t.Error("kernel must take time")
+	}
+	want := kernel.Expected(kernel.Triad, 3, 2, 0.5)
+	for i, v := range a.Float64s() {
+		if v != want {
+			t.Fatalf("a[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestSetArgsValidation(t *testing.T) {
+	ctx := gpuContext(t)
+	prog := ctx.CreateProgram()
+	kCopy, err := prog.BuildKernel(kernel.New(kernel.Copy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kAdd, err := prog.BuildKernel(kernel.Kernel{Op: kernel.Add, Type: kernel.Int32, VecWidth: 1, Loop: kernel.NDRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ctx.CreateBuffer(kernel.Int32, 16)
+	b, _ := ctx.CreateBuffer(kernel.Int32, 16)
+	c, _ := ctx.CreateBuffer(kernel.Int32, 16)
+	short, _ := ctx.CreateBuffer(kernel.Int32, 8)
+	dbl, _ := ctx.CreateBuffer(kernel.Float64, 16)
+
+	if err := kCopy.SetArgs(a, b, nil, 0); err != nil {
+		t.Errorf("copy args rejected: %v", err)
+	}
+	if err := kCopy.SetArgs(a, b, c, 0); err == nil {
+		t.Error("copy with extra input accepted")
+	}
+	if err := kCopy.SetArgs(nil, b, nil, 0); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if err := kAdd.SetArgs(a, b, nil, 0); err == nil {
+		t.Error("add without second input accepted")
+	}
+	if err := kCopy.SetArgs(a, short, nil, 0); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	if err := kCopy.SetArgs(a, dbl, nil, 0); err == nil {
+		t.Error("mismatched types accepted")
+	}
+}
+
+func TestEnqueueUnboundKernel(t *testing.T) {
+	ctx := gpuContext(t)
+	q := ctx.CreateCommandQueue()
+	k, err := ctx.CreateProgram().BuildKernel(kernel.New(kernel.Copy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueKernel(k, mem.ContiguousPattern()); err == nil {
+		t.Error("unbound kernel accepted")
+	}
+}
+
+func TestQueueTimelineInOrder(t *testing.T) {
+	ctx := gpuContext(t)
+	q := ctx.CreateCommandQueue()
+	b, _ := ctx.CreateBuffer(kernel.Int32, 1<<20)
+	ev1, err := q.EnqueueWriteBuffer(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := q.EnqueueReadBuffer(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Start != 0 {
+		t.Error("first command must start at epoch")
+	}
+	if ev2.Start != ev1.End {
+		t.Error("in-order queue: second command starts when first ends")
+	}
+	if q.Finish() != ev2.End {
+		t.Error("Finish must return the last completion time")
+	}
+}
+
+func TestBuildRejectsBadKernels(t *testing.T) {
+	ctx := gpuContext(t)
+	if _, err := ctx.CreateProgram().BuildKernel(kernel.Kernel{Op: kernel.Copy, VecWidth: 3}); err == nil {
+		t.Error("invalid kernel built")
+	}
+	// FPGA fit failures surface as build errors.
+	d, err := targets.ByID("aocl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fctx := CreateContext(d)
+	huge := kernel.Kernel{Op: kernel.Triad, Type: kernel.Float64, VecWidth: 16,
+		Loop: kernel.FlatLoop, Attrs: kernel.Attrs{Unroll: 64, NumComputeUnits: 16}}
+	if _, err := fctx.CreateProgram().BuildKernel(huge); err == nil {
+		t.Error("oversized FPGA design built")
+	}
+}
+
+func TestTimingOnlyKernelRun(t *testing.T) {
+	ctx := gpuContext(t)
+	ctx.Functional = false
+	q := ctx.CreateCommandQueue()
+	k, err := ctx.CreateProgram().BuildKernel(kernel.New(kernel.Copy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ctx.CreateBuffer(kernel.Int32, 1<<20)
+	b, _ := ctx.CreateBuffer(kernel.Int32, 1<<20)
+	if err := k.SetArgs(a, b, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := q.EnqueueKernel(k, mem.ContiguousPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seconds() <= 0 {
+		t.Error("timing-only kernel must still take time")
+	}
+}
+
+// The four kernels produce STREAM-verifiable results on every target.
+func TestFunctionalVerificationAllTargets(t *testing.T) {
+	const q, bInit, cInit = 3.0, 2.0, 0.5
+	for _, dev := range targets.All() {
+		ctx := CreateContext(dev)
+		queue := ctx.CreateCommandQueue()
+		prog := ctx.CreateProgram()
+		for _, op := range kernel.Ops() {
+			spec := kernel.Kernel{Op: op, Type: kernel.Float64, VecWidth: 1, Loop: dev.Info().OptimalLoop}
+			k, err := prog.BuildKernel(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dev.Info().ID, op, err)
+			}
+			n := 4096
+			a, _ := ctx.CreateBuffer(kernel.Float64, n)
+			b, _ := ctx.CreateBuffer(kernel.Float64, n)
+			var c *Buffer
+			if op.InputStreams() == 2 {
+				c, _ = ctx.CreateBuffer(kernel.Float64, n)
+				c.Fill(cInit)
+			}
+			b.Fill(bInit)
+			if err := k.SetArgs(a, b, c, q); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := queue.EnqueueKernel(k, mem.ContiguousPattern()); err != nil {
+				t.Fatalf("%s/%s: %v", dev.Info().ID, op, err)
+			}
+			want := kernel.Expected(op, q, bInit, cInit)
+			for i, v := range a.Float64s() {
+				if v != want {
+					t.Fatalf("%s/%s: a[%d] = %v, want %v", dev.Info().ID, op, i, v, want)
+				}
+			}
+		}
+	}
+}

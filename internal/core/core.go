@@ -1,0 +1,341 @@
+// Package core implements the MP-STREAM benchmark itself: the paper's
+// four kernels run over its full tuning-parameter space, with STREAM's
+// measurement conventions.
+//
+// A Config captures every knob from Section III of the paper — array
+// size, data type, degree of vectorization, access pattern, kernel loop
+// management, unroll factor, work-group size, vendor attributes, and the
+// stream source/destination (device DRAM vs. host over PCIe). Run
+// executes the configuration on one device through the cl runtime:
+// NTIMES repetitions, best time excluding the first iteration, bandwidth
+// with STREAM byte accounting (2x array bytes for copy/scale, 3x for
+// add/triad), and elementwise verification of the results.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpstream/internal/cl"
+	"mpstream/internal/device"
+	"mpstream/internal/fabric"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/mem"
+	"mpstream/internal/stats"
+)
+
+// Default measurement constants, matching STREAM's conventions.
+const (
+	DefaultNTimes = 3
+	DefaultScalar = 3.0
+	// Initialization constants for the source arrays. Both are integers
+	// so int and double runs verify exactly against the same expectation.
+	BInit = 2.0
+	CInit = 5.0
+)
+
+// Config is one fully specified MP-STREAM run.
+type Config struct {
+	// Ops selects the kernels; nil means all four.
+	Ops []kernel.Op
+	// ArrayBytes is the size of each array operand.
+	ArrayBytes int64
+	// Type is the element type (int or double).
+	Type kernel.DataType
+	// VecWidth is the OpenCL vector width (1..16).
+	VecWidth int
+	// Loop is the kernel loop management; ignored when OptimalLoop is set.
+	Loop kernel.LoopMode
+	// OptimalLoop selects each device's best loop management (Figure 3):
+	// NDRange on CPU/GPU, flat on AOCL, nested on SDAccel.
+	OptimalLoop bool
+	// Attrs carries unroll, work-group and vendor attributes.
+	Attrs kernel.Attrs
+	// Pattern is the data access pattern.
+	Pattern mem.Pattern
+	// NTimes is the repetition count; the best time excludes the first
+	// (cold) iteration when NTimes > 1. Zero means DefaultNTimes.
+	NTimes int
+	// Scalar is q in scale/triad; zero means DefaultScalar.
+	Scalar float64
+	// Verify enables functional execution and result checking. Disable
+	// only for sweeps over arrays too large to materialize.
+	Verify bool
+	// HostIO measures the host<->device path: each iteration re-writes
+	// the source arrays over the link and reads the result back, and the
+	// timed interval covers transfers plus kernel (the paper's
+	// "source/destination of streams" parameter).
+	HostIO bool
+}
+
+// DefaultConfig returns the paper's baseline: all four kernels on 4 MB
+// int arrays, contiguous, scalar width, optimal loop management, verified.
+func DefaultConfig() Config {
+	return Config{
+		ArrayBytes:  4 << 20,
+		Type:        kernel.Int32,
+		VecWidth:    1,
+		OptimalLoop: true,
+		Pattern:     mem.ContiguousPattern(),
+		NTimes:      DefaultNTimes,
+		Scalar:      DefaultScalar,
+		Verify:      true,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Ops == nil {
+		c.Ops = kernel.Ops()
+	}
+	if c.NTimes == 0 {
+		c.NTimes = DefaultNTimes
+	}
+	if c.Scalar == 0 {
+		c.Scalar = DefaultScalar
+	}
+	if c.VecWidth == 0 {
+		c.VecWidth = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.ArrayBytes <= 0 {
+		return fmt.Errorf("core: array bytes %d must be positive", c.ArrayBytes)
+	}
+	if c.NTimes < 1 {
+		return fmt.Errorf("core: ntimes %d must be >= 1", c.NTimes)
+	}
+	k := c.kernelFor(c.Ops[0], kernel.NDRange)
+	if c.ArrayBytes%int64(k.ElemBytes()) != 0 {
+		return fmt.Errorf("core: array bytes %d not a multiple of element size %d",
+			c.ArrayBytes, k.ElemBytes())
+	}
+	elems := int(c.ArrayBytes / int64(k.ElemBytes()))
+	return c.Pattern.Validate(elems)
+}
+
+// kernelFor assembles the kernel IR for one op.
+func (c Config) kernelFor(op kernel.Op, loop kernel.LoopMode) kernel.Kernel {
+	if !c.OptimalLoop {
+		loop = c.Loop
+	}
+	return kernel.Kernel{Op: op, Type: c.Type, VecWidth: c.VecWidth, Loop: loop, Attrs: c.Attrs}
+}
+
+// KernelResult is the measurement for one of the four kernels.
+type KernelResult struct {
+	Op         kernel.Op
+	Kernel     string // kernel identifier (Name of the IR)
+	BytesMoved int64  // STREAM-convention bytes per iteration
+
+	Times       []float64 // per-iteration seconds, in order
+	BestSeconds float64   // min time, excluding iteration 0 when possible
+	AvgSeconds  float64
+	GBps        float64 // bandwidth at the best time, 1e9 bytes/s
+	Verified    bool    // result checked elementwise
+}
+
+// KBps returns the bandwidth in the KB/s (1e3) unit Figures 3 and 4(a) use.
+func (r KernelResult) KBps() float64 { return r.GBps * 1e6 }
+
+// MBps returns the bandwidth in MB/s (1e6), classic STREAM's unit.
+func (r KernelResult) MBps() float64 { return r.GBps * 1e3 }
+
+// Result is one full MP-STREAM run on one device.
+type Result struct {
+	Device  device.Info
+	Config  Config
+	Kernels []KernelResult
+
+	// FPGA build artefacts (zero/false elsewhere).
+	Resources    fabric.Resources
+	HasResources bool
+	FmaxMHz      float64
+}
+
+// Kernel returns the result for op, or nil.
+func (r *Result) Kernel(op kernel.Op) *KernelResult {
+	for i := range r.Kernels {
+		if r.Kernels[i].Op == op {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// Run executes the configuration on dev. The device is reset to cold
+// state first; warm-cache effects across the NTIMES repetitions are part
+// of the measurement, exactly as on hardware.
+func Run(dev device.Device, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev.Reset()
+
+	ctx := cl.CreateContext(dev)
+	ctx.Functional = cfg.Verify
+	queue := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram()
+
+	elems := int(cfg.ArrayBytes / int64(cfg.Type.Bytes()))
+	a, err := ctx.CreateBuffer(cfg.Type, elems)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ctx.CreateBuffer(cfg.Type, elems)
+	if err != nil {
+		return nil, err
+	}
+	cbuf, err := ctx.CreateBuffer(cfg.Type, elems)
+	if err != nil {
+		return nil, err
+	}
+	b.Fill(BInit)
+	cbuf.Fill(CInit)
+
+	// Host mirrors for HostIO mode.
+	var hostB, hostC, hostA any
+	if cfg.HostIO && cfg.Verify {
+		hostB, hostC, hostA = newHost(cfg.Type, elems, BInit), newHost(cfg.Type, elems, CInit), newHost(cfg.Type, elems, 0)
+	}
+
+	res := &Result{Device: dev.Info(), Config: cfg}
+	for _, op := range cfg.Ops {
+		spec := cfg.kernelFor(op, dev.Info().OptimalLoop)
+		k, err := prog.BuildKernel(spec)
+		if err != nil {
+			return nil, err
+		}
+		var carg *cl.Buffer
+		if op.InputStreams() == 2 {
+			carg = cbuf
+		}
+		if err := k.SetArgs(a, b, carg, cfg.Scalar); err != nil {
+			return nil, err
+		}
+		if !res.HasResources {
+			if r, ok := k.Compiled().Resources(); ok {
+				res.Resources, res.HasResources = r, true
+				res.FmaxMHz, _ = k.Compiled().FmaxMHz()
+			}
+		}
+
+		kr := KernelResult{
+			Op:         op,
+			Kernel:     spec.Name(),
+			BytesMoved: op.BytesMoved(cfg.ArrayBytes),
+		}
+		for iter := 0; iter < cfg.NTimes; iter++ {
+			start := queue.Now()
+			if cfg.HostIO {
+				if _, err := queue.EnqueueWriteBuffer(b, hostB); err != nil {
+					return nil, err
+				}
+				if carg != nil {
+					if _, err := queue.EnqueueWriteBuffer(cbuf, hostC); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := queue.EnqueueKernel(k, cfg.Pattern); err != nil {
+				return nil, err
+			}
+			if cfg.HostIO {
+				if _, err := queue.EnqueueReadBuffer(a, hostA); err != nil {
+					return nil, err
+				}
+			}
+			end := queue.Finish()
+			kr.Times = append(kr.Times, (end - start).Seconds())
+		}
+
+		kr.BestSeconds = bestTime(kr.Times)
+		s, err := stats.Summarize(kr.Times)
+		if err != nil {
+			return nil, err
+		}
+		kr.AvgSeconds = s.Mean
+		if kr.BestSeconds > 0 {
+			kr.GBps = float64(kr.BytesMoved) / kr.BestSeconds / 1e9
+		}
+
+		if cfg.Verify {
+			want := kernel.Expected(op, cfg.Scalar, BInit, CInit)
+			if err := VerifySlice(a.Data(), want, 0); err != nil {
+				return nil, fmt.Errorf("core: %s on %s failed validation: %w",
+					spec.Name(), dev.Info().ID, err)
+			}
+			kr.Verified = true
+		}
+		res.Kernels = append(res.Kernels, kr)
+	}
+	return res, nil
+}
+
+// bestTime is STREAM's convention: the minimum over iterations, excluding
+// the first (cold) one when more than one was run.
+func bestTime(times []float64) float64 {
+	if len(times) == 0 {
+		return 0
+	}
+	considered := times
+	if len(times) > 1 {
+		considered = times[1:]
+	}
+	best := considered[0]
+	for _, t := range considered[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func newHost(dt kernel.DataType, elems int, v float64) any {
+	switch dt {
+	case kernel.Float64:
+		s := make([]float64, elems)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	default:
+		s := make([]int32, elems)
+		for i := range s {
+			s[i] = int32(v)
+		}
+		return s
+	}
+}
+
+// VerifySlice checks that every element of data ([]int32 or []float64)
+// equals want within tol (absolute). A nil slice (timing-only run) is an
+// error: verification requires functional execution.
+func VerifySlice(data any, want, tol float64) error {
+	switch d := data.(type) {
+	case []int32:
+		w := int32(want)
+		for i, v := range d {
+			if v != w {
+				return fmt.Errorf("element %d = %d, want %d", i, v, w)
+			}
+		}
+		return nil
+	case []float64:
+		for i, v := range d {
+			if math.Abs(v-want) > tol {
+				return fmt.Errorf("element %d = %g, want %g", i, v, want)
+			}
+		}
+		return nil
+	case nil:
+		return fmt.Errorf("no data to verify (timing-only run)")
+	default:
+		return fmt.Errorf("unsupported data type %T", data)
+	}
+}

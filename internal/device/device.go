@@ -1,0 +1,218 @@
+// Package device defines the abstraction the MP-STREAM benchmark runs
+// against: a heterogeneous compute device that compiles a kernel
+// configuration into an execution plan and predicts how long one
+// invocation takes on its simulated memory system.
+//
+// Four back-ends implement Device, mirroring the paper's experimental
+// setup: cpusim (Intel Xeon E5-2609 v2), gpusim (NVIDIA GTX Titan Black),
+// aocl (Altera Stratix V under AOCL 15.1) and sdaccel (Xilinx Virtex-7
+// under SDAccel 2015.1).
+package device
+
+import (
+	"fmt"
+
+	"mpstream/internal/fabric"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/link"
+	"mpstream/internal/sim/mem"
+)
+
+// Kind classifies a device.
+type Kind uint8
+
+// Device kinds.
+const (
+	CPU Kind = iota
+	GPU
+	FPGA
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	case FPGA:
+		return "fpga"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Info describes a device the way the paper's Section IV table does.
+type Info struct {
+	// ID is the short name used throughout figures: "cpu", "gpu", "aocl",
+	// "sdaccel".
+	ID string
+	// Description is the full hardware/toolchain identification.
+	Description string
+	Kind        Kind
+	// PeakMemGBps is the peak global-memory bandwidth (the dotted lines
+	// in Figure 1).
+	PeakMemGBps float64
+	// MemBytes is the usable global memory.
+	MemBytes int64
+	// OptimalLoop is the loop-management mode this target prefers
+	// (Figure 3): NDRange for CPU/GPU, flat for AOCL, nested for SDAccel.
+	OptimalLoop kernel.LoopMode
+	// IdleWatts and PeakWatts bound the board power draw: idle and at
+	// full memory-bandwidth load. They drive the energy-efficiency
+	// extension (the paper's future-work item).
+	IdleWatts float64
+	PeakWatts float64
+}
+
+// WattsAt estimates draw at a sustained bandwidth: idle power plus the
+// dynamic share scaled by memory utilization.
+func (i Info) WattsAt(gbps float64) float64 {
+	if i.PeakMemGBps <= 0 {
+		return i.IdleWatts
+	}
+	u := gbps / i.PeakMemGBps
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return i.IdleWatts + (i.PeakWatts-i.IdleWatts)*u
+}
+
+// MBPerJoule is the energy-efficiency figure of merit: sustained MB moved
+// per joule at the given bandwidth.
+func (i Info) MBPerJoule(gbps float64) float64 {
+	w := i.WattsAt(gbps)
+	if w <= 0 {
+		return 0
+	}
+	return gbps * 1000 / w
+}
+
+// Exec carries the per-invocation run parameters: the benchmark's
+// remaining tuning knobs that are not part of the kernel itself.
+type Exec struct {
+	// ArrayBytes is the size of each array operand.
+	ArrayBytes int64
+	// Pattern is the data access pattern (contiguous / strided /
+	// column-major 2D).
+	Pattern mem.Pattern
+}
+
+// Validate checks exec parameters against a kernel.
+func (e Exec) Validate(k kernel.Kernel) error {
+	if e.ArrayBytes <= 0 {
+		return fmt.Errorf("device: array bytes %d must be positive", e.ArrayBytes)
+	}
+	eb := int64(k.ElemBytes())
+	if e.ArrayBytes%eb != 0 {
+		return fmt.Errorf("device: array bytes %d not a multiple of element size %d", e.ArrayBytes, eb)
+	}
+	return e.Pattern.Validate(int(e.ArrayBytes / eb))
+}
+
+// Elems returns the number of kernel elements (vector-width granules).
+func (e Exec) Elems(k kernel.Kernel) int {
+	return int(e.ArrayBytes / int64(k.ElemBytes()))
+}
+
+// Compiled is a kernel lowered for one device.
+type Compiled interface {
+	// Kernel returns the configuration this plan was compiled from.
+	Kernel() kernel.Kernel
+	// Seconds predicts the simulated duration of one kernel invocation
+	// over device-resident arrays.
+	Seconds(e Exec) (float64, error)
+	// Resources reports the FPGA resource usage; ok is false for
+	// non-FPGA devices.
+	Resources() (res fabric.Resources, ok bool)
+	// FmaxMHz reports the synthesized clock; ok is false for non-FPGA
+	// devices.
+	FmaxMHz() (mhz float64, ok bool)
+}
+
+// Device is one benchmark target.
+type Device interface {
+	Info() Info
+	// Compile lowers a kernel, rejecting configurations the target's
+	// toolchain cannot build (e.g. an FPGA design that does not fit).
+	Compile(k kernel.Kernel) (Compiled, error)
+	// LaunchOverheadSeconds is the fixed host-side cost of one kernel
+	// enqueue + completion (driver, doorbell, reorder). It dominates
+	// small-array bandwidth in Figure 1(a).
+	LaunchOverheadSeconds() float64
+	// Link is the host-device interconnect used for buffer transfers.
+	Link() *link.Link
+	// Reset restores cold state (caches, open rows) between experiments.
+	Reset()
+}
+
+// StreamBases returns non-overlapping base addresses for the benchmark
+// arrays: stream 0 is the destination a, streams 1..n the sources b, c.
+// Arrays are spaced 2 GiB apart, far beyond any modelled array size.
+func StreamBases(streams int) []uint64 {
+	bases := make([]uint64, streams)
+	for i := range bases {
+		bases[i] = uint64(i) << 31
+	}
+	return bases
+}
+
+// KernelSource builds the interleaved request stream one kernel invocation
+// presents to the memory system: for each loop trip, one read per input
+// array then one write to the destination, each stream walked with the
+// given pattern at elemBytes granularity and coalesced up to coalesceBytes
+// (the device's LSU/coalescer window; pass elemBytes to disable merging).
+func KernelSource(op kernel.Op, elems int, elemBytes uint32, p mem.Pattern, coalesceBytes uint32) (mem.Source, error) {
+	bases := StreamBases(op.Streams())
+	srcs := make([]mem.Source, 0, op.Streams())
+	// Reads first (b, then c), then the write to a: stream tags match
+	// array identity (0=a, 1=b, 2=c).
+	for i := 1; i <= op.InputStreams(); i++ {
+		it, err := mem.NewIter(p, bases[i], elems, elemBytes, mem.Read, uint8(i))
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, wrapCoalesce(it, elemBytes, coalesceBytes))
+	}
+	wr, err := mem.NewIter(p, bases[0], elems, elemBytes, mem.Write, 0)
+	if err != nil {
+		return nil, err
+	}
+	srcs = append(srcs, wrapCoalesce(wr, elemBytes, coalesceBytes))
+	if len(srcs) == 1 {
+		return srcs[0], nil
+	}
+	return mem.NewInterleave(srcs...), nil
+}
+
+func wrapCoalesce(s mem.Source, elemBytes, coalesceBytes uint32) mem.Source {
+	if coalesceBytes <= elemBytes {
+		return s
+	}
+	return mem.NewCoalescer(s, coalesceBytes)
+}
+
+// TxnCount predicts exactly how many transactions KernelSource yields
+// after coalescing: address-adjacent walks (effective stride 1) merge up
+// to the window, any larger stride defeats merging entirely.
+func TxnCount(op kernel.Op, elems int, elemBytes uint32, p mem.Pattern, coalesceBytes uint32) uint64 {
+	perStream := uint64(elems)
+	if coalesceBytes > elemBytes && p.EffectiveStrideElems(elems) == 1 {
+		bytes := uint64(elems) * uint64(elemBytes)
+		perStream = (bytes + uint64(coalesceBytes) - 1) / uint64(coalesceBytes)
+	}
+	return perStream * uint64(op.Streams())
+}
+
+// ByID returns the device with the given Info.ID from devs.
+func ByID(devs []Device, id string) (Device, error) {
+	for _, d := range devs {
+		if d.Info().ID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("device: unknown target %q", id)
+}

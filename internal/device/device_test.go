@@ -1,0 +1,239 @@
+package device
+
+import (
+	"testing"
+
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/link"
+	"mpstream/internal/sim/mem"
+)
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "cpu" || GPU.String() != "gpu" || FPGA.String() != "fpga" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestExecValidate(t *testing.T) {
+	k := kernel.New(kernel.Copy) // elem 4 bytes
+	if err := (Exec{ArrayBytes: 4096, Pattern: mem.ContiguousPattern()}).Validate(k); err != nil {
+		t.Errorf("valid exec rejected: %v", err)
+	}
+	if err := (Exec{ArrayBytes: 0, Pattern: mem.ContiguousPattern()}).Validate(k); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	if err := (Exec{ArrayBytes: 4095, Pattern: mem.ContiguousPattern()}).Validate(k); err == nil {
+		t.Error("non-multiple of element size accepted")
+	}
+	if err := (Exec{ArrayBytes: 4096, Pattern: mem.StridedPattern(0)}).Validate(k); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestExecElems(t *testing.T) {
+	k := kernel.Kernel{Op: kernel.Copy, Type: kernel.Int32, VecWidth: 4, Loop: kernel.FlatLoop}
+	e := Exec{ArrayBytes: 4096}
+	if got := e.Elems(k); got != 256 {
+		t.Errorf("Elems = %d, want 256 (4096 / 16B)", got)
+	}
+}
+
+func TestStreamBases(t *testing.T) {
+	bases := StreamBases(3)
+	if len(bases) != 3 {
+		t.Fatalf("got %d bases", len(bases))
+	}
+	for i := 1; i < len(bases); i++ {
+		if bases[i]-bases[i-1] != 1<<31 {
+			t.Errorf("bases not 2 GiB apart: %v", bases)
+		}
+	}
+}
+
+func TestKernelSourceCopy(t *testing.T) {
+	src, err := KernelSource(kernel.Copy, 16, 4, mem.ContiguousPattern(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch r.Op {
+		case mem.Read:
+			reads++
+			if r.Stream != 1 {
+				t.Errorf("read from stream %d, want 1", r.Stream)
+			}
+		case mem.Write:
+			writes++
+			if r.Stream != 0 {
+				t.Errorf("write to stream %d, want 0", r.Stream)
+			}
+		}
+	}
+	if reads != 16 || writes != 16 {
+		t.Errorf("reads/writes = %d/%d, want 16/16", reads, writes)
+	}
+}
+
+func TestKernelSourceTriadStreams(t *testing.T) {
+	src, err := KernelSource(kernel.Triad, 8, 4, mem.ContiguousPattern(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStream := map[uint8]int{}
+	n := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		perStream[r.Stream]++
+		n++
+	}
+	if n != 24 {
+		t.Fatalf("total requests = %d, want 24 (3 streams x 8)", n)
+	}
+	for s := uint8(0); s < 3; s++ {
+		if perStream[s] != 8 {
+			t.Errorf("stream %d count = %d, want 8", s, perStream[s])
+		}
+	}
+}
+
+func TestKernelSourceCoalesces(t *testing.T) {
+	src, err := KernelSource(kernel.Copy, 256, 4, mem.ContiguousPattern(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, bytes := mem.TotalBytes(src)
+	if n != 32 { // 2 streams x 1 KB / 64 B
+		t.Errorf("coalesced txns = %d, want 32", n)
+	}
+	if bytes != 2048 {
+		t.Errorf("bytes = %d, want 2048", bytes)
+	}
+}
+
+func TestKernelSourceInvalidPattern(t *testing.T) {
+	if _, err := KernelSource(kernel.Copy, 16, 4, mem.StridedPattern(-1), 4); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestTxnCount(t *testing.T) {
+	cases := []struct {
+		name   string
+		op     kernel.Op
+		elems  int
+		elemB  uint32
+		p      mem.Pattern
+		window uint32
+		want   uint64
+	}{
+		{"contig merge", kernel.Copy, 256, 4, mem.ContiguousPattern(), 64, 32},
+		{"no window", kernel.Copy, 256, 4, mem.ContiguousPattern(), 4, 512},
+		{"strided", kernel.Copy, 256, 4, mem.StridedPattern(16), 512, 512},
+		{"colmajor", kernel.Triad, 1 << 12, 4, mem.ColMajorPattern(), 512, 3 << 12},
+		{"stride1 merges", kernel.Copy, 256, 4, mem.StridedPattern(1), 64, 32},
+		{"partial tail", kernel.Copy, 17, 4, mem.ContiguousPattern(), 64, 4},
+	}
+	for _, c := range cases {
+		got := TxnCount(c.op, c.elems, c.elemB, c.p, c.window)
+		if got != c.want {
+			t.Errorf("%s: TxnCount = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TxnCount must agree exactly with what KernelSource actually yields.
+func TestTxnCountMatchesSource(t *testing.T) {
+	patterns := []mem.Pattern{
+		mem.ContiguousPattern(),
+		mem.StridedPattern(2),
+		mem.StridedPattern(7),
+		mem.ColMajorPattern(),
+	}
+	for _, op := range kernel.Ops() {
+		for _, p := range patterns {
+			for _, window := range []uint32{4, 64, 512} {
+				src, err := KernelSource(op, 1024, 4, p, window)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, _ := mem.TotalBytes(src)
+				want := TxnCount(op, 1024, 4, p, window)
+				if uint64(n) != want {
+					t.Errorf("op %v pattern %v window %d: source yields %d, TxnCount says %d",
+						op, p.Kind, window, n, want)
+				}
+			}
+		}
+	}
+}
+
+type fakeDevice struct{ id string }
+
+func (f fakeDevice) Info() Info                              { return Info{ID: f.id} }
+func (f fakeDevice) Compile(kernel.Kernel) (Compiled, error) { return nil, nil }
+func (f fakeDevice) LaunchOverheadSeconds() float64          { return 0 }
+func (f fakeDevice) Link() *link.Link                        { return nil }
+func (f fakeDevice) Reset()                                  {}
+
+func TestByID(t *testing.T) {
+	devs := []Device{fakeDevice{id: "cpu"}, fakeDevice{id: "gpu"}}
+	d, err := ByID(devs, "gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Info().ID != "gpu" {
+		t.Errorf("ByID returned %q", d.Info().ID)
+	}
+	if _, err := ByID(devs, "tpu"); err == nil {
+		t.Error("unknown id must error")
+	}
+	if _, err := ByID(nil, "cpu"); err == nil {
+		t.Error("empty registry must error")
+	}
+}
+
+func TestWattsAt(t *testing.T) {
+	info := Info{PeakMemGBps: 100, IdleWatts: 20, PeakWatts: 120}
+	if got := info.WattsAt(0); got != 20 {
+		t.Errorf("idle watts = %v", got)
+	}
+	if got := info.WattsAt(50); got != 70 {
+		t.Errorf("half-load watts = %v, want 70", got)
+	}
+	if got := info.WattsAt(100); got != 120 {
+		t.Errorf("full-load watts = %v, want 120", got)
+	}
+	if got := info.WattsAt(500); got != 120 {
+		t.Errorf("overload must clamp: %v", got)
+	}
+	if got := info.WattsAt(-5); got != 20 {
+		t.Errorf("negative bandwidth must clamp to idle: %v", got)
+	}
+	zero := Info{}
+	if zero.WattsAt(10) != 0 {
+		t.Error("zero-peak info must return idle watts (0)")
+	}
+}
+
+func TestMBPerJoule(t *testing.T) {
+	info := Info{PeakMemGBps: 100, IdleWatts: 20, PeakWatts: 120}
+	// 50 GB/s at 70 W = 714 MB/J.
+	got := info.MBPerJoule(50)
+	if got < 714 || got > 715 {
+		t.Errorf("MBPerJoule = %v, want ~714.3", got)
+	}
+	if (Info{}).MBPerJoule(10) != 0 {
+		t.Error("zero watts must yield 0 efficiency")
+	}
+}

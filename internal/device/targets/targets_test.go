@@ -1,0 +1,67 @@
+package targets
+
+import (
+	"testing"
+
+	"mpstream/internal/kernel"
+)
+
+func TestAllOrder(t *testing.T) {
+	devs := All()
+	if len(devs) != 4 {
+		t.Fatalf("got %d targets, want 4", len(devs))
+	}
+	for i, id := range IDs() {
+		if devs[i].Info().ID != id {
+			t.Errorf("target %d = %q, want %q", i, devs[i].Info().ID, id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range IDs() {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", id, err)
+		}
+		if d.Info().ID != id {
+			t.Errorf("ByID(%q) returned %q", id, d.Info().ID)
+		}
+	}
+	if _, err := ByID("tpu"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+// The paper's peak-bandwidth table (Section IV).
+func TestPeakBandwidthTable(t *testing.T) {
+	want := map[string][2]float64{
+		"cpu":     {33, 35},   // "34 GB/s Peak BW"
+		"gpu":     {336, 336}, // "336 GB/s Peak BW"
+		"aocl":    {25, 26},   // "25 GB/s Peak BW"
+		"sdaccel": {10, 10.7}, // "10 GB/s Peak BW"
+	}
+	for _, d := range All() {
+		info := d.Info()
+		band, ok := want[info.ID]
+		if !ok {
+			t.Fatalf("unexpected target %q", info.ID)
+		}
+		if info.PeakMemGBps < band[0] || info.PeakMemGBps > band[1] {
+			t.Errorf("%s peak = %.1f, want in [%.1f, %.1f]", info.ID, info.PeakMemGBps, band[0], band[1])
+		}
+	}
+}
+
+// All targets compile the baseline kernels.
+func TestAllTargetsCompileDefaults(t *testing.T) {
+	for _, d := range All() {
+		for _, op := range kernel.Ops() {
+			k := kernel.New(op)
+			k.Loop = d.Info().OptimalLoop
+			if _, err := d.Compile(k); err != nil {
+				t.Errorf("%s: compile %s: %v", d.Info().ID, k.Name(), err)
+			}
+		}
+	}
+}

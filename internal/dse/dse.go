@@ -1,0 +1,256 @@
+// Package dse implements design-space exploration over the MP-STREAM
+// parameter space: one-dimensional sweeps for each tuning knob (the
+// figures of the paper) and an exhaustive explorer that searches a
+// parameter grid for a device's best configuration — the manual and
+// automated exploration routes the paper motivates.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/mem"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	Label  string
+	Config core.Config
+	Result *core.Result
+	// Err records infeasible configurations (e.g. FPGA designs that do
+	// not fit); Result is nil for them.
+	Err error
+}
+
+// GBps returns the bandwidth for op, or 0 when unavailable.
+func (p Point) GBps(op kernel.Op) float64 {
+	if p.Result == nil {
+		return 0
+	}
+	if kr := p.Result.Kernel(op); kr != nil {
+		return kr.GBps
+	}
+	return 0
+}
+
+// run evaluates one labeled configuration.
+func run(dev device.Device, cfg core.Config, label string) Point {
+	res, err := core.Run(dev, cfg)
+	return Point{Label: label, Config: cfg, Result: res, Err: err}
+}
+
+// SweepSizes varies the array size (Figure 1(a), Figure 2).
+func SweepSizes(dev device.Device, base core.Config, sizes []int64) []Point {
+	pts := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		cfg := base
+		cfg.ArrayBytes = s
+		pts = append(pts, run(dev, cfg, fmt.Sprintf("%dB", s)))
+	}
+	return pts
+}
+
+// SweepVecWidths varies the vectorization degree (Figure 1(b)).
+func SweepVecWidths(dev device.Device, base core.Config, widths []int) []Point {
+	pts := make([]Point, 0, len(widths))
+	for _, v := range widths {
+		cfg := base
+		cfg.VecWidth = v
+		pts = append(pts, run(dev, cfg, fmt.Sprintf("v%d", v)))
+	}
+	return pts
+}
+
+// SweepLoopModes varies kernel loop management (Figure 3).
+func SweepLoopModes(dev device.Device, base core.Config) []Point {
+	pts := make([]Point, 0, 3)
+	for _, lm := range kernel.LoopModes() {
+		cfg := base
+		cfg.OptimalLoop = false
+		cfg.Loop = lm
+		pts = append(pts, run(dev, cfg, lm.String()))
+	}
+	return pts
+}
+
+// SweepPatterns varies the access pattern (Figure 2's two families).
+func SweepPatterns(dev device.Device, base core.Config, patterns map[string]mem.Pattern) []Point {
+	names := make([]string, 0, len(patterns))
+	for n := range patterns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	pts := make([]Point, 0, len(names))
+	for _, n := range names {
+		cfg := base
+		cfg.Pattern = patterns[n]
+		pts = append(pts, run(dev, cfg, n))
+	}
+	return pts
+}
+
+// SweepSIMD varies AOCL's num_simd_work_items (Figure 4(b)). It forces
+// NDRange kernels with a fixed work-group size, as AOCL requires.
+func SweepSIMD(dev device.Device, base core.Config, ns []int) []Point {
+	pts := make([]Point, 0, len(ns))
+	for _, n := range ns {
+		cfg := base
+		cfg.OptimalLoop = false
+		cfg.Loop = kernel.NDRange
+		cfg.Attrs.NumSIMDWorkItems = n
+		if cfg.Attrs.ReqdWorkGroupSize == 0 {
+			cfg.Attrs.ReqdWorkGroupSize = 256
+		}
+		pts = append(pts, run(dev, cfg, fmt.Sprintf("simd%d", n)))
+	}
+	return pts
+}
+
+// SweepCU varies AOCL's num_compute_units (Figure 4(b)).
+func SweepCU(dev device.Device, base core.Config, ns []int) []Point {
+	pts := make([]Point, 0, len(ns))
+	for _, n := range ns {
+		cfg := base
+		cfg.OptimalLoop = false
+		cfg.Loop = kernel.NDRange
+		cfg.Attrs.NumComputeUnits = n
+		pts = append(pts, run(dev, cfg, fmt.Sprintf("cu%d", n)))
+	}
+	return pts
+}
+
+// SweepUnroll varies the loop unroll factor on loop kernels.
+func SweepUnroll(dev device.Device, base core.Config, factors []int) []Point {
+	pts := make([]Point, 0, len(factors))
+	for _, u := range factors {
+		cfg := base
+		if cfg.OptimalLoop && dev.Info().OptimalLoop == kernel.NDRange {
+			// Unroll needs a loop kernel.
+			cfg.OptimalLoop = false
+			cfg.Loop = kernel.FlatLoop
+		}
+		cfg.Attrs.Unroll = u
+		pts = append(pts, run(dev, cfg, fmt.Sprintf("u%d", u)))
+	}
+	return pts
+}
+
+// SweepTypes varies the data type (int vs double).
+func SweepTypes(dev device.Device, base core.Config) []Point {
+	pts := make([]Point, 0, 2)
+	for _, dt := range kernel.DataTypes() {
+		cfg := base
+		cfg.Type = dt
+		pts = append(pts, run(dev, cfg, dt.String()))
+	}
+	return pts
+}
+
+// Space is a parameter grid for exhaustive exploration. Nil axes keep the
+// base configuration's value.
+type Space struct {
+	VecWidths []int
+	Loops     []kernel.LoopMode
+	Unrolls   []int
+	SIMDs     []int
+	CUs       []int
+	Types     []kernel.DataType
+}
+
+// Size returns the number of grid points.
+func (s Space) Size() int {
+	n := 1
+	for _, axis := range []int{len(s.VecWidths), len(s.Loops), len(s.Unrolls), len(s.SIMDs), len(s.CUs), len(s.Types)} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Configs enumerates the grid over a base configuration.
+func (s Space) Configs(base core.Config) []core.Config {
+	cfgs := []core.Config{base}
+	expand := func(in []core.Config, n int, apply func(*core.Config, int)) []core.Config {
+		if n == 0 {
+			return in
+		}
+		out := make([]core.Config, 0, len(in)*n)
+		for _, c := range in {
+			for i := 0; i < n; i++ {
+				cc := c
+				apply(&cc, i)
+				out = append(out, cc)
+			}
+		}
+		return out
+	}
+	cfgs = expand(cfgs, len(s.VecWidths), func(c *core.Config, i int) { c.VecWidth = s.VecWidths[i] })
+	cfgs = expand(cfgs, len(s.Loops), func(c *core.Config, i int) { c.OptimalLoop = false; c.Loop = s.Loops[i] })
+	cfgs = expand(cfgs, len(s.Unrolls), func(c *core.Config, i int) { c.Attrs.Unroll = s.Unrolls[i] })
+	cfgs = expand(cfgs, len(s.SIMDs), func(c *core.Config, i int) {
+		c.Attrs.NumSIMDWorkItems = s.SIMDs[i]
+		if s.SIMDs[i] > 1 && c.Attrs.ReqdWorkGroupSize == 0 {
+			c.Attrs.ReqdWorkGroupSize = 256
+		}
+	})
+	cfgs = expand(cfgs, len(s.CUs), func(c *core.Config, i int) { c.Attrs.NumComputeUnits = s.CUs[i] })
+	cfgs = expand(cfgs, len(s.Types), func(c *core.Config, i int) { c.Type = s.Types[i] })
+	return cfgs
+}
+
+// Exploration is the outcome of an exhaustive search.
+type Exploration struct {
+	// Ranked holds feasible points, best bandwidth first.
+	Ranked []Point
+	// Infeasible counts configurations the device rejected (invalid
+	// kernels, designs that do not fit).
+	Infeasible int
+}
+
+// Best returns the winning point; ok is false when nothing was feasible.
+func (e Exploration) Best() (Point, bool) {
+	if len(e.Ranked) == 0 {
+		return Point{}, false
+	}
+	return e.Ranked[0], true
+}
+
+// Explore evaluates every grid point for op and ranks the feasible ones.
+func Explore(dev device.Device, base core.Config, space Space, op kernel.Op) Exploration {
+	base.Ops = []kernel.Op{op}
+	var out Exploration
+	for _, cfg := range space.Configs(base) {
+		p := run(dev, cfg, configLabel(cfg))
+		if p.Err != nil {
+			out.Infeasible++
+			continue
+		}
+		out.Ranked = append(out.Ranked, p)
+	}
+	sort.SliceStable(out.Ranked, func(i, j int) bool {
+		return out.Ranked[i].GBps(op) > out.Ranked[j].GBps(op)
+	})
+	return out
+}
+
+func configLabel(c core.Config) string {
+	loop := "auto"
+	if !c.OptimalLoop {
+		loop = c.Loop.String()
+	}
+	label := fmt.Sprintf("%s-v%d-%s", c.Type, c.VecWidth, loop)
+	if c.Attrs.Unroll > 1 {
+		label += fmt.Sprintf("-u%d", c.Attrs.Unroll)
+	}
+	if c.Attrs.NumSIMDWorkItems > 1 {
+		label += fmt.Sprintf("-simd%d", c.Attrs.NumSIMDWorkItems)
+	}
+	if c.Attrs.NumComputeUnits > 1 {
+		label += fmt.Sprintf("-cu%d", c.Attrs.NumComputeUnits)
+	}
+	return label
+}

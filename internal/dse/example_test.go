@@ -1,0 +1,28 @@
+package dse_test
+
+import (
+	"fmt"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+)
+
+// Explore searches a parameter grid for the best configuration — the
+// automated design-space exploration route the paper motivates.
+func ExampleExplore() {
+	dev, _ := targets.ByID("aocl")
+	base := core.DefaultConfig()
+	base.ArrayBytes = 1 << 20
+	base.NTimes = 1
+
+	space := dse.Space{
+		VecWidths: []int{1, 16},
+		Loops:     []kernel.LoopMode{kernel.NDRange, kernel.FlatLoop},
+	}
+	ex := dse.Explore(dev, base, space, kernel.Copy)
+	best, _ := ex.Best()
+	fmt.Println(best.Config.VecWidth, best.Config.Loop)
+	// Output: 16 flat
+}

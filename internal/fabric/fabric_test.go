@@ -1,0 +1,269 @@
+package fabric
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testModel() CostModel {
+	return CostModel{
+		BaseFmaxMHz:       316,
+		MinFmaxMHz:        120,
+		WidthPenalty:      0.06,
+		ReplPenalty:       0.08,
+		BasePipelineDepth: 120,
+		DepthPerLaneLog2:  12,
+		BaseUnit:          Resources{Logic: 4200, Registers: 9000, BRAM: 12},
+		PerLane:           Resources{Logic: 650, Registers: 1400, BRAM: 1},
+		PerReplLane:       Resources{Logic: 900, Registers: 2100, BRAM: 2},
+		PerStream:         Resources{Logic: 2800, Registers: 5600, BRAM: 8},
+		MultiplierDSP:     1,
+	}
+}
+
+func copyShape(lanes, units, repl int) Shape {
+	return Shape{LanesPerUnit: lanes, Units: units, Streams: 2, WordBytes: 4, ReplicatedLanes: repl}
+}
+
+func TestResourcesAddScale(t *testing.T) {
+	a := Resources{Logic: 1, Registers: 2, BRAM: 3, DSP: 4}
+	b := Resources{Logic: 10, Registers: 20, BRAM: 30, DSP: 40}
+	sum := a.Add(b)
+	if sum != (Resources{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if a.Scale(3) != (Resources{3, 6, 9, 12}) {
+		t.Errorf("Scale = %+v", a.Scale(3))
+	}
+}
+
+func TestUtilizationMax(t *testing.T) {
+	u := Utilization{Logic: 0.2, Registers: 0.9, BRAM: 0.5, DSP: 0.1}
+	if u.Max() != 0.9 {
+		t.Errorf("Max = %v, want 0.9", u.Max())
+	}
+}
+
+func TestPartUtilizationIncludesShell(t *testing.T) {
+	u := StratixVD5.Utilization(Resources{})
+	if u.Logic <= 0 {
+		t.Error("shell must consume logic even for an empty design")
+	}
+	if u.Logic != float64(StratixVD5.Shell.Logic)/float64(StratixVD5.Capacity.Logic) {
+		t.Error("empty-design utilization must equal shell fraction")
+	}
+}
+
+func TestPartFit(t *testing.T) {
+	if err := StratixVD5.Fit(Resources{Logic: 100000}); err != nil {
+		t.Errorf("fitting design rejected: %v", err)
+	}
+	err := StratixVD5.Fit(Resources{Logic: 172600})
+	if err == nil {
+		t.Fatal("oversized design accepted")
+	}
+	if !errors.Is(err, ErrDoesNotFit) {
+		t.Errorf("error %v must wrap ErrDoesNotFit", err)
+	}
+	if !strings.Contains(err.Error(), "stratix") {
+		t.Errorf("error must name the part: %v", err)
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	good := copyShape(4, 1, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid shape rejected: %v", err)
+	}
+	bad := []Shape{
+		{LanesPerUnit: 0, Units: 1, Streams: 1, WordBytes: 4},
+		{LanesPerUnit: 1, Units: 0, Streams: 1, WordBytes: 4},
+		{LanesPerUnit: 1, Units: 1, Streams: 0, WordBytes: 4},
+		{LanesPerUnit: 1, Units: 1, Streams: 1, WordBytes: 0},
+		{LanesPerUnit: 2, Units: 1, Streams: 1, WordBytes: 4, ReplicatedLanes: 4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad shape %d accepted", i)
+		}
+	}
+}
+
+func TestFmaxDegradesWithWidth(t *testing.T) {
+	m := testModel()
+	var prev float64 = math.Inf(1)
+	for _, lanes := range []int{1, 2, 4, 8, 16} {
+		syn, err := m.Synthesize(copyShape(lanes, 1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if syn.FmaxMHz >= prev {
+			t.Errorf("fmax at %d lanes = %.1f, want < previous %.1f", lanes, syn.FmaxMHz, prev)
+		}
+		prev = syn.FmaxMHz
+	}
+	// Scalar pipeline runs at base fmax.
+	syn, _ := m.Synthesize(copyShape(1, 1, 0))
+	if syn.FmaxMHz != 316 {
+		t.Errorf("scalar fmax = %v, want 316", syn.FmaxMHz)
+	}
+}
+
+func TestFmaxFloor(t *testing.T) {
+	m := testModel()
+	m.WidthPenalty = 0.3
+	syn, err := m.Synthesize(copyShape(16, 16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.FmaxMHz != m.MinFmaxMHz {
+		t.Errorf("fmax = %v, want floor %v", syn.FmaxMHz, m.MinFmaxMHz)
+	}
+}
+
+func TestReplicationCostsMoreFmaxThanWidth(t *testing.T) {
+	m := testModel()
+	vec, err := m.Synthesize(copyShape(8, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu, err := m.Synthesize(copyShape(1, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cu.FmaxMHz >= vec.FmaxMHz {
+		t.Errorf("8 CUs fmax %.1f must be below vec8 fmax %.1f (ReplPenalty > WidthPenalty)",
+			cu.FmaxMHz, vec.FmaxMHz)
+	}
+}
+
+func TestResourceOrderingVecSimdCU(t *testing.T) {
+	// The paper's Section IV observation: for the same nominal
+	// parallelism N, resources(vec N) < resources(SIMD N) < resources(CU N).
+	m := testModel()
+	for _, n := range []int{2, 4, 8, 16} {
+		vec, err := m.Synthesize(copyShape(n, 1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		simd, err := m.Synthesize(copyShape(n, 1, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cu, err := m.Synthesize(copyShape(1, n, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(vec.Res.Logic < simd.Res.Logic && simd.Res.Logic < cu.Res.Logic) {
+			t.Errorf("N=%d logic ordering: vec=%d simd=%d cu=%d, want vec < simd < cu",
+				n, vec.Res.Logic, simd.Res.Logic, cu.Res.Logic)
+		}
+	}
+}
+
+func TestMultiplierDSP(t *testing.T) {
+	m := testModel()
+	s := copyShape(4, 1, 0)
+	noMul, _ := m.Synthesize(s)
+	s.UsesMultiplier = true
+	mul, _ := m.Synthesize(s)
+	if noMul.Res.DSP != 0 {
+		t.Errorf("copy must use no DSPs, got %d", noMul.Res.DSP)
+	}
+	if mul.Res.DSP != 4 {
+		t.Errorf("4-lane multiply DSPs = %d, want 4", mul.Res.DSP)
+	}
+	// Doubles cost twice the DSPs.
+	s.WordBytes = 8
+	mul8, _ := m.Synthesize(s)
+	if mul8.Res.DSP != 8 {
+		t.Errorf("double multiply DSPs = %d, want 8", mul8.Res.DSP)
+	}
+}
+
+func TestDepthGrowsWithWidth(t *testing.T) {
+	m := testModel()
+	narrow, _ := m.Synthesize(copyShape(1, 1, 0))
+	wide, _ := m.Synthesize(copyShape(16, 1, 0))
+	if wide.Depth <= narrow.Depth {
+		t.Errorf("depth must grow with width: %d vs %d", wide.Depth, narrow.Depth)
+	}
+	if narrow.Depth != 120 {
+		t.Errorf("base depth = %d, want 120", narrow.Depth)
+	}
+}
+
+func TestIssueGBps(t *testing.T) {
+	m := testModel()
+	s := copyShape(1, 1, 0) // 2 streams x 4 B x 316 MHz
+	syn, _ := m.Synthesize(s)
+	want := 2 * 4 * 316e6 / 1e9
+	if math.Abs(syn.IssueGBps(s)-want) > 1e-9 {
+		t.Errorf("IssueGBps = %v, want %v", syn.IssueGBps(s), want)
+	}
+}
+
+func TestDrainSeconds(t *testing.T) {
+	syn := Synthesis{FmaxMHz: 100, Depth: 200}
+	// 1000 segments x 200 cycles at 100 MHz = 2 ms.
+	if got := syn.DrainSeconds(1000); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("DrainSeconds = %v, want 0.002", got)
+	}
+	if syn.DrainSeconds(0) != 0 || syn.DrainSeconds(-5) != 0 {
+		t.Error("non-positive segments must cost nothing")
+	}
+	if (Synthesis{FmaxMHz: 0, Depth: 10}).DrainSeconds(5) != 0 {
+		t.Error("zero fmax must cost nothing rather than dividing by zero")
+	}
+}
+
+func TestSynthesizeRejectsBadShape(t *testing.T) {
+	m := testModel()
+	if _, err := m.Synthesize(Shape{}); err == nil {
+		t.Error("invalid shape must error")
+	}
+}
+
+// Property: resources and issue bandwidth are monotone in lanes and units;
+// fmax is antitone.
+func TestQuickMonotonicity(t *testing.T) {
+	m := testModel()
+	f := func(l1, l2, u1, u2 uint8) bool {
+		lanesA := int(l1%16) + 1
+		lanesB := int(l2%16) + 1
+		unitsA := int(u1%8) + 1
+		unitsB := int(u2%8) + 1
+		if lanesA > lanesB {
+			lanesA, lanesB = lanesB, lanesA
+		}
+		if unitsA > unitsB {
+			unitsA, unitsB = unitsB, unitsA
+		}
+		a, err := m.Synthesize(copyShape(lanesA, unitsA, 0))
+		if err != nil {
+			return false
+		}
+		b, err := m.Synthesize(copyShape(lanesB, unitsB, 0))
+		if err != nil {
+			return false
+		}
+		return a.Res.Logic <= b.Res.Logic && a.FmaxMHz >= b.FmaxMHz
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartsAreSane(t *testing.T) {
+	for _, p := range []Part{StratixVD5, Virtex7690T} {
+		if p.Capacity.Logic <= p.Shell.Logic {
+			t.Errorf("%s: shell exceeds capacity", p.Name)
+		}
+		if err := p.Fit(Resources{}); err != nil {
+			t.Errorf("%s: empty design must fit: %v", p.Name, err)
+		}
+	}
+}

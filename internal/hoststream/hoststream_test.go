@@ -1,0 +1,89 @@
+package hoststream
+
+import (
+	"testing"
+
+	"mpstream/internal/kernel"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Elems: 1000}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{Elems: 0}).Validate(); err == nil {
+		t.Error("zero elems accepted")
+	}
+	if err := (Config{Elems: 10, NTimes: -1}).Validate(); err == nil {
+		t.Error("negative ntimes accepted")
+	}
+	if err := (Config{Elems: 10, Workers: -1}).Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	res, err := Run(Config{Elems: 1 << 16, NTimes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 4 {
+		t.Fatalf("got %d kernels", len(res.Kernels))
+	}
+	for _, kr := range res.Kernels {
+		if kr.GBps <= 0 {
+			t.Errorf("%v: no bandwidth", kr.Op)
+		}
+		if len(kr.Times) != 3 {
+			t.Errorf("%v: %d times", kr.Op, len(kr.Times))
+		}
+		if kr.BestSeconds <= 0 || kr.AvgSeconds < kr.BestSeconds {
+			t.Errorf("%v: times inconsistent: best %v avg %v", kr.Op, kr.BestSeconds, kr.AvgSeconds)
+		}
+	}
+	// Byte accounting.
+	if res.Kernel(kernel.Copy).BytesMoved != 2*(1<<16)*8 {
+		t.Error("copy bytes wrong")
+	}
+	if res.Kernel(kernel.Add).BytesMoved != 3*(1<<16)*8 {
+		t.Error("add bytes wrong")
+	}
+}
+
+func TestKernelLookup(t *testing.T) {
+	res, err := Run(Config{Elems: 1024, NTimes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel(kernel.Triad) == nil {
+		t.Error("triad missing")
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	res, err := Run(Config{Elems: 1 << 14, NTimes: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 {
+		t.Errorf("workers = %d", res.Workers)
+	}
+}
+
+func TestMoreWorkersThanElems(t *testing.T) {
+	if _, err := Run(Config{Elems: 3, NTimes: 1, Workers: 64}); err != nil {
+		t.Fatalf("tiny array with many workers failed: %v", err)
+	}
+}
+
+// The host is a real machine: bandwidth should be at least in the
+// hundreds of MB/s and below any plausible DRAM limit.
+func TestPlausibleBandwidth(t *testing.T) {
+	res, err := Run(Config{Elems: 1 << 20, NTimes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := res.Kernel(kernel.Copy).GBps
+	if bw < 0.1 || bw > 2000 {
+		t.Errorf("host copy bandwidth %.2f GB/s implausible", bw)
+	}
+}

@@ -1,0 +1,40 @@
+package kernel_test
+
+import (
+	"fmt"
+
+	"mpstream/internal/kernel"
+)
+
+// The kernel IR renders the OpenCL C a vendor toolchain would be given,
+// exactly as the paper's build scripts generate custom kernel code.
+func ExampleKernel_OpenCLSource() {
+	k := kernel.Kernel{
+		Op:       kernel.Triad,
+		Type:     kernel.Float64,
+		VecWidth: 4,
+		Loop:     kernel.FlatLoop,
+		Attrs:    kernel.Attrs{Unroll: 8},
+	}
+	fmt.Print(k.OpenCLSource())
+	// Output:
+	// __kernel void triad(__global double4 * restrict a, __global const double4 * restrict b, __global const double4 * restrict c, const double q, const int n)
+	// {
+	//     __attribute__((opencl_unroll_hint(8)))
+	//     for (int i = 0; i < n; i++)
+	//         a[i] = b[i] + q * c[i];
+	// }
+}
+
+// STREAM byte accounting: copy and scale move two arrays, add and triad
+// three.
+func ExampleOp_BytesMoved() {
+	for _, op := range kernel.Ops() {
+		fmt.Printf("%s: %d\n", op, op.BytesMoved(1000))
+	}
+	// Output:
+	// copy: 2000
+	// scale: 2000
+	// add: 3000
+	// triad: 3000
+}

@@ -1,0 +1,405 @@
+// Package cache models a set-associative, write-back, write-allocate
+// last-level cache with LRU replacement, plus the inner-level (L1) line
+// traffic that determines cache-resident streaming bandwidth.
+//
+// The CPU device drives its word-granularity request stream through a
+// Cache; the cache absorbs hits and emits line-granularity fills and
+// writebacks that the DRAM model then times. Two refinements matter for
+// STREAM-style workloads:
+//
+//   - consecutive accesses to the same line (per stream) are L1-resident
+//     and cost no inner-level line transfer, so a contiguous walk moves
+//     one line per 16 words while a large-stride walk moves one line per
+//     word — that asymmetry is the cache-resident strided penalty;
+//   - optionally, writes bypass allocation (non-temporal/streaming
+//     stores), which is how OpenCL CPU runtimes avoid the
+//     read-for-ownership traffic that would otherwise make STREAM copy
+//     move 3x bytes.
+package cache
+
+import (
+	"fmt"
+
+	"mpstream/internal/sim/mem"
+)
+
+// Config describes a last-level cache.
+type Config struct {
+	Name          string
+	CapacityBytes uint64
+	LineBytes     uint32
+	Ways          int
+	// NonTemporalWrites makes write misses bypass allocation entirely:
+	// the write goes straight to memory and no line is filled or dirtied.
+	NonTemporalWrites bool
+	// WriteValidate makes write misses allocate the line dirty without
+	// fetching it first (GPU sectored caches over memories with masked
+	// writes: byte enables make the fetch unnecessary). Ignored when
+	// NonTemporalWrites is set.
+	WriteValidate bool
+	// HashSets XOR-folds the line address into the set index so
+	// power-of-two strides spread over all sets instead of thrashing a
+	// few (GPU caches hash; classic CPU LLCs index linearly).
+	HashSets bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case !mem.CheckPow2(c.LineBytes) || c.LineBytes == 0:
+		return fmt.Errorf("cache %q: line bytes %d must be a power of two", c.Name, c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %q: ways must be positive", c.Name)
+	case c.CapacityBytes == 0 || c.CapacityBytes%(uint64(c.LineBytes)*uint64(c.Ways)) != 0:
+		return fmt.Errorf("cache %q: capacity %d not divisible into %d ways of %d-byte lines",
+			c.Name, c.CapacityBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.CapacityBytes / (uint64(c.LineBytes) * uint64(c.Ways))
+	if !mem.CheckPow2(uint32(sets)) {
+		return fmt.Errorf("cache %q: set count %d must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() uint64 {
+	return c.CapacityBytes / (uint64(c.LineBytes) * uint64(c.Ways))
+}
+
+// Stats accumulates cache activity across accesses.
+type Stats struct {
+	Accesses    uint64 // requests presented
+	LineProbes  uint64 // line-granularity lookups
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64 // lines read from memory
+	Writebacks  uint64 // dirty lines written back
+	Bypasses    uint64 // non-temporal writes sent straight to memory
+	BypassBytes uint64 // bytes carried by non-temporal writes
+	Validates   uint64 // write misses allocated without a fill
+	L1Transfers uint64 // lines moved between inner level and this cache
+}
+
+// Delta returns the difference s - prev, field-wise; use it to isolate
+// the activity of one run on a long-lived cache.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:    s.Accesses - prev.Accesses,
+		LineProbes:  s.LineProbes - prev.LineProbes,
+		Hits:        s.Hits - prev.Hits,
+		Misses:      s.Misses - prev.Misses,
+		Fills:       s.Fills - prev.Fills,
+		Writebacks:  s.Writebacks - prev.Writebacks,
+		Bypasses:    s.Bypasses - prev.Bypasses,
+		BypassBytes: s.BypassBytes - prev.BypassBytes,
+		Validates:   s.Validates - prev.Validates,
+		L1Transfers: s.L1Transfers - prev.L1Transfers,
+	}
+}
+
+// HitRate returns Hits / LineProbes.
+func (s Stats) HitRate() float64 {
+	if s.LineProbes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.LineProbes)
+}
+
+// L1TransferBytes returns the inner-level line traffic in bytes.
+func (s Stats) L1TransferBytes(lineBytes uint32) uint64 {
+	return s.L1Transfers * uint64(lineBytes)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache with persistent state, so repeated
+// kernel invocations see warm caches exactly as hardware does. Reset
+// restores the cold state.
+type Cache struct {
+	cfg   Config
+	sets  uint64
+	ways  [][]way
+	tick  uint64
+	stats Stats
+
+	// lastLine tracks the most recently touched line per stream tag (the
+	// L1-residency approximation). Indexed by stream&(len-1); a benchmark
+	// touches at most three streams so collisions do not occur in
+	// practice, and a collision only costs a spurious L1 transfer.
+	lastLine  [8]uint64
+	lastValid [8]bool
+
+	// Write-combining buffers for non-temporal stores: one open line per
+	// stream accumulating store bytes; it flushes as a single (masked)
+	// memory write when the stream moves to another line.
+	wcLine  [8]uint64
+	wcBytes [8]uint32
+	wcValid [8]bool
+}
+
+// New builds a cache, panicking on invalid configuration (configurations
+// are compile-time constants of the device packages).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: cfg.Sets()}
+	c.ways = make([][]way, c.sets)
+	for i := range c.ways {
+		c.ways[i] = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset restores cold state and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		for j := range c.ways[i] {
+			c.ways[i][j] = way{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+	c.lastLine = [8]uint64{}
+	c.lastValid = [8]bool{}
+	c.wcLine = [8]uint64{}
+	c.wcBytes = [8]uint32{}
+	c.wcValid = [8]bool{}
+}
+
+// ResetStats clears statistics but keeps cache contents warm.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+}
+
+// Access presents one request. It appends to out (and returns the extended
+// slice) the memory-side requests the access generates: line fills as
+// reads, writebacks and bypassed stores as writes. Reusing out across
+// calls avoids per-access allocation.
+func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
+	if r.Size == 0 {
+		return out
+	}
+	c.stats.Accesses++
+	line := uint64(c.cfg.LineBytes)
+	first := mem.Align(r.Addr, c.cfg.LineBytes)
+	end := r.Addr + uint64(r.Size)
+
+	for addr := first; addr < end; addr += line {
+		c.stats.LineProbes++
+		lineID := addr / line
+
+		slot := r.Stream & 7
+
+		if r.Op == mem.Write && c.cfg.NonTemporalWrites {
+			// Streaming store: bypass the hierarchy. Invalidate a matching
+			// line so later reads see memory, then accumulate the bytes in
+			// the stream's write-combining buffer; the buffer flushes as
+			// one masked write when the stream leaves the line.
+			c.invalidate(lineID)
+			c.stats.Bypasses++
+			c.lastLine[slot], c.lastValid[slot] = lineID, true
+			lo, hi := addr, addr+line
+			if lo < r.Addr {
+				lo = r.Addr
+			}
+			if hi > end {
+				hi = end
+			}
+			bytes := uint32(hi - lo)
+			c.stats.BypassBytes += uint64(bytes)
+			if c.wcValid[slot] && c.wcLine[slot] == lineID {
+				c.wcBytes[slot] += bytes
+				if c.wcBytes[slot] > uint32(line) {
+					c.wcBytes[slot] = uint32(line)
+				}
+				continue
+			}
+			out = c.flushWCSlot(int(slot), slot, out)
+			c.wcLine[slot], c.wcBytes[slot], c.wcValid[slot] = lineID, bytes, true
+			continue
+		}
+
+		// L1 residency: repeated touches of the same line by the same
+		// stream cost no inner-level transfer.
+		if c.lastValid[slot] && c.lastLine[slot] == lineID {
+			c.stats.Hits++
+			continue
+		}
+		c.lastLine[slot], c.lastValid[slot] = lineID, true
+
+		set := c.setIndex(lineID)
+		ws := c.ways[set]
+		c.tick++
+
+		// Probe.
+		hitIdx := -1
+		for i := range ws {
+			if ws[i].valid && ws[i].tag == lineID {
+				hitIdx = i
+				break
+			}
+		}
+		if hitIdx >= 0 {
+			c.stats.Hits++
+			c.stats.L1Transfers++
+			ws[hitIdx].used = c.tick
+			if r.Op == mem.Write {
+				ws[hitIdx].dirty = true
+			}
+			continue
+		}
+
+		// Miss: pick the LRU victim.
+		c.stats.Misses++
+		victim := 0
+		for i := 1; i < len(ws); i++ {
+			if !ws[i].valid {
+				victim = i
+				break
+			}
+			if ws[i].used < ws[victim].used {
+				victim = i
+			}
+		}
+		if ws[victim].valid && ws[victim].dirty {
+			c.stats.Writebacks++
+			out = append(out, mem.Request{
+				Addr:   ws[victim].tag * line,
+				Size:   uint32(line),
+				Op:     mem.Write,
+				Stream: r.Stream,
+			})
+		}
+		// Fill (write-allocate), unless a write validates the line
+		// without fetching it.
+		if c.cfg.WriteValidate && r.Op == mem.Write {
+			c.stats.Validates++
+			c.stats.L1Transfers++
+		} else {
+			c.stats.Fills++
+			c.stats.L1Transfers++
+			out = append(out, mem.Request{
+				Addr:   addr,
+				Size:   uint32(line),
+				Op:     mem.Read,
+				Stream: r.Stream,
+			})
+		}
+		ws[victim] = way{tag: lineID, valid: true, dirty: r.Op == mem.Write, used: c.tick}
+	}
+	return out
+}
+
+// setIndex maps a line to its set, optionally hashing to break up
+// power-of-two stride conflicts.
+func (c *Cache) setIndex(lineID uint64) uint64 {
+	if c.cfg.HashSets {
+		h := lineID ^ lineID>>11 ^ lineID>>23
+		return h % c.sets
+	}
+	return lineID % c.sets
+}
+
+// flushWCSlot emits the slot's pending write-combining buffer, if any.
+func (c *Cache) flushWCSlot(slot int, stream uint8, out []mem.Request) []mem.Request {
+	if !c.wcValid[slot] {
+		return out
+	}
+	c.wcValid[slot] = false
+	return append(out, mem.Request{
+		Addr:   c.wcLine[slot] * uint64(c.cfg.LineBytes),
+		Size:   c.wcBytes[slot],
+		Op:     mem.Write,
+		Stream: stream,
+	})
+}
+
+// FlushWC emits every pending write-combining buffer; call it when a
+// request stream ends so trailing store bytes reach memory.
+func (c *Cache) FlushWC(out []mem.Request) []mem.Request {
+	for slot := range c.wcLine {
+		out = c.flushWCSlot(slot, uint8(slot), out)
+	}
+	return out
+}
+
+// invalidate drops a line if present (without writeback: used by
+// non-temporal stores which overwrite the whole line).
+func (c *Cache) invalidate(lineID uint64) {
+	set := c.setIndex(lineID)
+	ws := c.ways[set]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == lineID {
+			ws[i] = way{}
+			return
+		}
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MissFilter adapts a Cache into a mem.Source transformer: it pulls from
+// an upstream source, services each request against the cache, and yields
+// only the memory-side traffic. Feed it to a dram.Model to time the
+// hierarchy below the cache.
+type MissFilter struct {
+	cache   *Cache
+	src     mem.Source
+	queue   []mem.Request
+	qHead   int
+	flushed bool
+}
+
+// NewMissFilter wraps src with the cache.
+func NewMissFilter(c *Cache, src mem.Source) *MissFilter {
+	return &MissFilter{cache: c, src: src}
+}
+
+// Remaining is an upper bound on pending memory-side requests: queued
+// traffic plus one potential request per upstream element (a fill and a
+// writeback can momentarily exceed this, so treat it as approximate).
+func (f *MissFilter) Remaining() int {
+	return len(f.queue) - f.qHead + f.src.Remaining()
+}
+
+// Next yields the next memory-side request.
+func (f *MissFilter) Next() (mem.Request, bool) {
+	for {
+		if f.qHead < len(f.queue) {
+			r := f.queue[f.qHead]
+			f.qHead++
+			return r, true
+		}
+		f.queue = f.queue[:0]
+		f.qHead = 0
+		r, ok := f.src.Next()
+		if !ok {
+			if !f.flushed {
+				f.flushed = true
+				f.queue = f.cache.FlushWC(f.queue)
+				if len(f.queue) > 0 {
+					continue
+				}
+			}
+			return mem.Request{}, false
+		}
+		f.queue = f.cache.Access(r, f.queue)
+	}
+}

@@ -1,0 +1,144 @@
+// Package clock provides cycle and frequency arithmetic shared by all
+// device timing models.
+//
+// Device models count time in integer cycles of some clock domain and
+// convert to wall-clock durations only at reporting boundaries. Keeping
+// cycle counts integral makes simulations deterministic and immune to
+// floating-point drift over long runs.
+package clock
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Cycle is a count of clock cycles in some clock domain.
+type Cycle uint64
+
+// Hz is a clock frequency in cycles per second.
+type Hz float64
+
+// Common frequency units.
+const (
+	KHz Hz = 1e3
+	MHz Hz = 1e6
+	GHz Hz = 1e9
+)
+
+// String formats the frequency with a human unit, e.g. "300 MHz".
+func (f Hz) String() string {
+	switch {
+	case f >= GHz:
+		return fmt.Sprintf("%.3g GHz", float64(f/GHz))
+	case f >= MHz:
+		return fmt.Sprintf("%.3g MHz", float64(f/MHz))
+	case f >= KHz:
+		return fmt.Sprintf("%.3g kHz", float64(f/KHz))
+	default:
+		return fmt.Sprintf("%g Hz", float64(f))
+	}
+}
+
+// Period returns the duration of a single cycle.
+func (f Hz) Period() time.Duration {
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / float64(f))
+}
+
+// Duration converts n cycles in this clock domain to a wall-clock duration.
+func (f Hz) Duration(n Cycle) time.Duration {
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(f) * float64(time.Second))
+}
+
+// Seconds converts n cycles in this clock domain to seconds.
+func (f Hz) Seconds(n Cycle) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return float64(n) / float64(f)
+}
+
+// Cycles returns the number of whole cycles covering d, rounding up: any
+// fraction of a cycle occupies the full cycle. A non-positive duration is
+// zero cycles.
+func (f Hz) Cycles(d time.Duration) Cycle {
+	if d <= 0 || f <= 0 {
+		return 0
+	}
+	c := float64(d) / float64(time.Second) * float64(f)
+	return Cycle(math.Ceil(c))
+}
+
+// CyclesForBytes returns the whole cycles needed to move n bytes over a
+// datapath carrying bytesPerCycle bytes each cycle, rounding up.
+func CyclesForBytes(n int64, bytesPerCycle float64) Cycle {
+	if n <= 0 || bytesPerCycle <= 0 {
+		return 0
+	}
+	return Cycle(math.Ceil(float64(n) / bytesPerCycle))
+}
+
+// BytesPerSecond converts a per-cycle byte width at frequency f into a
+// bandwidth in bytes per second.
+func BytesPerSecond(bytesPerCycle float64, f Hz) float64 {
+	if bytesPerCycle <= 0 || f <= 0 {
+		return 0
+	}
+	return bytesPerCycle * float64(f)
+}
+
+// Time is a point on a simulated timeline, measured from the start of a
+// simulation. The zero Time is the simulation epoch.
+type Time float64
+
+// TimeFromDuration converts a wall-clock duration into simulated time.
+func TimeFromDuration(d time.Duration) Time {
+	return Time(d.Seconds())
+}
+
+// Duration converts simulated time (from epoch) to a wall-clock duration.
+func (t Time) Duration() time.Duration {
+	return time.Duration(float64(t) * float64(time.Second))
+}
+
+// Seconds reports the simulated time in seconds from the epoch.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Add advances the time by d.
+func (t Time) Add(d time.Duration) Time {
+	return t + TimeFromDuration(d)
+}
+
+// AddSeconds advances the time by s seconds.
+func (t Time) AddSeconds(s float64) Time { return t + Time(s) }
+
+// Max returns the later of t and u.
+func (t Time) Max(u Time) Time {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// GBps expresses a byte rate in the paper's GB/s (1e9 bytes per second).
+func GBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e9
+}
+
+// KBps expresses a byte rate in the paper's KB/s (1e3 bytes per second),
+// the unit used by Figures 3 and 4(a).
+func KBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e3
+}

@@ -1,0 +1,164 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHzString(t *testing.T) {
+	cases := []struct {
+		f    Hz
+		want string
+	}{
+		{300 * MHz, "300 MHz"},
+		{2.5 * GHz, "2.5 GHz"},
+		{800 * KHz, "800 kHz"},
+		{50, "50 Hz"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Hz(%v).String() = %q, want %q", float64(c.f), got, c.want)
+		}
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	if got := (1 * GHz).Period(); got != time.Nanosecond {
+		t.Errorf("1 GHz period = %v, want 1ns", got)
+	}
+	if got := Hz(0).Period(); got != 0 {
+		t.Errorf("0 Hz period = %v, want 0", got)
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	f := 250 * MHz
+	n := Cycle(1_000_000)
+	d := f.Duration(n)
+	if got := f.Cycles(d); got != n {
+		t.Errorf("round trip %d cycles -> %v -> %d cycles", n, d, got)
+	}
+}
+
+func TestCyclesRoundsUp(t *testing.T) {
+	f := 1 * GHz
+	// 3 ns at 1 GHz is exactly 3 cycles; 3ns at 400 MHz (period 2.5ns) is
+	// 1.2 cycles and must round up to 2.
+	if got := f.Cycles(3 * time.Nanosecond); got != 3 {
+		t.Errorf("Cycles(3ns @ 1GHz) = %d, want 3", got)
+	}
+	if got := (400 * MHz).Cycles(3 * time.Nanosecond); got != 2 {
+		t.Errorf("Cycles(3ns @ 400MHz) = %d, want 2", got)
+	}
+	if got := f.Cycles(-time.Second); got != 0 {
+		t.Errorf("Cycles(negative) = %d, want 0", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	f := 100 * MHz
+	if got := f.Seconds(100_000_000); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Seconds = %v, want 1.0", got)
+	}
+	if got := Hz(0).Seconds(5); got != 0 {
+		t.Errorf("Seconds at 0 Hz = %v, want 0", got)
+	}
+}
+
+func TestCyclesForBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		bpc  float64
+		want Cycle
+	}{
+		{64, 8, 8},
+		{65, 8, 9},
+		{1, 64, 1},
+		{0, 8, 0},
+		{-5, 8, 0},
+		{100, 0, 0},
+	}
+	for _, c := range cases {
+		if got := CyclesForBytes(c.n, c.bpc); got != c.want {
+			t.Errorf("CyclesForBytes(%d, %g) = %d, want %d", c.n, c.bpc, got, c.want)
+		}
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	got := BytesPerSecond(8, 200*MHz)
+	if math.Abs(got-1.6e9) > 1 {
+		t.Errorf("BytesPerSecond(8, 200MHz) = %v, want 1.6e9", got)
+	}
+	if BytesPerSecond(-1, GHz) != 0 || BytesPerSecond(8, -GHz) != 0 {
+		t.Error("non-positive inputs must yield 0")
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var epoch Time
+	t1 := epoch.Add(time.Millisecond)
+	if math.Abs(t1.Seconds()-0.001) > 1e-12 {
+		t.Errorf("Add(1ms) = %v s, want 0.001", t1.Seconds())
+	}
+	t2 := t1.AddSeconds(0.5)
+	if math.Abs(t2.Seconds()-0.501) > 1e-12 {
+		t.Errorf("AddSeconds = %v s, want 0.501", t2.Seconds())
+	}
+	if t2.Max(t1) != t2 || t1.Max(t2) != t2 {
+		t.Error("Max must return the later time")
+	}
+	if got := t1.Duration(); got != time.Millisecond {
+		t.Errorf("Duration = %v, want 1ms", got)
+	}
+}
+
+func TestGBpsKBps(t *testing.T) {
+	if got := GBps(2e9, 1.0); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("GBps = %v, want 2", got)
+	}
+	if got := KBps(2e6, 1.0); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("KBps = %v, want 2000", got)
+	}
+	if GBps(100, 0) != 0 || KBps(100, -1) != 0 {
+		t.Error("non-positive time must yield 0 rate")
+	}
+}
+
+// Property: converting cycles to a duration and back loses at most the
+// cycles that fit in one nanosecond (time.Duration granularity) plus one
+// cycle of round-up slack.
+func TestQuickCycleDurationMonotone(t *testing.T) {
+	f := func(n uint32, mhz uint16) bool {
+		freq := Hz(float64(mhz%4000)+1) * MHz
+		c := Cycle(n)
+		d := freq.Duration(c)
+		back := freq.Cycles(d)
+		slack := Cycle(float64(freq)/1e9) + 1
+		lo := Cycle(0)
+		if c > slack {
+			lo = c - slack
+		}
+		return back >= lo && back <= c+slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CyclesForBytes is monotone in n.
+func TestQuickCyclesForBytesMonotone(t *testing.T) {
+	f := func(a, b uint32, w uint8) bool {
+		bpc := float64(w%64) + 1
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return CyclesForBytes(x, bpc) <= CyclesForBytes(y, bpc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

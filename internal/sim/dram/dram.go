@@ -1,0 +1,459 @@
+// Package dram implements a transaction-level DRAM and memory-controller
+// timing model.
+//
+// The model is deliberately mechanical rather than curve-fit: the
+// behaviours MP-STREAM measures — burst-granularity waste for narrow
+// accesses, row-buffer locality for contiguous streams, row thrash for
+// large strides, read/write turnaround on shared buses, limited
+// memory-level parallelism — all emerge from the standard DRAM structure:
+//
+//   - addresses map to (channel, bank, row) with rows interleaved across
+//     banks so contiguous streams overlap activations with transfers;
+//   - the data bus moves BurstBytes per burst, so a 4-byte request still
+//     occupies a full burst (the FPGA no-vectorization penalty);
+//   - a row hit transfers back-to-back (CAS pipelining); a row miss busies
+//     its bank for RowMissNs before data can move;
+//   - the controller batches reads and writes (write buffering) and pays
+//     TurnaroundNs when the bus changes direction between batches;
+//   - at most MaxOutstanding transactions per channel are in flight
+//     (controller queue / MSHR limit), bounding latency overlap;
+//   - refresh steals RefreshOverhead of wall time.
+//
+// Timing uses float64 seconds internally; a Service run is single-threaded
+// and deterministic.
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"mpstream/internal/sim/mem"
+)
+
+// Config describes one DRAM subsystem (all channels identical).
+type Config struct {
+	Name string
+
+	Channels        int     // independent channels
+	BanksPerChannel int     // banks per channel
+	RowBytes        uint32  // row-buffer size per bank
+	BurstBytes      uint32  // minimum bus transfer granularity
+	BusGBps         float64 // per-channel peak data-bus bandwidth, GB/s (1e9)
+
+	RowMissNs    float64 // precharge+activate+CAS before data on a row miss
+	TurnaroundNs float64 // bus read<->write turnaround penalty
+	BatchSize    int     // same-direction batch length per channel
+	ReorderWin   int     // controller reorder-buffer depth (requests)
+
+	// ActWindowNs / ActsPerWindow model the tFAW constraint: at most
+	// ActsPerWindow row activations may start in any ActWindowNs window
+	// per channel. Zero ActWindowNs disables the limit. This is the
+	// mechanism that caps row-miss-storm bandwidth on large strides.
+	ActWindowNs   float64
+	ActsPerWindow int
+
+	MaxOutstanding int     // in-flight transactions per channel
+	RefreshLoss    float64 // fraction of time lost to refresh, e.g. 0.03
+
+	// InterleaveBytes is the channel-interleave granularity. Zero selects
+	// per-stream placement: a request's Stream tag picks its channel,
+	// modelling FPGA boards whose DDR banks hold whole buffers.
+	InterleaveBytes uint32
+
+	// HashChannels XOR-folds the block address when picking a channel,
+	// the standard defence against power-of-two strides camping on one
+	// channel. CPUs and GPUs hash; simple FPGA shells do not.
+	HashChannels bool
+
+	// HashBanks XOR-folds the row index when picking a bank, so
+	// power-of-two strides spread across banks (GPU memory controllers
+	// hash banks; simple FPGA shells map them linearly).
+	HashBanks bool
+
+	// InitialLatencyNs is the cold-start latency before the first data
+	// beat (command path, first activation).
+	InitialLatencyNs float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram %q: channels must be positive", c.Name)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram %q: banks must be positive", c.Name)
+	case !mem.CheckPow2(c.RowBytes):
+		return fmt.Errorf("dram %q: row bytes %d must be a power of two", c.Name, c.RowBytes)
+	case !mem.CheckPow2(c.BurstBytes):
+		return fmt.Errorf("dram %q: burst bytes %d must be a power of two", c.Name, c.BurstBytes)
+	case c.RowBytes < c.BurstBytes:
+		return fmt.Errorf("dram %q: row smaller than burst", c.Name)
+	case c.BusGBps <= 0:
+		return fmt.Errorf("dram %q: bus bandwidth must be positive", c.Name)
+	case c.RowMissNs < 0 || c.TurnaroundNs < 0 || c.InitialLatencyNs < 0:
+		return fmt.Errorf("dram %q: latencies must be non-negative", c.Name)
+	case c.ActWindowNs < 0:
+		return fmt.Errorf("dram %q: activate window must be non-negative", c.Name)
+	case c.RefreshLoss < 0 || c.RefreshLoss >= 1:
+		return fmt.Errorf("dram %q: refresh loss %v out of [0,1)", c.Name, c.RefreshLoss)
+	case c.InterleaveBytes != 0 && !mem.CheckPow2(c.InterleaveBytes):
+		return fmt.Errorf("dram %q: interleave bytes %d must be a power of two", c.Name, c.InterleaveBytes)
+	}
+	return nil
+}
+
+// PeakGBps returns the aggregate peak data-bus bandwidth in GB/s.
+func (c Config) PeakGBps() float64 {
+	return float64(c.Channels) * c.BusGBps
+}
+
+// withDefaults fills unset tunables.
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.ReorderWin == 0 {
+		c.ReorderWin = 2 * c.BatchSize * c.Channels
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 16
+	}
+	if c.ActWindowNs > 0 && c.ActsPerWindow == 0 {
+		c.ActsPerWindow = 4
+	}
+	return c
+}
+
+// ChannelOf reports which channel the given request address and stream tag
+// map to. It is exported so placement behaviour (interleaving, hashing,
+// per-stream banking) is directly testable and reportable.
+func (c Config) ChannelOf(addr uint64, stream uint8) int {
+	ch, _ := c.route(addr, stream)
+	return ch
+}
+
+// route resolves a request to (channel index, channel-local address).
+func (c Config) route(addr uint64, stream uint8) (int, uint64) {
+	if c.InterleaveBytes == 0 {
+		return int(stream) % c.Channels, addr
+	}
+	block := addr / uint64(c.InterleaveBytes)
+	sel := block
+	if c.HashChannels {
+		sel = hashBlock(block)
+	}
+	chIdx := int(sel % uint64(c.Channels))
+	chAddr := (block/uint64(c.Channels))*uint64(c.InterleaveBytes) +
+		addr%uint64(c.InterleaveBytes)
+	return chIdx, chAddr
+}
+
+// Result summarizes one Service run.
+type Result struct {
+	Seconds     float64 // elapsed simulated time
+	Txns        uint64  // transactions serviced
+	Bytes       uint64  // requested bytes (what the kernel asked for)
+	BusBytes    uint64  // bytes actually moved on the bus (burst granularity)
+	RowHits     uint64
+	RowMisses   uint64
+	Turnarounds uint64
+	Drained     bool // source fully consumed (false when bounded)
+}
+
+// RequestedGBps is the bandwidth the benchmark observes: requested bytes
+// over elapsed time, in GB/s.
+func (r Result) RequestedGBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Seconds / 1e9
+}
+
+// BusGBps is the raw bus traffic rate, including burst-granularity waste.
+func (r Result) BusGBps() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.BusBytes) / r.Seconds / 1e9
+}
+
+// RowHitRate returns the fraction of transactions that hit an open row.
+func (r Result) RowHitRate() float64 {
+	total := r.RowHits + r.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(total)
+}
+
+// Model is a DRAM subsystem ready to service request streams. Each Service
+// call runs on fresh state; a Model is safe for sequential reuse.
+type Model struct {
+	cfg Config
+}
+
+// New builds a model, panicking on invalid configuration (configurations
+// are compile-time constants of the device packages; an invalid one is a
+// programming error).
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{cfg: cfg.withDefaults()}
+}
+
+// Config returns the model's configuration (with defaults applied).
+func (m *Model) Config() Config { return m.cfg }
+
+type bankState struct {
+	openRow int64 // -1 when closed
+	freeAt  float64
+}
+
+type chanState struct {
+	busFree float64
+	lastOp  mem.Op
+	hasOp   bool
+	banks   []bankState
+	// completion ring for the outstanding-transaction window
+	ring []float64
+	head int
+	// activation ring for the tFAW window (nil when disabled)
+	actRing []float64
+	actHead int
+}
+
+func (cs *chanState) gate() float64 {
+	return cs.ring[cs.head]
+}
+
+func (cs *chanState) complete(t float64) {
+	cs.ring[cs.head] = t
+	cs.head = (cs.head + 1) % len(cs.ring)
+}
+
+// activate enforces the tFAW limit: the new activation may not start
+// before the ActsPerWindow-th previous activation plus the window. It
+// returns the actual activation time and records it.
+func (cs *chanState) activate(at, windowNs float64) float64 {
+	if cs.actRing == nil {
+		return at
+	}
+	if g := cs.actRing[cs.actHead] + windowNs; at < g {
+		at = g
+	}
+	cs.actRing[cs.actHead] = at
+	cs.actHead = (cs.actHead + 1) % len(cs.actRing)
+	return at
+}
+
+// Service drains src through the memory system and returns the timing
+// result. It is equivalent to ServiceBounded(src, 0).
+func (m *Model) Service(src mem.Source) Result {
+	return m.ServiceBounded(src, 0)
+}
+
+// ServiceBounded services at most maxTxns transactions (0 = unlimited).
+// Bounded runs are the basis of sampled simulation for very large arrays.
+func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
+	cfg := m.cfg
+	chans := make([]chanState, cfg.Channels)
+	for i := range chans {
+		chans[i] = chanState{
+			banks: make([]bankState, cfg.BanksPerChannel),
+			ring:  make([]float64, cfg.MaxOutstanding),
+		}
+		if cfg.ActWindowNs > 0 {
+			chans[i].actRing = make([]float64, cfg.ActsPerWindow)
+			for a := range chans[i].actRing {
+				chans[i].actRing[a] = -cfg.ActWindowNs
+			}
+		}
+		for b := range chans[i].banks {
+			chans[i].banks[b].openRow = -1
+		}
+	}
+
+	var res Result
+	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps // ns per burst (GB/s == B/ns)
+	start := cfg.InitialLatencyNs
+
+	// Reorder buffer: the controller looks ReorderWin requests ahead and
+	// issues same-direction batches of up to BatchSize.
+	buf := make([]mem.Request, 0, cfg.ReorderWin)
+	fill := func() {
+		for len(buf) < cfg.ReorderWin {
+			r, ok := src.Next()
+			if !ok {
+				return
+			}
+			buf = append(buf, r)
+		}
+	}
+	fill()
+
+	curOp := mem.Read
+	if len(buf) > 0 {
+		curOp = buf[0].Op
+	}
+
+	// BatchSize is per channel; the controller issues a global batch
+	// sized so each channel sees a full same-direction run.
+	globalBatch := cfg.BatchSize * cfg.Channels
+	batch := make([]mem.Request, 0, globalBatch)
+
+	for len(buf) > 0 {
+		if maxTxns > 0 && res.Txns >= maxTxns {
+			finish(&res, chans, start, cfg, false)
+			return res
+		}
+		// Collect one batch of the current direction, then issue it in
+		// address order (first-ready first-served approximation: row hits
+		// group together instead of ping-ponging between arrays).
+		batch = batch[:0]
+		for i := 0; i < len(buf) && len(batch) < globalBatch; {
+			if buf[i].Op != curOp {
+				i++
+				continue
+			}
+			batch = append(batch, buf[i])
+			buf = append(buf[:i], buf[i+1:]...)
+		}
+		issued := len(batch)
+		sort.Slice(batch, func(i, j int) bool { return batch[i].Addr < batch[j].Addr })
+		for _, r := range batch {
+			m.issue(&res, chans, r, burstNs, start)
+			if maxTxns > 0 && res.Txns >= maxTxns {
+				finish(&res, chans, start, cfg, false)
+				return res
+			}
+		}
+		fill()
+		if issued == 0 {
+			// Nothing of the current direction pending: switch.
+			curOp = otherOp(curOp)
+			continue
+		}
+		// Prefer staying in direction while work remains; switch when the
+		// batch filled or the direction drained.
+		if hasOp(buf, otherOp(curOp)) {
+			curOp = otherOp(curOp)
+		}
+	}
+	finish(&res, chans, start, cfg, true)
+	return res
+}
+
+// hashBlock XOR-folds the upper address bits into the low bits so that
+// any fixed power-of-two stride still spreads across channels.
+func hashBlock(b uint64) uint64 {
+	h := b
+	h ^= b >> 7
+	h ^= b >> 13
+	h ^= b >> 21
+	return h
+}
+
+func otherOp(o mem.Op) mem.Op {
+	if o == mem.Read {
+		return mem.Write
+	}
+	return mem.Read
+}
+
+func hasOp(buf []mem.Request, op mem.Op) bool {
+	for _, r := range buf {
+		if r.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// issue times a single transaction. All times are nanoseconds.
+func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, start float64) {
+	cfg := m.cfg
+
+	chIdx, chAddr := cfg.route(r.Addr, r.Stream)
+	ch := &chans[chIdx]
+
+	// Rows interleave across banks: consecutive rows live in consecutive
+	// banks, so streaming overlaps the next bank's activation. The open
+	// row is identified by the full row index, which is unique whatever
+	// the bank mapping.
+	rowIdx := chAddr / uint64(cfg.RowBytes)
+	bankSel := rowIdx
+	if cfg.HashBanks {
+		bankSel = hashBlock(rowIdx)
+	}
+	bankIdx := int(bankSel % uint64(cfg.BanksPerChannel))
+	row := int64(rowIdx)
+	bank := &ch.banks[bankIdx]
+
+	// Direction turnaround applies when the bus flips direction.
+	if ch.hasOp && ch.lastOp != r.Op {
+		ch.busFree += cfg.TurnaroundNs
+		res.Turnarounds++
+	}
+	ch.lastOp, ch.hasOp = r.Op, true
+
+	bursts := mem.LinesTouched(r, cfg.BurstBytes)
+	transfer := float64(bursts) * burstNs
+
+	var ready float64
+	if bank.openRow == row {
+		// Row hit: CAS pipelines with the previous transfer.
+		ready = start
+		res.RowHits++
+	} else {
+		// Row miss: the bank precharges/activates after its previous use,
+		// subject to the channel's tFAW activation-rate limit.
+		base := bank.freeAt
+		if base < start {
+			base = start
+		}
+		act := ch.activate(base, cfg.ActWindowNs)
+		ready = act + cfg.RowMissNs
+		bank.openRow = row
+		res.RowMisses++
+	}
+
+	issueAt := ch.busFree
+	if issueAt < ready {
+		issueAt = ready
+	}
+	if g := ch.gate(); issueAt < g {
+		issueAt = g // outstanding-window limit
+	}
+	if issueAt < start {
+		issueAt = start
+	}
+	end := issueAt + transfer
+
+	ch.busFree = end
+	bank.freeAt = end
+	ch.complete(end)
+
+	res.Txns++
+	res.Bytes += uint64(r.Size)
+	res.BusBytes += uint64(bursts) * uint64(cfg.BurstBytes)
+}
+
+func finish(res *Result, chans []chanState, start float64, cfg Config, drained bool) {
+	endNs := start
+	for i := range chans {
+		if chans[i].busFree > endNs {
+			endNs = chans[i].busFree
+		}
+	}
+	elapsedNs := endNs
+	if res.Txns == 0 {
+		elapsedNs = 0
+	}
+	// Refresh steals a fraction of wall time.
+	if cfg.RefreshLoss > 0 {
+		elapsedNs /= 1 - cfg.RefreshLoss
+	}
+	res.Seconds = elapsedNs * 1e-9
+	res.Drained = drained
+}

@@ -1,0 +1,389 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpstream/internal/sim/mem"
+)
+
+// testConfig is a 2-channel DDR3-1600-like subsystem: 2 x 12.8 GB/s.
+func testConfig() Config {
+	return Config{
+		Name:            "test-ddr3",
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		BurstBytes:      64,
+		BusGBps:         12.8,
+		RowMissNs:       45,
+		TurnaroundNs:    7.5,
+		BatchSize:       16,
+		MaxOutstanding:  16,
+		ActWindowNs:     40,
+		ActsPerWindow:   4,
+		RefreshLoss:     0.03,
+		InterleaveBytes: 1024,
+		HashChannels:    true,
+	}
+}
+
+func contigReads(t testing.TB, elems int, elemBytes uint32) mem.Source {
+	t.Helper()
+	it, err := mem.NewIter(mem.ContiguousPattern(), 0, elems, elemBytes, mem.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.BanksPerChannel = -1 },
+		func(c *Config) { c.RowBytes = 1000 },
+		func(c *Config) { c.BurstBytes = 48 },
+		func(c *Config) { c.RowBytes = 32 },
+		func(c *Config) { c.BusGBps = 0 },
+		func(c *Config) { c.RowMissNs = -1 },
+		func(c *Config) { c.RefreshLoss = 1.5 },
+		func(c *Config) { c.InterleaveBytes = 100 },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config must panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPeakGBps(t *testing.T) {
+	if got := testConfig().PeakGBps(); got != 25.6 {
+		t.Errorf("PeakGBps = %v, want 25.6", got)
+	}
+}
+
+func TestContiguousStreamNearPeak(t *testing.T) {
+	m := New(testConfig())
+	// 64 MB of 64-byte reads: a pure streaming load.
+	res := m.Service(contigReads(t, 1<<20, 64))
+	if !res.Drained {
+		t.Fatal("source must drain")
+	}
+	bw := res.RequestedGBps()
+	peak := testConfig().PeakGBps()
+	if bw < 0.88*peak || bw > peak {
+		t.Errorf("streaming bandwidth = %.2f GB/s, want within [%.2f, %.2f]",
+			bw, 0.88*peak, peak)
+	}
+	if hr := res.RowHitRate(); hr < 0.98 {
+		t.Errorf("contiguous row hit rate = %.3f, want >= 0.98", hr)
+	}
+}
+
+func TestNarrowRequestsWasteBurst(t *testing.T) {
+	m := New(testConfig())
+	res := m.Service(contigReads(t, 1<<20, 4)) // 4 MB of 4-byte reads
+	// Each 4-byte request occupies a full 64-byte burst.
+	if res.BusBytes != res.Bytes*16 {
+		t.Errorf("bus bytes = %d, want 16x requested %d", res.BusBytes, res.Bytes)
+	}
+	ratio := res.RequestedGBps() / res.BusGBps()
+	if ratio < 0.0624 || ratio > 0.0626 {
+		t.Errorf("requested/bus ratio = %v, want 1/16", ratio)
+	}
+}
+
+func TestStridedSlowerThanContiguous(t *testing.T) {
+	// At line granularity (64 B transactions, what caches and coalescing
+	// LSUs emit) a column-major walk must be strongly slower than a
+	// contiguous one: every access opens a new row and banks serialize.
+	m := New(testConfig())
+	elems := 1 << 18 // 16 MB of 64-byte lines
+	contig := m.Service(contigReads(t, elems, 64))
+
+	it, err := mem.NewIter(mem.ColMajorPattern(), 0, elems, 64, mem.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided := m.Service(it)
+
+	if strided.Seconds <= contig.Seconds {
+		t.Errorf("column-major (%.3g s) must be slower than contiguous (%.3g s)",
+			strided.Seconds, contig.Seconds)
+	}
+	if strided.RowHitRate() > 0.5 {
+		t.Errorf("large-stride row hit rate = %.3f, want low", strided.RowHitRate())
+	}
+	slowdown := strided.Seconds / contig.Seconds
+	if slowdown < 1.8 {
+		t.Errorf("stride slowdown = %.2fx, want >= 1.8x", slowdown)
+	}
+}
+
+func TestActivateWindowThrottlesMissStorms(t *testing.T) {
+	// A row-miss storm must run strictly slower with the tFAW limit than
+	// without it.
+	run := func(faw float64) float64 {
+		cfg := testConfig()
+		cfg.ActWindowNs = faw
+		m := New(cfg)
+		it, err := mem.NewIter(mem.ColMajorPattern(), 0, 1<<18, 64, mem.Read, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Service(it).Seconds
+	}
+	limited := run(40)
+	free := run(0)
+	if limited <= free {
+		t.Errorf("tFAW-limited run (%.3g s) must be slower than unlimited (%.3g s)",
+			limited, free)
+	}
+}
+
+func TestTurnaroundBatching(t *testing.T) {
+	mk := func(batch int) Result {
+		cfg := testConfig()
+		cfg.BatchSize = batch
+		cfg.ReorderWin = 2 * batch
+		m := New(cfg)
+		rd, err := mem.NewIter(mem.ContiguousPattern(), 0, 1<<16, 64, mem.Read, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := mem.NewIter(mem.ContiguousPattern(), 1<<30, 1<<16, 64, mem.Write, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Service(mem.NewInterleave(rd, wr))
+	}
+	batched := mk(16)
+	unbatched := mk(1)
+	if batched.Turnarounds >= unbatched.Turnarounds {
+		t.Errorf("batching must reduce turnarounds: %d (batch16) vs %d (batch1)",
+			batched.Turnarounds, unbatched.Turnarounds)
+	}
+	if batched.Seconds >= unbatched.Seconds {
+		t.Errorf("batching must reduce time: %v vs %v", batched.Seconds, unbatched.Seconds)
+	}
+}
+
+func TestPerStreamPlacementAvoidsTurnaround(t *testing.T) {
+	cfg := testConfig()
+	cfg.InterleaveBytes = 0 // stream tag picks the channel
+	m := New(cfg)
+	rd, err := mem.NewIter(mem.ContiguousPattern(), 0, 1<<16, 64, mem.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := mem.NewIter(mem.ContiguousPattern(), 0, 1<<16, 64, mem.Write, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Service(mem.NewInterleave(rd, wr))
+	if res.Turnarounds != 0 {
+		t.Errorf("per-stream placement saw %d turnarounds, want 0", res.Turnarounds)
+	}
+}
+
+func TestChannelScaling(t *testing.T) {
+	run := func(channels int) float64 {
+		cfg := testConfig()
+		cfg.Channels = channels
+		m := New(cfg)
+		return m.Service(contigReads(t, 1<<19, 64)).RequestedGBps()
+	}
+	one := run(1)
+	two := run(2)
+	if two < 1.8*one {
+		t.Errorf("2 channels = %.2f GB/s, want ~2x 1 channel (%.2f GB/s)", two, one)
+	}
+}
+
+func TestBoundedService(t *testing.T) {
+	m := New(testConfig())
+	res := m.ServiceBounded(contigReads(t, 1<<16, 64), 100)
+	if res.Drained {
+		t.Error("bounded run must not report drained")
+	}
+	if res.Txns != 100 {
+		t.Errorf("bounded txns = %d, want 100", res.Txns)
+	}
+	full := m.Service(contigReads(t, 1<<16, 64))
+	if !full.Drained || full.Txns != 1<<16 {
+		t.Errorf("full run: drained=%v txns=%d", full.Drained, full.Txns)
+	}
+}
+
+func TestRefreshLossSlowsDown(t *testing.T) {
+	base := testConfig()
+	base.RefreshLoss = 0
+	withLoss := testConfig()
+	withLoss.RefreshLoss = 0.10
+
+	t0 := New(base).Service(contigReads(t, 1<<16, 64)).Seconds
+	t1 := New(withLoss).Service(contigReads(t, 1<<16, 64)).Seconds
+	ratio := t1 / t0
+	if ratio < 1.09 || ratio > 1.13 {
+		t.Errorf("10%% refresh loss ratio = %.4f, want ~1.111", ratio)
+	}
+}
+
+func TestInitialLatency(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialLatencyNs = 1000
+	m := New(cfg)
+	res := m.Service(contigReads(t, 16, 64))
+	if res.Seconds < 1000e-9 {
+		t.Errorf("elapsed %.3g s, must include 1000 ns initial latency", res.Seconds)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	m := New(testConfig())
+	it, err := mem.NewIter(mem.ContiguousPattern(), 0, 1, 4, mem.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain it first so the source is empty.
+	it.Next()
+	res := m.Service(it)
+	if res.Txns != 0 || res.Seconds != 0 {
+		t.Errorf("empty source result: %+v", res)
+	}
+	if res.RequestedGBps() != 0 || res.BusGBps() != 0 || res.RowHitRate() != 0 {
+		t.Error("empty-source rates must be 0")
+	}
+}
+
+func TestChannelRouting(t *testing.T) {
+	cfg := testConfig()
+	cfg.HashChannels = false
+
+	// Without hashing, a 4 KB stride (4 interleave blocks, even) camps on
+	// one channel.
+	camped := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		camped[cfg.ChannelOf(uint64(i)*4096, 0)] = true
+	}
+	if len(camped) != 1 {
+		t.Errorf("unhashed pow2 stride used %d channels, want 1", len(camped))
+	}
+
+	// With hashing the same stride spreads over both channels.
+	cfg.HashChannels = true
+	spread := map[int]bool{}
+	for i := 0; i < 4096; i++ {
+		spread[cfg.ChannelOf(uint64(i)*4096, 0)] = true
+	}
+	if len(spread) != 2 {
+		t.Errorf("hashed pow2 stride used %d channels, want 2", len(spread))
+	}
+}
+
+func TestChannelRoutingPerStream(t *testing.T) {
+	cfg := testConfig()
+	cfg.InterleaveBytes = 0
+	for stream := uint8(0); stream < 4; stream++ {
+		want := int(stream) % cfg.Channels
+		if got := cfg.ChannelOf(0xdeadbeef, stream); got != want {
+			t.Errorf("stream %d -> channel %d, want %d", stream, got, want)
+		}
+	}
+}
+
+func TestChannelRoutingContiguousAlternates(t *testing.T) {
+	cfg := testConfig()
+	cfg.HashChannels = false
+	// Contiguous blocks alternate channels at InterleaveBytes granularity.
+	counts := map[int]int{}
+	for i := 0; i < 128; i++ {
+		counts[cfg.ChannelOf(uint64(i)*1024, 0)]++
+	}
+	if counts[0] != 64 || counts[1] != 64 {
+		t.Errorf("contiguous interleave uneven: %v", counts)
+	}
+}
+
+// Property: servicing more elements never takes less time, and byte
+// accounting matches the source exactly.
+func TestQuickMonotoneInSize(t *testing.T) {
+	m := New(testConfig())
+	f := func(a, b uint16) bool {
+		na, nb := int(a%4096)+1, int(b%4096)+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		ra := m.Service(contigReads(t, na, 64))
+		rb := m.Service(contigReads(t, nb, 64))
+		return ra.Seconds <= rb.Seconds+1e-15 &&
+			ra.Bytes == uint64(na)*64 && rb.Bytes == uint64(nb)*64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: determinism — the same source replayed gives identical results.
+func TestQuickDeterministic(t *testing.T) {
+	m := New(testConfig())
+	f := func(n uint16, strided bool) bool {
+		elems := int(n%2048) + 1
+		p := mem.ContiguousPattern()
+		if strided {
+			p = mem.StridedPattern(17)
+		}
+		mk := func() mem.Source {
+			it, err := mem.NewIter(p, 4096, elems, 4, mem.Read, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return it
+		}
+		r1 := m.Service(mk())
+		r2 := m.Service(mk())
+		return r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashBanksSpreadsPow2RowStrides(t *testing.T) {
+	// A stride of exactly banks*rowBytes camps on one bank without
+	// hashing; hashing spreads the activations and must run faster.
+	run := func(hash bool) float64 {
+		cfg := testConfig()
+		cfg.HashBanks = hash
+		cfg.Channels = 1
+		cfg.InterleaveBytes = 0
+		m := New(cfg)
+		// 64 KB stride = 8 rows: bank index constant when unhashed.
+		it, err := mem.NewIter(mem.StridedPattern(1024), 0, 1<<16, 64, mem.Read, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Service(it).Seconds
+	}
+	hashed := run(true)
+	unhashed := run(false)
+	if hashed >= unhashed {
+		t.Errorf("bank hashing must help pow2 row strides: hashed %.3gs vs unhashed %.3gs",
+			hashed, unhashed)
+	}
+}

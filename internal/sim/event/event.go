@@ -1,0 +1,129 @@
+// Package event implements a small discrete-event scheduler used by the
+// memory-system models.
+//
+// The scheduler is a calendar of (time, sequence, action) entries kept in a
+// binary heap. Events scheduled for the same instant fire in scheduling
+// order, which keeps simulations deterministic. Actions may schedule
+// further events; Run drains the calendar until it is empty, a horizon is
+// reached, or an event budget is exhausted.
+package event
+
+import (
+	"container/heap"
+	"errors"
+
+	"mpstream/internal/sim/clock"
+)
+
+// Action is the work performed when an event fires. It receives the
+// scheduler so it can schedule follow-up events, and the current simulated
+// time.
+type Action func(s *Scheduler, now clock.Time)
+
+type entry struct {
+	at     clock.Time
+	seq    uint64
+	action Action
+}
+
+type calendar []entry
+
+func (c calendar) Len() int { return len(c) }
+
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+
+func (c calendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+
+func (c *calendar) Push(x any) { *c = append(*c, x.(entry)) }
+
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	e := old[n-1]
+	*c = old[:n-1]
+	return e
+}
+
+// ErrBudget is returned by Run when the event budget is exhausted before
+// the calendar drains. It usually indicates a runaway model.
+var ErrBudget = errors.New("event: event budget exhausted")
+
+// Scheduler is a discrete-event simulator clock plus pending-event calendar.
+// The zero value is ready to use.
+type Scheduler struct {
+	cal  calendar
+	now  clock.Time
+	seq  uint64
+	nRun uint64
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() clock.Time { return s.now }
+
+// Pending returns the number of events waiting in the calendar.
+func (s *Scheduler) Pending() int { return len(s.cal) }
+
+// Processed returns the number of events fired so far.
+func (s *Scheduler) Processed() uint64 { return s.nRun }
+
+// At schedules a to fire at absolute simulated time t. Scheduling in the
+// past clamps to the present: models only move forward.
+func (s *Scheduler) At(t clock.Time, a Action) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.cal, entry{at: t, seq: s.seq, action: a})
+	s.seq++
+}
+
+// After schedules a to fire delta seconds from now.
+func (s *Scheduler) After(delta float64, a Action) {
+	if delta < 0 {
+		delta = 0
+	}
+	s.At(s.now.AddSeconds(delta), a)
+}
+
+// Run fires events in time order until the calendar is empty or maxEvents
+// have fired. A maxEvents of 0 means no budget. It returns the final
+// simulated time and ErrBudget if the budget ran out first.
+func (s *Scheduler) Run(maxEvents uint64) (clock.Time, error) {
+	var fired uint64
+	for len(s.cal) > 0 {
+		if maxEvents > 0 && fired >= maxEvents {
+			return s.now, ErrBudget
+		}
+		e := heap.Pop(&s.cal).(entry)
+		s.now = e.at
+		s.nRun++
+		fired++
+		e.action(s, s.now)
+	}
+	return s.now, nil
+}
+
+// RunUntil fires events in time order while their timestamps are <= horizon.
+// Events beyond the horizon remain pending. It returns the simulated time
+// after the last fired event (or the horizon if nothing fired beyond it).
+func (s *Scheduler) RunUntil(horizon clock.Time, maxEvents uint64) (clock.Time, error) {
+	var fired uint64
+	for len(s.cal) > 0 && s.cal[0].at <= horizon {
+		if maxEvents > 0 && fired >= maxEvents {
+			return s.now, ErrBudget
+		}
+		e := heap.Pop(&s.cal).(entry)
+		s.now = e.at
+		s.nRun++
+		fired++
+		e.action(s, s.now)
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.now, nil
+}

@@ -1,0 +1,188 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpstream/internal/sim/clock"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Scheduler
+	if s.Now() != 0 || s.Pending() != 0 || s.Processed() != 0 {
+		t.Fatal("zero Scheduler must start at epoch with empty calendar")
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatalf("Run on empty calendar: %v", err)
+	}
+}
+
+func TestFiringOrder(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3, func(*Scheduler, clock.Time) { order = append(order, 3) })
+	s.At(1, func(*Scheduler, clock.Time) { order = append(order, 1) })
+	s.At(2, func(*Scheduler, clock.Time) { order = append(order, 2) })
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func(*Scheduler, clock.Time) { order = append(order, i) })
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of order: %v", order)
+		}
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var s Scheduler
+	var firedAt clock.Time
+	s.At(10, func(s *Scheduler, now clock.Time) {
+		s.At(1, func(_ *Scheduler, inner clock.Time) { firedAt = inner })
+	})
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != 10 {
+		t.Errorf("past event fired at %v, want clamped to 10", firedAt)
+	}
+	if end != 10 {
+		t.Errorf("end = %v, want 10", end)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	var s Scheduler
+	fired := false
+	s.After(-5, func(*Scheduler, clock.Time) { fired = true })
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired || end != 0 {
+		t.Errorf("negative After must fire immediately at now: fired=%v end=%v", fired, end)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	var s Scheduler
+	count := 0
+	var spawn Action
+	spawn = func(s *Scheduler, now clock.Time) {
+		count++
+		if count < 100 {
+			s.After(1, spawn)
+		}
+	}
+	s.After(1, spawn)
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("cascade fired %d times, want 100", count)
+	}
+	if end != 100 {
+		t.Errorf("end = %v, want 100", end)
+	}
+	if s.Processed() != 100 {
+		t.Errorf("Processed = %d, want 100", s.Processed())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	var s Scheduler
+	var spawn Action
+	spawn = func(s *Scheduler, now clock.Time) { s.After(1, spawn) }
+	s.After(1, spawn)
+	if _, err := s.Run(50); err != ErrBudget {
+		t.Fatalf("Run error = %v, want ErrBudget", err)
+	}
+	if s.Processed() != 50 {
+		t.Errorf("Processed = %d, want 50", s.Processed())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	var fired []clock.Time
+	for _, at := range []clock.Time{1, 2, 3, 10, 20} {
+		at := at
+		s.At(at, func(_ *Scheduler, now clock.Time) { fired = append(fired, now) })
+	}
+	now, err := s.RunUntil(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3", len(fired))
+	}
+	if now != 5 {
+		t.Errorf("now = %v, want horizon 5", now)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	// Continue past the horizon.
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 || len(fired) != 5 {
+		t.Errorf("after full Run: end=%v fired=%d", end, len(fired))
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	var s Scheduler
+	for i := 0; i < 10; i++ {
+		s.At(clock.Time(i), func(*Scheduler, clock.Time) {})
+	}
+	if _, err := s.RunUntil(100, 3); err != ErrBudget {
+		t.Fatalf("RunUntil error = %v, want ErrBudget", err)
+	}
+}
+
+// Property: events always fire in non-decreasing time order, whatever the
+// insertion order.
+func TestQuickTimeOrdered(t *testing.T) {
+	f := func(times []uint16) bool {
+		var s Scheduler
+		var fired []clock.Time
+		for _, raw := range times {
+			at := clock.Time(raw)
+			s.At(at, func(_ *Scheduler, now clock.Time) { fired = append(fired, now) })
+		}
+		if _, err := s.Run(0); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package mem defines memory transactions and the access-pattern
+// generators that device models replay against their memory systems.
+//
+// A kernel walking an array produces a stream of Requests. The walk order
+// is the benchmark's "data access pattern" parameter: contiguous, fixed
+// stride, or a row-major 2D array visited column-major (the pattern the
+// paper uses for its strided experiments, where the stride grows with the
+// array because rows get longer).
+//
+// Generators are pull iterators so device models can interleave several
+// array streams (COPY reads one array while writing another; TRIAD reads
+// two) without materializing billions of requests.
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// Request operations.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one memory transaction presented to a memory system model.
+type Request struct {
+	Addr   uint64 // byte address
+	Size   uint32 // bytes
+	Op     Op
+	Stream uint8 // logical array stream the request belongs to
+}
+
+// End returns the first byte address past the request.
+func (r Request) End() uint64 { return r.Addr + uint64(r.Size) }
+
+// PatternKind enumerates supported walk orders.
+type PatternKind uint8
+
+// Walk orders.
+const (
+	// Contiguous visits elements in ascending address order.
+	Contiguous PatternKind = iota
+	// Strided visits every StrideElems-th element, wrapping through the
+	// array in passes so every element is visited exactly once.
+	Strided
+	// ColMajor2D views the array as a row-major Rows x Cols matrix and
+	// visits it column-major (stride of one row, Cols passes).
+	ColMajor2D
+)
+
+// String names the pattern kind.
+func (k PatternKind) String() string {
+	switch k {
+	case Contiguous:
+		return "contiguous"
+	case Strided:
+		return "strided"
+	case ColMajor2D:
+		return "colmajor2d"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", uint8(k))
+	}
+}
+
+// Pattern describes a walk order over an array of elements.
+type Pattern struct {
+	Kind PatternKind
+	// StrideElems is the element stride for Strided patterns; must be >= 1.
+	StrideElems int
+	// Rows, Cols give the matrix shape for ColMajor2D. Zero means derive a
+	// near-square shape from the element count (Shape2D).
+	Rows, Cols int
+}
+
+// ContiguousPattern returns the contiguous walk.
+func ContiguousPattern() Pattern { return Pattern{Kind: Contiguous} }
+
+// StridedPattern returns a fixed-stride walk.
+func StridedPattern(strideElems int) Pattern {
+	return Pattern{Kind: Strided, StrideElems: strideElems}
+}
+
+// ColMajorPattern returns a column-major walk over an automatically shaped
+// near-square matrix.
+func ColMajorPattern() Pattern { return Pattern{Kind: ColMajor2D} }
+
+// Validate checks the pattern against an element count.
+func (p Pattern) Validate(elems int) error {
+	if elems <= 0 {
+		return fmt.Errorf("mem: element count %d must be positive", elems)
+	}
+	switch p.Kind {
+	case Contiguous:
+		return nil
+	case Strided:
+		if p.StrideElems < 1 {
+			return fmt.Errorf("mem: stride %d must be >= 1", p.StrideElems)
+		}
+		return nil
+	case ColMajor2D:
+		rows, cols := p.shape(elems)
+		if rows*cols != elems {
+			return fmt.Errorf("mem: shape %dx%d does not cover %d elements", rows, cols, elems)
+		}
+		return nil
+	default:
+		return fmt.Errorf("mem: unknown pattern kind %d", p.Kind)
+	}
+}
+
+// shape resolves the matrix shape for ColMajor2D.
+func (p Pattern) shape(elems int) (rows, cols int) {
+	if p.Rows > 0 && p.Cols > 0 {
+		return p.Rows, p.Cols
+	}
+	return Shape2D(elems)
+}
+
+// Shape2D derives a near-square row-major shape for n elements: the column
+// count is the largest power of two not exceeding sqrt(n) that divides n.
+// For power-of-two n this gives cols = 2^floor(log2(n)/2).
+func Shape2D(n int) (rows, cols int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	c := 1
+	for c*c <= n/4 {
+		c *= 2
+	}
+	// Shrink until it divides n (always terminates at c=1).
+	for n%c != 0 {
+		c /= 2
+	}
+	return n / c, c
+}
+
+// EffectiveStrideElems reports the element distance between consecutive
+// accesses of the pattern over n elements: 1 for contiguous, StrideElems
+// for strided, and the row length (cols) for column-major.
+func (p Pattern) EffectiveStrideElems(n int) int {
+	switch p.Kind {
+	case Strided:
+		if p.StrideElems < 1 {
+			return 1
+		}
+		return p.StrideElems
+	case ColMajor2D:
+		_, cols := p.shape(n)
+		return cols
+	default:
+		return 1
+	}
+}
+
+// Iter generates the request stream for one array walked with pattern p.
+//
+// base is the array's first byte address, elems the number of elements,
+// elemBytes the access granularity (word size x vector width), op the
+// request direction and stream the logical stream tag. Every element is
+// visited exactly once.
+type Iter struct {
+	pattern   Pattern
+	base      uint64
+	elems     int
+	elemBytes uint32
+	op        Op
+	stream    uint8
+
+	// walk state
+	emitted int
+	idx     int // current element index
+	lane    int // pass number for strided / column number for colmajor
+	rows    int
+	cols    int
+}
+
+// NewIter builds an iterator after validating the pattern.
+func NewIter(p Pattern, base uint64, elems int, elemBytes uint32, op Op, stream uint8) (*Iter, error) {
+	if err := p.Validate(elems); err != nil {
+		return nil, err
+	}
+	if elemBytes == 0 {
+		return nil, fmt.Errorf("mem: element size must be positive")
+	}
+	it := &Iter{
+		pattern:   p,
+		base:      base,
+		elems:     elems,
+		elemBytes: elemBytes,
+		op:        op,
+		stream:    stream,
+	}
+	if p.Kind == ColMajor2D {
+		it.rows, it.cols = p.shape(elems)
+	}
+	return it, nil
+}
+
+// Remaining returns the number of requests not yet emitted.
+func (it *Iter) Remaining() int { return it.elems - it.emitted }
+
+// Total returns the total number of requests the iterator will emit.
+func (it *Iter) Total() int { return it.elems }
+
+// Next emits the next request. ok is false once the walk is complete.
+func (it *Iter) Next() (r Request, ok bool) {
+	if it.emitted >= it.elems {
+		return Request{}, false
+	}
+	var index int
+	switch it.pattern.Kind {
+	case Contiguous:
+		index = it.emitted
+	case Strided:
+		stride := it.pattern.StrideElems
+		index = it.idx
+		// Advance: next element in this pass, or start the next pass.
+		it.idx += stride
+		if it.idx >= it.elems {
+			it.lane++
+			it.idx = it.lane
+			// lane can reach stride only when the walk is complete.
+		}
+	case ColMajor2D:
+		index = it.idx*it.cols + it.lane
+		it.idx++ // next row
+		if it.idx >= it.rows {
+			it.idx = 0
+			it.lane++ // next column
+		}
+	}
+	it.emitted++
+	return Request{
+		Addr:   it.base + uint64(index)*uint64(it.elemBytes),
+		Size:   it.elemBytes,
+		Op:     it.op,
+		Stream: it.stream,
+	}, true
+}
+
+// Reset rewinds the iterator to the start of the walk.
+func (it *Iter) Reset() {
+	it.emitted, it.idx, it.lane = 0, 0, 0
+}
+
+// Source is the pull interface shared by iterators and combinators.
+type Source interface {
+	Next() (Request, bool)
+	Remaining() int
+}
+
+// Interleave produces requests from several sources round-robin, one from
+// each per turn, skipping exhausted sources. It models a kernel iteration
+// touching each of its array streams once per loop trip (e.g. TRIAD reads
+// b[i], reads c[i], writes a[i]).
+type Interleave struct {
+	srcs []Source
+	next int
+}
+
+// NewInterleave builds a round-robin combinator over srcs.
+func NewInterleave(srcs ...Source) *Interleave {
+	return &Interleave{srcs: srcs}
+}
+
+// Remaining sums the remaining requests over all sources.
+func (in *Interleave) Remaining() int {
+	n := 0
+	for _, s := range in.srcs {
+		n += s.Remaining()
+	}
+	return n
+}
+
+// Next emits from the next non-exhausted source in round-robin order.
+func (in *Interleave) Next() (Request, bool) {
+	for tries := 0; tries < len(in.srcs); tries++ {
+		s := in.srcs[in.next]
+		in.next = (in.next + 1) % len(in.srcs)
+		if r, ok := s.Next(); ok {
+			return r, ok
+		}
+	}
+	return Request{}, false
+}
+
+// Coalescer merges physically consecutive same-op same-stream requests
+// into transactions of up to MaxBytes. It models burst-coalescing
+// load/store units (AOCL LSUs, GPU warp coalescers): a contiguous walk
+// turns into full-width bursts, a large-stride walk does not coalesce at
+// all.
+type Coalescer struct {
+	src      Source
+	maxBytes uint32
+
+	pending  Request
+	havePend bool
+	done     bool
+}
+
+// NewCoalescer wraps src with a coalescing window of maxBytes.
+func NewCoalescer(src Source, maxBytes uint32) *Coalescer {
+	if maxBytes == 0 {
+		maxBytes = 1
+	}
+	return &Coalescer{src: src, maxBytes: maxBytes}
+}
+
+// Remaining is an upper bound: the source's remaining plus any pending
+// merged transaction.
+func (c *Coalescer) Remaining() int {
+	n := c.src.Remaining()
+	if c.havePend {
+		n++
+	}
+	return n
+}
+
+// Next emits the next (possibly merged) transaction.
+func (c *Coalescer) Next() (Request, bool) {
+	if c.done && !c.havePend {
+		return Request{}, false
+	}
+	for {
+		r, ok := c.src.Next()
+		if !ok {
+			c.done = true
+			if c.havePend {
+				c.havePend = false
+				return c.pending, true
+			}
+			return Request{}, false
+		}
+		if !c.havePend {
+			c.pending, c.havePend = r, true
+			continue
+		}
+		mergeable := c.pending.Op == r.Op &&
+			c.pending.Stream == r.Stream &&
+			c.pending.End() == r.Addr &&
+			c.pending.Size+r.Size <= c.maxBytes
+		if mergeable {
+			c.pending.Size += r.Size
+			continue
+		}
+		out := c.pending
+		c.pending = r
+		return out, true
+	}
+}
+
+// Limit yields at most n requests from src, for bounded (sampled)
+// simulation windows.
+type Limit struct {
+	src  Source
+	left int
+}
+
+// NewLimit wraps src with a request budget of n.
+func NewLimit(src Source, n int) *Limit {
+	if n < 0 {
+		n = 0
+	}
+	return &Limit{src: src, left: n}
+}
+
+// Remaining returns the smaller of the budget and the source's remaining.
+func (l *Limit) Remaining() int {
+	if r := l.src.Remaining(); r < l.left {
+		return r
+	}
+	return l.left
+}
+
+// Next yields the next request while the budget lasts.
+func (l *Limit) Next() (Request, bool) {
+	if l.left <= 0 {
+		return Request{}, false
+	}
+	r, ok := l.src.Next()
+	if ok {
+		l.left--
+	}
+	return r, ok
+}
+
+// TotalBytes drains a source, returning the transaction count and byte sum.
+// It is a test and sizing helper; draining a large source is O(elements).
+func TotalBytes(s Source) (n int, bytes uint64) {
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return n, bytes
+		}
+		n++
+		bytes += uint64(r.Size)
+	}
+}
+
+// Align rounds addr down to a multiple of unit (unit must be a power of 2).
+func Align(addr uint64, unit uint32) uint64 {
+	return addr &^ (uint64(unit) - 1)
+}
+
+// LinesTouched returns how many aligned lines of lineBytes a request
+// spans. It is the cache/DRAM granularity helper.
+func LinesTouched(r Request, lineBytes uint32) int {
+	if r.Size == 0 {
+		return 0
+	}
+	first := Align(r.Addr, lineBytes)
+	last := Align(r.Addr+uint64(r.Size)-1, lineBytes)
+	return int((last-first)/uint64(lineBytes)) + 1
+}
+
+// CheckPow2 reports whether v is a positive power of two.
+func CheckPow2(v uint32) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// Log2 returns floor(log2(v)) for v >= 1.
+func Log2(v uint64) uint {
+	return uint(math.Ilogb(float64(v)))
+}

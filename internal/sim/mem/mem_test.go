@@ -1,0 +1,432 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, it Source) []Request {
+	t.Helper()
+	var out []Request
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func mustIter(t *testing.T, p Pattern, base uint64, elems int, elemBytes uint32, op Op, stream uint8) *Iter {
+	t.Helper()
+	it, err := NewIter(p, base, elems, elemBytes, op, stream)
+	if err != nil {
+		t.Fatalf("NewIter: %v", err)
+	}
+	return it
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op.String wrong")
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if Contiguous.String() != "contiguous" ||
+		Strided.String() != "strided" ||
+		ColMajor2D.String() != "colmajor2d" {
+		t.Error("PatternKind.String wrong")
+	}
+	if PatternKind(99).String() != "PatternKind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestContiguousWalk(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 0x1000, 4, 8, Read, 1)
+	got := collect(t, it)
+	if len(got) != 4 {
+		t.Fatalf("got %d requests, want 4", len(got))
+	}
+	for i, r := range got {
+		wantAddr := uint64(0x1000 + 8*i)
+		if r.Addr != wantAddr || r.Size != 8 || r.Op != Read || r.Stream != 1 {
+			t.Errorf("req %d = %+v, want addr %#x size 8 read stream 1", i, r, wantAddr)
+		}
+	}
+}
+
+func TestStridedWalkOrder(t *testing.T) {
+	// 6 elements, stride 2: passes [0 2 4] then [1 3 5].
+	it := mustIter(t, StridedPattern(2), 0, 6, 4, Write, 0)
+	got := collect(t, it)
+	wantIdx := []uint64{0, 2, 4, 1, 3, 5}
+	if len(got) != len(wantIdx) {
+		t.Fatalf("got %d requests, want %d", len(got), len(wantIdx))
+	}
+	for i, r := range got {
+		if r.Addr != wantIdx[i]*4 {
+			t.Errorf("req %d addr = %d, want %d", i, r.Addr/4, wantIdx[i])
+		}
+		if r.Op != Write {
+			t.Errorf("req %d op = %v, want write", i, r.Op)
+		}
+	}
+}
+
+func TestStridedStrideLargerThanArray(t *testing.T) {
+	it := mustIter(t, StridedPattern(5), 0, 3, 4, Read, 0)
+	got := collect(t, it)
+	wantIdx := []uint64{0, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("got %d requests, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Addr != wantIdx[i]*4 {
+			t.Errorf("req %d addr/4 = %d, want %d", i, r.Addr/4, wantIdx[i])
+		}
+	}
+}
+
+func TestColMajorWalkOrder(t *testing.T) {
+	// 6 elements as 3x2: row-major [0 1; 2 3; 4 5], column-major visit
+	// order is 0,2,4 then 1,3,5.
+	it := mustIter(t, Pattern{Kind: ColMajor2D, Rows: 3, Cols: 2}, 0, 6, 4, Read, 0)
+	got := collect(t, it)
+	wantIdx := []uint64{0, 2, 4, 1, 3, 5}
+	if len(got) != len(wantIdx) {
+		t.Fatalf("got %d requests, want %d", len(got), len(wantIdx))
+	}
+	for i, r := range got {
+		if r.Addr != wantIdx[i]*4 {
+			t.Errorf("req %d addr/4 = %d, want %d", i, r.Addr/4, wantIdx[i])
+		}
+	}
+}
+
+func TestColMajorAutoShape(t *testing.T) {
+	it := mustIter(t, ColMajorPattern(), 0, 64, 4, Read, 0)
+	got := collect(t, it)
+	if len(got) != 64 {
+		t.Fatalf("got %d requests, want 64", len(got))
+	}
+	// 64 elements -> 8x8; consecutive accesses stride one row = 8 elems.
+	if got[1].Addr-got[0].Addr != 8*4 {
+		t.Errorf("colmajor stride = %d bytes, want 32", got[1].Addr-got[0].Addr)
+	}
+}
+
+func TestShape2D(t *testing.T) {
+	cases := []struct {
+		n          int
+		rows, cols int
+	}{
+		{64, 8, 8},
+		{128, 16, 8},
+		{1, 1, 1},
+		{2, 2, 1},
+		{12, 6, 2},
+		{1 << 20, 1 << 10, 1 << 10},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		r, co := Shape2D(c.n)
+		if r != c.rows || co != c.cols {
+			t.Errorf("Shape2D(%d) = %dx%d, want %dx%d", c.n, r, co, c.rows, c.cols)
+		}
+		if c.n > 0 && r*co != c.n {
+			t.Errorf("Shape2D(%d) does not cover: %d*%d", c.n, r, co)
+		}
+	}
+}
+
+func TestEffectiveStride(t *testing.T) {
+	if got := ContiguousPattern().EffectiveStrideElems(100); got != 1 {
+		t.Errorf("contiguous stride = %d, want 1", got)
+	}
+	if got := StridedPattern(7).EffectiveStrideElems(100); got != 7 {
+		t.Errorf("strided stride = %d, want 7", got)
+	}
+	if got := ColMajorPattern().EffectiveStrideElems(1 << 20); got != 1<<10 {
+		t.Errorf("colmajor stride = %d, want 1024", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := ContiguousPattern().Validate(0); err == nil {
+		t.Error("zero elements must fail validation")
+	}
+	if err := StridedPattern(0).Validate(10); err == nil {
+		t.Error("stride 0 must fail validation")
+	}
+	if err := (Pattern{Kind: ColMajor2D, Rows: 3, Cols: 3}).Validate(10); err == nil {
+		t.Error("mismatched shape must fail validation")
+	}
+	if err := (Pattern{Kind: PatternKind(42)}).Validate(10); err == nil {
+		t.Error("unknown kind must fail validation")
+	}
+	if _, err := NewIter(ContiguousPattern(), 0, 10, 0, Read, 0); err == nil {
+		t.Error("zero element size must fail")
+	}
+}
+
+func TestIterReset(t *testing.T) {
+	it := mustIter(t, StridedPattern(3), 0, 9, 4, Read, 0)
+	first := append([]Request(nil), collect(t, it)...)
+	it.Reset()
+	second := collect(t, it)
+	if len(first) != len(second) {
+		t.Fatalf("reset changed count: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset changed sequence at %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestIterRemaining(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 0, 5, 4, Read, 0)
+	if it.Remaining() != 5 || it.Total() != 5 {
+		t.Fatal("initial Remaining/Total wrong")
+	}
+	it.Next()
+	it.Next()
+	if it.Remaining() != 3 {
+		t.Errorf("Remaining after 2 = %d, want 3", it.Remaining())
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := mustIter(t, ContiguousPattern(), 0, 3, 4, Read, 0)
+	b := mustIter(t, ContiguousPattern(), 0x1000, 3, 4, Write, 1)
+	in := NewInterleave(a, b)
+	if in.Remaining() != 6 {
+		t.Fatalf("Remaining = %d, want 6", in.Remaining())
+	}
+	got := collect(t, in)
+	if len(got) != 6 {
+		t.Fatalf("got %d, want 6", len(got))
+	}
+	for i, r := range got {
+		wantStream := uint8(i % 2)
+		if r.Stream != wantStream {
+			t.Errorf("req %d stream = %d, want %d (round-robin)", i, r.Stream, wantStream)
+		}
+	}
+}
+
+func TestInterleaveUneven(t *testing.T) {
+	a := mustIter(t, ContiguousPattern(), 0, 1, 4, Read, 0)
+	b := mustIter(t, ContiguousPattern(), 0x1000, 4, 4, Write, 1)
+	got := collect(t, NewInterleave(a, b))
+	if len(got) != 5 {
+		t.Fatalf("got %d, want 5", len(got))
+	}
+	// After a drains, the rest must all come from b.
+	for _, r := range got[2:] {
+		if r.Stream != 1 {
+			t.Errorf("tail request from stream %d, want 1", r.Stream)
+		}
+	}
+}
+
+func TestCoalescerMergesContiguous(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 0, 64, 4, Read, 0)
+	co := NewCoalescer(it, 64)
+	got := collect(t, co)
+	if len(got) != 4 {
+		t.Fatalf("coalesced to %d transactions, want 4 (64x4B into 64B)", len(got))
+	}
+	var bytes uint64
+	for i, r := range got {
+		if r.Size != 64 {
+			t.Errorf("txn %d size = %d, want 64", i, r.Size)
+		}
+		bytes += uint64(r.Size)
+	}
+	if bytes != 256 {
+		t.Errorf("total bytes = %d, want 256", bytes)
+	}
+}
+
+func TestCoalescerDoesNotMergeStrided(t *testing.T) {
+	it := mustIter(t, StridedPattern(16), 0, 64, 4, Read, 0)
+	co := NewCoalescer(it, 64)
+	got := collect(t, co)
+	if len(got) != 64 {
+		t.Fatalf("strided coalesced to %d transactions, want 64 (no merging)", len(got))
+	}
+}
+
+func TestCoalescerRespectsOpBoundary(t *testing.T) {
+	// Interleaved read/write to adjacent addresses must not merge.
+	a := mustIter(t, ContiguousPattern(), 0, 4, 4, Read, 0)
+	b := mustIter(t, ContiguousPattern(), 16, 4, 4, Write, 0)
+	co := NewCoalescer(NewInterleave(a, b), 64)
+	got := collect(t, co)
+	if len(got) != 8 {
+		t.Fatalf("mixed-op stream coalesced to %d, want 8", len(got))
+	}
+}
+
+func TestCoalescerPreservesBytes(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 12, 100, 4, Read, 0)
+	n1, b1 := TotalBytes(it)
+	it.Reset()
+	n2, b2 := TotalBytes(NewCoalescer(it, 32))
+	if b1 != b2 {
+		t.Errorf("coalescer changed bytes: %d vs %d", b1, b2)
+	}
+	if n2 >= n1 {
+		t.Errorf("coalescer did not reduce transactions: %d vs %d", n2, n1)
+	}
+	if n2 != 13 { // 400 bytes into 32B txns: 12 full + 1 of 16B
+		t.Errorf("coalesced count = %d, want 13", n2)
+	}
+}
+
+func TestCoalescerZeroWindow(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 0, 4, 4, Read, 0)
+	co := NewCoalescer(it, 0) // clamps to 1: nothing merges
+	got := collect(t, co)
+	if len(got) != 4 {
+		t.Fatalf("got %d, want 4", len(got))
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if Align(0x1234, 64) != 0x1200 {
+		t.Errorf("Align(0x1234, 64) = %#x", Align(0x1234, 64))
+	}
+	if Align(0x1200, 64) != 0x1200 {
+		t.Error("aligned address must be unchanged")
+	}
+}
+
+func TestLinesTouched(t *testing.T) {
+	cases := []struct {
+		r    Request
+		line uint32
+		want int
+	}{
+		{Request{Addr: 0, Size: 64}, 64, 1},
+		{Request{Addr: 1, Size: 64}, 64, 2},
+		{Request{Addr: 0, Size: 0}, 64, 0},
+		{Request{Addr: 60, Size: 8}, 64, 2},
+		{Request{Addr: 0, Size: 256}, 64, 4},
+	}
+	for _, c := range cases {
+		if got := LinesTouched(c.r, c.line); got != c.want {
+			t.Errorf("LinesTouched(%+v, %d) = %d, want %d", c.r, c.line, got, c.want)
+		}
+	}
+}
+
+func TestCheckPow2(t *testing.T) {
+	for _, v := range []uint32{1, 2, 4, 1024, 1 << 30} {
+		if !CheckPow2(v) {
+			t.Errorf("CheckPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint32{0, 3, 6, 1000} {
+		if CheckPow2(v) {
+			t.Errorf("CheckPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 || Log2(1025) != 10 {
+		t.Error("Log2 wrong")
+	}
+}
+
+// Property: every pattern visits each element exactly once.
+func TestQuickPatternsArePermutations(t *testing.T) {
+	f := func(rawElems uint16, rawStride uint8, kindSel uint8) bool {
+		elems := int(rawElems%512) + 1
+		var p Pattern
+		switch kindSel % 3 {
+		case 0:
+			p = ContiguousPattern()
+		case 1:
+			p = StridedPattern(int(rawStride%32) + 1)
+		case 2:
+			p = ColMajorPattern()
+		}
+		it, err := NewIter(p, 0, elems, 4, Read, 0)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, elems)
+		count := 0
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			idx := int(r.Addr / 4)
+			if idx < 0 || idx >= elems || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			count++
+		}
+		return count == elems
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coalescing never changes the byte total and never increases
+// the transaction count.
+func TestQuickCoalescerConserves(t *testing.T) {
+	f := func(rawElems uint16, rawWindow uint8, strided bool) bool {
+		elems := int(rawElems%1024) + 1
+		window := uint32(rawWindow%128) + 1
+		p := ContiguousPattern()
+		if strided {
+			p = StridedPattern(3)
+		}
+		it, err := NewIter(p, 64, elems, 4, Read, 0)
+		if err != nil {
+			return false
+		}
+		nRaw, bRaw := TotalBytes(it)
+		it.Reset()
+		nCo, bCo := TotalBytes(NewCoalescer(it, window))
+		return bRaw == bCo && nCo <= nRaw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	it := mustIter(t, ContiguousPattern(), 0, 10, 4, Read, 0)
+	lim := NewLimit(it, 3)
+	if lim.Remaining() != 3 {
+		t.Errorf("Remaining = %d, want 3", lim.Remaining())
+	}
+	got := collect(t, lim)
+	if len(got) != 3 {
+		t.Fatalf("Limit yielded %d, want 3", len(got))
+	}
+	// Budget larger than the source.
+	it.Reset()
+	lim = NewLimit(it, 100)
+	if lim.Remaining() != 10 {
+		t.Errorf("Remaining = %d, want 10", lim.Remaining())
+	}
+	if got := collect(t, lim); len(got) != 10 {
+		t.Errorf("yielded %d, want 10", len(got))
+	}
+	// Negative budget clamps to zero.
+	it.Reset()
+	if got := collect(t, NewLimit(it, -1)); len(got) != 0 {
+		t.Errorf("negative budget yielded %d", len(got))
+	}
+}

@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"mpstream/internal/sim/dram"
+	"mpstream/internal/sim/mem"
+)
+
+// affineRunner simulates T(n) = ramp + n/rate exactly.
+func affineRunner(total uint64, ramp, rate float64) Runner {
+	return func(maxTxns uint64) Measurement {
+		n := total
+		if maxTxns > 0 && maxTxns < n {
+			n = maxTxns
+		}
+		return Measurement{Txns: n, Seconds: ramp + float64(n)/rate}
+	}
+}
+
+func TestExactWhenSmall(t *testing.T) {
+	run := affineRunner(100, 1e-6, 1e9)
+	est, err := Run(run, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sampled {
+		t.Error("small run must be exact")
+	}
+	want := 1e-6 + 100/1e9
+	if math.Abs(est.Seconds-want) > 1e-15 {
+		t.Errorf("exact seconds = %v, want %v", est.Seconds, want)
+	}
+}
+
+func TestSampledAffineIsExact(t *testing.T) {
+	const total = 10_000_000
+	run := affineRunner(total, 5e-6, 2e8)
+	est, err := Run(run, total, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Sampled {
+		t.Fatal("large run must be sampled")
+	}
+	want := 5e-6 + float64(total)/2e8
+	if math.Abs(est.Seconds-want)/want > 1e-9 {
+		t.Errorf("sampled seconds = %v, want %v (affine must extrapolate exactly)", est.Seconds, want)
+	}
+	if math.Abs(est.Rate-2e8)/2e8 > 1e-9 {
+		t.Errorf("fitted rate = %v, want 2e8", est.Rate)
+	}
+}
+
+func TestZeroWindowRunsExactly(t *testing.T) {
+	run := affineRunner(1000, 0, 1e9)
+	est, err := Run(run, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sampled {
+		t.Error("zero window must run exactly")
+	}
+}
+
+func TestDegenerateWindows(t *testing.T) {
+	// A runner that ignores maxTxns and always reports the same thing.
+	bad := func(maxTxns uint64) Measurement { return Measurement{Txns: 10, Seconds: 1} }
+	if _, err := Run(bad, 1_000_000, 100); err == nil {
+		t.Error("degenerate windows must error")
+	}
+	// Non-increasing time.
+	weird := func(maxTxns uint64) Measurement {
+		if maxTxns == 100 {
+			return Measurement{Txns: 100, Seconds: 2}
+		}
+		return Measurement{Txns: 200, Seconds: 2}
+	}
+	if _, err := Run(weird, 1_000_000, 100); err == nil {
+		t.Error("non-increasing time must error")
+	}
+}
+
+func TestNeverBelowSimulated(t *testing.T) {
+	// Even for a sub-linear (concave) runner, the sampled estimate must
+	// not fall below the time already simulated in the longest window.
+	run := func(maxTxns uint64) Measurement {
+		n := maxTxns
+		if n == 0 || n > 40000 {
+			n = 40000
+		}
+		return Measurement{Txns: n, Seconds: math.Sqrt(float64(n))}
+	}
+	est, err := Run(run, 40000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Sampled {
+		t.Fatal("expected sampled run")
+	}
+	if est.Seconds < math.Sqrt(2000) {
+		t.Errorf("estimate %.3f below simulated window %.3f", est.Seconds, math.Sqrt(2000))
+	}
+}
+
+// Sampled estimates of the DRAM model must track exact simulation closely
+// on streaming and strided workloads.
+func TestSampledVsExactDRAM(t *testing.T) {
+	cfg := dram.Config{
+		Name:            "sdd",
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		BurstBytes:      64,
+		BusGBps:         12.8,
+		RowMissNs:       45,
+		TurnaroundNs:    7.5,
+		ActWindowNs:     40,
+		RefreshLoss:     0.03,
+		InterleaveBytes: 1024,
+		HashChannels:    true,
+	}
+	m := dram.New(cfg)
+
+	cases := []struct {
+		name    string
+		pattern mem.Pattern
+		elems   int
+		size    uint32
+	}{
+		{"contig64", mem.ContiguousPattern(), 1 << 19, 64},
+		{"colmajor64", mem.ColMajorPattern(), 1 << 18, 64},
+		{"strided17", mem.StridedPattern(17), 1 << 18, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mkSrc := func() mem.Source {
+				it, err := mem.NewIter(tc.pattern, 0, tc.elems, tc.size, mem.Read, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return it
+			}
+			runner := func(maxTxns uint64) Measurement {
+				res := m.ServiceBounded(mkSrc(), maxTxns)
+				return Measurement{Txns: res.Txns, Seconds: res.Seconds}
+			}
+			exact := m.Service(mkSrc()).Seconds
+			est, err := Run(runner, uint64(tc.elems), 1<<14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !est.Sampled {
+				t.Fatal("expected a sampled run")
+			}
+			relErr := math.Abs(est.Seconds-exact) / exact
+			if relErr > 0.05 {
+				t.Errorf("sampled %.4g s vs exact %.4g s: rel err %.3f > 5%%",
+					est.Seconds, exact, relErr)
+			}
+		})
+	}
+}

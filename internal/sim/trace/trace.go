@@ -1,0 +1,205 @@
+// Package trace records and replays memory request streams.
+//
+// A trace decouples workload capture from timing: record the transaction
+// stream one kernel configuration generates (after coalescing, caches,
+// or any other stage), then replay it later through a different memory
+// model, compare controllers, or archive it alongside results. The
+// format is a line-oriented text format, one request per line:
+//
+//	# optional comments
+//	R addr size stream
+//	W addr size stream
+//
+// with addr in hex and size/stream in decimal. Text keeps traces
+// diff-able and greppable; they compress well when archived.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mpstream/internal/sim/mem"
+)
+
+// Writer records requests to an underlying io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count int
+	err   error
+}
+
+// NewWriter starts a trace, emitting a format header comment.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	tw := &Writer{w: bw}
+	_, tw.err = fmt.Fprintln(bw, "# mpstream trace v1: <R|W> <hex addr> <size> <stream>")
+	return tw
+}
+
+// Write records one request.
+func (t *Writer) Write(r mem.Request) error {
+	if t.err != nil {
+		return t.err
+	}
+	op := "R"
+	if r.Op == mem.Write {
+		op = "W"
+	}
+	_, t.err = fmt.Fprintf(t.w, "%s %x %d %d\n", op, r.Addr, r.Size, r.Stream)
+	if t.err == nil {
+		t.count++
+	}
+	return t.err
+}
+
+// Drain records every request from a source, returning the count.
+func (t *Writer) Drain(src mem.Source) (int, error) {
+	n := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := t.Write(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, t.Flush()
+}
+
+// Count returns the number of requests recorded.
+func (t *Writer) Count() int { return t.count }
+
+// Flush flushes the underlying buffer.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader replays a trace as a mem.Source.
+type Reader struct {
+	sc   *bufio.Scanner
+	next mem.Request
+	have bool
+	line int
+	err  error
+}
+
+// NewReader opens a trace for replay.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	return &Reader{sc: sc}
+}
+
+// Err returns the first parse error encountered (replay stops there).
+func (t *Reader) Err() error { return t.err }
+
+// Remaining is unknown for a stream; it returns 1 while requests may
+// remain and 0 at end, satisfying mem.Source's contract loosely.
+func (t *Reader) Remaining() int {
+	if t.peek() {
+		return 1
+	}
+	return 0
+}
+
+// Next yields the next request in the trace.
+func (t *Reader) Next() (mem.Request, bool) {
+	if !t.peek() {
+		return mem.Request{}, false
+	}
+	t.have = false
+	return t.next, true
+}
+
+// peek parses ahead to the next data line.
+func (t *Reader) peek() bool {
+	if t.have {
+		return true
+	}
+	if t.err != nil {
+		return false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var opStr string
+		var addr uint64
+		var size uint32
+		var stream uint8
+		if _, err := fmt.Sscanf(line, "%s %x %d %d", &opStr, &addr, &size, &stream); err != nil {
+			t.err = fmt.Errorf("trace: line %d: %q: %w", t.line, line, err)
+			return false
+		}
+		var op mem.Op
+		switch opStr {
+		case "R":
+			op = mem.Read
+		case "W":
+			op = mem.Write
+		default:
+			t.err = fmt.Errorf("trace: line %d: unknown op %q", t.line, opStr)
+			return false
+		}
+		t.next = mem.Request{Addr: addr, Size: size, Op: op, Stream: stream}
+		t.have = true
+		return true
+	}
+	if err := t.sc.Err(); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+	}
+	return false
+}
+
+// Summary aggregates a trace's shape without materializing it.
+type Summary struct {
+	Requests   int
+	Bytes      uint64
+	Reads      int
+	Writes     int
+	MinAddr    uint64
+	MaxAddr    uint64 // highest end address
+	Streams    int
+	streamSeen [256]bool
+}
+
+// Summarize drains a source into a Summary.
+func Summarize(src mem.Source) Summary {
+	s := Summary{MinAddr: ^uint64(0)}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Requests++
+		s.Bytes += uint64(r.Size)
+		if r.Op == mem.Read {
+			s.Reads++
+		} else {
+			s.Writes++
+		}
+		if r.Addr < s.MinAddr {
+			s.MinAddr = r.Addr
+		}
+		if r.End() > s.MaxAddr {
+			s.MaxAddr = r.End()
+		}
+		if !s.streamSeen[r.Stream] {
+			s.streamSeen[r.Stream] = true
+			s.Streams++
+		}
+	}
+	if s.Requests == 0 {
+		s.MinAddr = 0
+	}
+	return s
+}

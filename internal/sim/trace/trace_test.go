@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpstream/internal/device"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/dram"
+	"mpstream/internal/sim/mem"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src, err := device.KernelSource(kernel.Triad, 64, 4, mem.ColMajorPattern(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig []mem.Request
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		orig = append(orig, r)
+	}
+
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	for _, r := range orig {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(orig) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(orig))
+	}
+
+	rd := NewReader(strings.NewReader(sb.String()))
+	var back []mem.Request
+	for {
+		r, ok := rd.Next()
+		if !ok {
+			break
+		}
+		back = append(back, r)
+	}
+	if rd.Err() != nil {
+		t.Fatal(rd.Err())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("replayed %d of %d requests", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("request %d: %+v != %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	it, err := mem.NewIter(mem.ContiguousPattern(), 0x1000, 32, 8, mem.Write, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	n, err := w.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 32 {
+		t.Errorf("drained %d, want 32", n)
+	}
+	if !strings.Contains(sb.String(), "W 1000 8 2") {
+		t.Errorf("trace content wrong:\n%s", sb.String())
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 10 4 0\n# middle\nW 20 4 1\n\n"
+	rd := NewReader(strings.NewReader(in))
+	var got []mem.Request
+	for {
+		r, ok := rd.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 || got[0].Op != mem.Read || got[1].Op != mem.Write {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got[0].Addr != 0x10 || got[1].Stream != 1 {
+		t.Errorf("fields wrong: %+v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	rd := NewReader(strings.NewReader("X 10 4 0\n"))
+	if _, ok := rd.Next(); ok {
+		t.Error("bad op accepted")
+	}
+	if rd.Err() == nil {
+		t.Error("error not reported")
+	}
+	rd = NewReader(strings.NewReader("R zz\n"))
+	if _, ok := rd.Next(); ok {
+		t.Error("malformed line accepted")
+	}
+	if rd.Err() == nil || !strings.Contains(rd.Err().Error(), "line 1") {
+		t.Errorf("error must cite the line: %v", rd.Err())
+	}
+}
+
+func TestReaderRemaining(t *testing.T) {
+	rd := NewReader(strings.NewReader("R 0 4 0\n"))
+	if rd.Remaining() != 1 {
+		t.Error("Remaining must be 1 while data is pending")
+	}
+	rd.Next()
+	if rd.Remaining() != 0 {
+		t.Error("Remaining must be 0 at end")
+	}
+}
+
+// A replayed trace times identically to the live stream — the property
+// that makes traces useful for controller comparisons.
+func TestReplayTimesIdentically(t *testing.T) {
+	cfg := dram.Config{
+		Name: "t", Channels: 2, BanksPerChannel: 8, RowBytes: 8192,
+		BurstBytes: 64, BusGBps: 12.8, RowMissNs: 45, TurnaroundNs: 7.5,
+		ActWindowNs: 40, InterleaveBytes: 1024,
+	}
+	m := dram.New(cfg)
+	mk := func() mem.Source {
+		src, err := device.KernelSource(kernel.Copy, 4096, 4, mem.ColMajorPattern(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	live := m.Service(mk())
+
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if _, err := w.Drain(mk()); err != nil {
+		t.Fatal(err)
+	}
+	replayed := m.Service(NewReader(strings.NewReader(sb.String())))
+	if live != replayed {
+		t.Errorf("live %+v != replayed %+v", live, replayed)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	src, err := device.KernelSource(kernel.Add, 16, 4, mem.ContiguousPattern(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(src)
+	if s.Requests != 48 || s.Reads != 32 || s.Writes != 16 {
+		t.Errorf("summary counts wrong: %+v", s)
+	}
+	if s.Bytes != 192 {
+		t.Errorf("bytes = %d, want 192", s.Bytes)
+	}
+	if s.Streams != 3 {
+		t.Errorf("streams = %d, want 3", s.Streams)
+	}
+	if s.MinAddr != 0 {
+		t.Errorf("min addr = %d", s.MinAddr)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	it, err := mem.NewIter(mem.ContiguousPattern(), 0, 1, 4, mem.Read, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Next()
+	s := Summarize(it)
+	if s.Requests != 0 || s.MinAddr != 0 || s.Bytes != 0 {
+		t.Errorf("empty summary wrong: %+v", s)
+	}
+}
+
+// Property: any generated request stream round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, sizes []uint8, writeBits []bool) bool {
+		n := len(addrs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if len(writeBits) < n {
+			n = len(writeBits)
+		}
+		reqs := make([]mem.Request, n)
+		for i := 0; i < n; i++ {
+			op := mem.Read
+			if writeBits[i] {
+				op = mem.Write
+			}
+			reqs[i] = mem.Request{
+				Addr: uint64(addrs[i]), Size: uint32(sizes[i]) + 1,
+				Op: op, Stream: uint8(i % 4),
+			}
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		for _, r := range reqs {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd := NewReader(strings.NewReader(sb.String()))
+		for i := 0; i < n; i++ {
+			r, ok := rd.Next()
+			if !ok || r != reqs[i] {
+				return false
+			}
+		}
+		_, ok := rd.Next()
+		return !ok && rd.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package mpstream is the public API of the MP-STREAM reproduction: a
+// memory-performance benchmark for design-space exploration on
+// heterogeneous HPC devices (Nabi & Vanderbauwhede, RAW@IPDPS 2018),
+// implemented in pure Go over simulated CPU, GPU and FPGA targets.
+//
+// The essential loop mirrors the paper's workflow:
+//
+//	dev, _ := mpstream.TargetByID("aocl")
+//	cfg := mpstream.DefaultConfig()
+//	cfg.VecWidth = 16
+//	res, _ := mpstream.Run(dev, cfg)
+//	fmt.Println(res.Kernel(mpstream.Copy).GBps)
+//
+// Deeper layers are exported through aliases: kernels and their tuning
+// attributes (kernel IR), access patterns, design-space sweeps (dse) and
+// the per-figure experiment drivers.
+package mpstream
+
+import (
+	"mpstream/internal/core"
+	"mpstream/internal/device"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/experiments"
+	"mpstream/internal/hoststream"
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/mem"
+)
+
+// Core benchmark types.
+type (
+	// Config is a full MP-STREAM configuration (all paper tuning knobs).
+	Config = core.Config
+	// Result is one benchmark run on one device.
+	Result = core.Result
+	// KernelResult is the measurement for one STREAM kernel.
+	KernelResult = core.KernelResult
+	// Device is a benchmark target.
+	Device = device.Device
+	// DeviceInfo describes a target.
+	DeviceInfo = device.Info
+)
+
+// Kernel IR types.
+type (
+	// Op is one of the four STREAM operations.
+	Op = kernel.Op
+	// DataType is the array element type.
+	DataType = kernel.DataType
+	// LoopMode is the kernel loop-management parameter.
+	LoopMode = kernel.LoopMode
+	// Attrs carries optional kernel attributes (unroll, vendor knobs).
+	Attrs = kernel.Attrs
+	// Kernel is a fully parameterized kernel.
+	Kernel = kernel.Kernel
+	// Pattern is a data access pattern.
+	Pattern = mem.Pattern
+)
+
+// The four STREAM operations.
+const (
+	Copy  = kernel.Copy
+	Scale = kernel.Scale
+	Add   = kernel.Add
+	Triad = kernel.Triad
+)
+
+// Element types.
+const (
+	Int32   = kernel.Int32
+	Float64 = kernel.Float64
+)
+
+// Loop-management modes.
+const (
+	NDRange    = kernel.NDRange
+	FlatLoop   = kernel.FlatLoop
+	NestedLoop = kernel.NestedLoop
+)
+
+// DefaultConfig returns the paper's baseline configuration: all four
+// kernels over 4 MB int arrays, contiguous, optimal loop management,
+// verified results.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run executes a configuration on a device.
+func Run(dev Device, cfg Config) (*Result, error) { return core.Run(dev, cfg) }
+
+// Targets returns fresh instances of the paper's four devices in figure
+// order: aocl, sdaccel, cpu, gpu.
+func Targets() []Device { return targets.All() }
+
+// TargetIDs lists the target ids in figure order.
+func TargetIDs() []string { return targets.IDs() }
+
+// TargetByID returns a fresh instance of one target.
+func TargetByID(id string) (Device, error) { return targets.ByID(id) }
+
+// Access patterns.
+var (
+	// Contiguous walks the arrays in address order.
+	Contiguous = mem.ContiguousPattern
+	// Strided walks with a fixed element stride.
+	Strided = mem.StridedPattern
+	// ColMajor walks a row-major 2D view column-major (the paper's
+	// strided experiments; the stride grows with the array).
+	ColMajor = mem.ColMajorPattern
+)
+
+// Design-space exploration.
+type (
+	// SweepPoint is one evaluated configuration of a sweep.
+	SweepPoint = dse.Point
+	// Space is a parameter grid for exhaustive exploration.
+	Space = dse.Space
+	// Exploration ranks the feasible points of a Space.
+	Exploration = dse.Exploration
+)
+
+// Explore searches a parameter grid for the best configuration of op on
+// a device.
+func Explore(dev Device, base Config, space Space, op Op) Exploration {
+	return dse.Explore(dev, base, space, op)
+}
+
+// Experiment reproduction (the paper's figures and tables).
+type Experiment = experiments.Experiment
+
+// RunExperiment regenerates one figure/table by id (fig1a, fig1b, fig2,
+// fig3, fig4a, fig4b, targets, pcie, resources, unroll, preshape, dtype).
+func RunExperiment(id string) (*Experiment, error) {
+	run, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return run()
+}
+
+// Host STREAM baseline (real measurement on the machine running this
+// process).
+type (
+	// HostConfig sizes the host STREAM baseline.
+	HostConfig = hoststream.Config
+	// HostResult is a host STREAM run.
+	HostResult = hoststream.Result
+)
+
+// RunHost executes the pure-Go STREAM baseline with wall-clock timing.
+func RunHost(cfg HostConfig) (*HostResult, error) { return hoststream.Run(cfg) }
