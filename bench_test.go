@@ -19,7 +19,9 @@ import (
 
 	"mpstream"
 	"mpstream/internal/core"
+	"mpstream/internal/device"
 	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
 	"mpstream/internal/experiments"
 	"mpstream/internal/kernel"
 	"mpstream/internal/sim/cache"
@@ -152,6 +154,51 @@ func BenchmarkHostStream(b *testing.B) {
 		bw = res.Kernel(mpstream.Copy).GBps
 	}
 	b.ReportMetric(bw, "host-GB/s")
+}
+
+// --- design-space exploration: sequential vs parallel ---
+
+// dseGrid is the multi-knob grid the Explore benchmarks walk: 3 vector
+// widths x 2 loop modes x 2 unroll factors = 12 configurations.
+func dseGrid() (core.Config, dse.Space) {
+	base := core.DefaultConfig()
+	base.ArrayBytes = 1 << 20
+	base.NTimes = 2
+	space := dse.Space{
+		VecWidths: []int{1, 4, 16},
+		Loops:     []kernel.LoopMode{kernel.NDRange, kernel.FlatLoop},
+		Unrolls:   []int{1, 4},
+	}
+	return base, space
+}
+
+// BenchmarkExplore measures the sequential explorer over the grid; its
+// parallel counterpart below documents the speedup from fanning grid
+// points out over GOMAXPROCS workers.
+func BenchmarkExplore(b *testing.B) {
+	base, space := dseGrid()
+	dev, err := targets.ByID("aocl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ranked int
+	for i := 0; i < b.N; i++ {
+		ex := dse.Explore(dev, base, space, kernel.Copy)
+		ranked = len(ex.Ranked)
+	}
+	b.ReportMetric(float64(ranked), "points")
+}
+
+// BenchmarkExploreParallel is the same grid through dse.ExploreParallel.
+func BenchmarkExploreParallel(b *testing.B) {
+	base, space := dseGrid()
+	newDev := func() (device.Device, error) { return targets.ByID("aocl") }
+	var ranked int
+	for i := 0; i < b.N; i++ {
+		ex := dse.ExploreParallel(newDev, base, space, kernel.Copy)
+		ranked = len(ex.Ranked)
+	}
+	b.ReportMetric(float64(ranked), "points")
 }
 
 // --- simulator substrate throughput ---

@@ -1,0 +1,95 @@
+// Command mpserved serves the MP-STREAM benchmark as a long-lived HTTP
+// JSON service: runs and design-space sweeps are scheduled onto a
+// bounded worker pool and cached by canonical configuration
+// fingerprint. Repeated requests are answered from the cache, and
+// concurrently submitted identical runs are simulated only once.
+//
+// Examples:
+//
+//	mpserved -addr :8774
+//	curl -s localhost:8774/v1/targets
+//	curl -s localhost:8774/v1/run -d '{"target":"aocl","config":{"array_bytes":4194304,"vec_width":16,"optimal_loop":true,"verify":true}}'
+//	curl -s localhost:8774/v1/sweep -d '{"target":"aocl","op":"triad","space":{"vec_widths":[1,4,16]}}'
+//	curl -s localhost:8774/v1/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpstream/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8774", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "job queue depth (0 = default)")
+		cacheEntries = flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
+		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep grid fan-out (0 = GOMAXPROCS divided across the worker pool)")
+	)
+	flag.Parse()
+
+	opts := service.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		SweepWorkers: *sweepWorkers,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mpserved: listening on %s\n", ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := serve(ln, opts, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "mpserved:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the service on ln until a signal arrives on stop or the
+// listener fails, then shuts down gracefully: in-flight HTTP requests
+// get 10 seconds to drain and running jobs finish.
+func serve(ln net.Listener, opts service.Options, stop <-chan os.Signal) error {
+	svc := service.New(opts)
+	defer svc.Close()
+
+	httpSrv := &http.Server{
+		Handler: svc.Handler(),
+		// Bound slow clients: a stalled header or a parked idle
+		// connection must not pin a goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "mpserved: %v, shutting down\n", sig)
+		// A second signal skips the graceful drain entirely.
+		go func() {
+			if s, ok := <-stop; ok {
+				fmt.Fprintf(os.Stderr, "mpserved: %v again, exiting immediately\n", s)
+				os.Exit(1)
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mpstream/internal/service"
+)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, drives the
+// API over real TCP, and shuts it down via the signal channel.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, service.Options{Workers: 2}, stop) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Fatalf("healthz %d: %s", resp.StatusCode, body)
+	}
+
+	run := `{"target":"cpu","config":{"ops":["copy"],"array_bytes":65536,"vec_width":1,"optimal_loop":true,"ntimes":2,"scalar":3,"verify":true,"pattern":{"kind":"contiguous"}}}`
+	resp, err = http.Post(base+"/v1/run", "application/json", strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run %d: %s", resp.StatusCode, body)
+	}
+	var jr service.JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Job.Status != service.StatusDone || jr.Job.Result == nil {
+		t.Fatalf("job = %+v", jr.Job)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

@@ -1,6 +1,6 @@
 // Command mpsweep regenerates the paper's figures and tables (and this
-// reproduction's ablation experiments) as text tables, ASCII charts and
-// paper-deviation summaries.
+// reproduction's ablation experiments) as text tables, ASCII charts,
+// paper-deviation summaries, or machine-readable JSON.
 //
 // Examples:
 //
@@ -8,9 +8,11 @@
 //	mpsweep -exp fig4b
 //	mpsweep -all
 //	mpsweep -all -markdown > results.md
+//	mpsweep -exp fig2 -json | jq '.series[].gbps'
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,18 +25,22 @@ func main() {
 		exp      = flag.String("exp", "", "experiment id (fig1a|fig1b|fig2|fig3|fig4a|fig4b|targets|pcie|resources|unroll|preshape|dtype)")
 		all      = flag.Bool("all", false, "run every experiment")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
+		asJSON   = flag.Bool("json", false, "emit JSON instead of text (-all yields a JSON array)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *all, *markdown); err != nil {
+	if err := run(*exp, *all, *markdown, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, all, markdown bool) error {
+func run(exp string, all, markdown, asJSON bool) error {
 	if !all && exp == "" {
 		return fmt.Errorf("pass -exp <id> or -all (ids: %s)", ids())
+	}
+	if markdown && asJSON {
+		return fmt.Errorf("-markdown and -json are mutually exclusive")
 	}
 	emit := func(e *experiments.Experiment) error {
 		if markdown {
@@ -42,16 +48,29 @@ func run(exp string, all, markdown bool) error {
 		}
 		return e.WriteText(os.Stdout)
 	}
+	emitJSON := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
 	if all {
+		var collected []*experiments.Experiment
 		for _, ent := range experiments.Registry() {
 			fmt.Fprintf(os.Stderr, "running %s...\n", ent.ID)
 			e, err := ent.Run()
 			if err != nil {
 				return fmt.Errorf("%s: %w", ent.ID, err)
 			}
+			if asJSON {
+				collected = append(collected, e)
+				continue
+			}
 			if err := emit(e); err != nil {
 				return err
 			}
+		}
+		if asJSON {
+			return emitJSON(collected)
 		}
 		return nil
 	}
@@ -62,6 +81,9 @@ func run(exp string, all, markdown bool) error {
 	e, err := run()
 	if err != nil {
 		return err
+	}
+	if asJSON {
+		return emitJSON(e)
 	}
 	return emit(e)
 }

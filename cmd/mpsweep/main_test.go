@@ -1,25 +1,94 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run("targets", false, false); err != nil {
+	if err := run("targets", false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("targets", false, true); err != nil {
+	if err := run("targets", false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, false); err == nil {
+	if err := run("", false, false, false); err == nil {
 		t.Error("missing -exp/-all must error")
 	}
-	if err := run("bogus", false, false); err == nil {
+	if err := run("bogus", false, false, false); err == nil {
 		t.Error("unknown experiment must error")
+	}
+	if err := run("targets", false, true, true); err == nil {
+		t.Error("-markdown with -json must error")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+func TestRunJSONSeries(t *testing.T) {
+	out := captureStdout(t, func() error { return run("dtype", false, false, true) })
+	var e struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Name string    `json:"name"`
+			GBps []float64 `json:"gbps"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(out), &e); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if e.ID != "dtype" || len(e.Series) == 0 {
+		t.Fatalf("experiment = %+v", e)
+	}
+	for _, s := range e.Series {
+		if len(s.GBps) == 0 {
+			t.Errorf("series %s has no data", s.Name)
+		}
+	}
+}
+
+func TestRunJSONTable(t *testing.T) {
+	out := captureStdout(t, func() error { return run("targets", false, false, true) })
+	var e struct {
+		Extra struct {
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"extra"`
+	}
+	if err := json.Unmarshal([]byte(out), &e); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(e.Extra.Headers) == 0 || len(e.Extra.Rows) != 4 {
+		t.Errorf("table = %+v", e.Extra)
 	}
 }
 

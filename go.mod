@@ -1,0 +1,3 @@
+module mpstream
+
+go 1.24

@@ -37,35 +37,35 @@ const (
 // Config is one fully specified MP-STREAM run.
 type Config struct {
 	// Ops selects the kernels; nil means all four.
-	Ops []kernel.Op
+	Ops []kernel.Op `json:"ops,omitempty"`
 	// ArrayBytes is the size of each array operand.
-	ArrayBytes int64
+	ArrayBytes int64 `json:"array_bytes"`
 	// Type is the element type (int or double).
-	Type kernel.DataType
+	Type kernel.DataType `json:"type"`
 	// VecWidth is the OpenCL vector width (1..16).
-	VecWidth int
+	VecWidth int `json:"vec_width"`
 	// Loop is the kernel loop management; ignored when OptimalLoop is set.
-	Loop kernel.LoopMode
+	Loop kernel.LoopMode `json:"loop"`
 	// OptimalLoop selects each device's best loop management (Figure 3):
 	// NDRange on CPU/GPU, flat on AOCL, nested on SDAccel.
-	OptimalLoop bool
+	OptimalLoop bool `json:"optimal_loop"`
 	// Attrs carries unroll, work-group and vendor attributes.
-	Attrs kernel.Attrs
+	Attrs kernel.Attrs `json:"attrs"`
 	// Pattern is the data access pattern.
-	Pattern mem.Pattern
+	Pattern mem.Pattern `json:"pattern"`
 	// NTimes is the repetition count; the best time excludes the first
 	// (cold) iteration when NTimes > 1. Zero means DefaultNTimes.
-	NTimes int
+	NTimes int `json:"ntimes"`
 	// Scalar is q in scale/triad; zero means DefaultScalar.
-	Scalar float64
+	Scalar float64 `json:"scalar"`
 	// Verify enables functional execution and result checking. Disable
 	// only for sweeps over arrays too large to materialize.
-	Verify bool
+	Verify bool `json:"verify"`
 	// HostIO measures the host<->device path: each iteration re-writes
 	// the source arrays over the link and reads the result back, and the
 	// timed interval covers transfers plus kernel (the paper's
 	// "source/destination of streams" parameter).
-	HostIO bool
+	HostIO bool `json:"host_io"`
 }
 
 // DefaultConfig returns the paper's baseline: all four kernels on 4 MB
@@ -83,9 +83,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields. An empty Ops slice means "all four"
+// just like nil — JSON decodes "ops": [] to an empty non-nil slice.
 func (c Config) withDefaults() Config {
-	if c.Ops == nil {
+	if len(c.Ops) == 0 {
 		c.Ops = kernel.Ops()
 	}
 	if c.NTimes == 0 {
@@ -128,15 +129,15 @@ func (c Config) kernelFor(op kernel.Op, loop kernel.LoopMode) kernel.Kernel {
 
 // KernelResult is the measurement for one of the four kernels.
 type KernelResult struct {
-	Op         kernel.Op
-	Kernel     string // kernel identifier (Name of the IR)
-	BytesMoved int64  // STREAM-convention bytes per iteration
+	Op         kernel.Op `json:"op"`
+	Kernel     string    `json:"kernel"`      // kernel identifier (Name of the IR)
+	BytesMoved int64     `json:"bytes_moved"` // STREAM-convention bytes per iteration
 
-	Times       []float64 // per-iteration seconds, in order
-	BestSeconds float64   // min time, excluding iteration 0 when possible
-	AvgSeconds  float64
-	GBps        float64 // bandwidth at the best time, 1e9 bytes/s
-	Verified    bool    // result checked elementwise
+	Times       []float64 `json:"times"`        // per-iteration seconds, in order
+	BestSeconds float64   `json:"best_seconds"` // min time, excluding iteration 0 when possible
+	AvgSeconds  float64   `json:"avg_seconds"`
+	GBps        float64   `json:"gbps"`     // bandwidth at the best time, 1e9 bytes/s
+	Verified    bool      `json:"verified"` // result checked elementwise
 }
 
 // KBps returns the bandwidth in the KB/s (1e3) unit Figures 3 and 4(a) use.
@@ -147,14 +148,14 @@ func (r KernelResult) MBps() float64 { return r.GBps * 1e3 }
 
 // Result is one full MP-STREAM run on one device.
 type Result struct {
-	Device  device.Info
-	Config  Config
-	Kernels []KernelResult
+	Device  device.Info    `json:"device"`
+	Config  Config         `json:"config"`
+	Kernels []KernelResult `json:"kernels"`
 
 	// FPGA build artefacts (zero/false elsewhere).
-	Resources    fabric.Resources
-	HasResources bool
-	FmaxMHz      float64
+	Resources    fabric.Resources `json:"resources"`
+	HasResources bool             `json:"has_resources"`
+	FmaxMHz      float64          `json:"fmax_mhz,omitempty"`
 }
 
 // Kernel returns the result for op, or nil.

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the configuration with every zero-valued knob
+// resolved to its default and every documented equivalence collapsed,
+// so that two Configs describing the same run compare (and hash)
+// equal: Loop is ignored (zeroed) when OptimalLoop is set, and the
+// attribute values 0 and 1 — defined as equivalent for Unroll,
+// NumSIMDWorkItems and NumComputeUnits — normalize to 0. It is the
+// form Fingerprint digests and the service layer caches on.
+func (c Config) Canonical() Config {
+	c = c.withDefaults()
+	if c.OptimalLoop {
+		c.Loop = 0
+	}
+	if c.Attrs.Unroll == 1 {
+		c.Attrs.Unroll = 0
+	}
+	if c.Attrs.NumSIMDWorkItems == 1 {
+		c.Attrs.NumSIMDWorkItems = 0
+	}
+	if c.Attrs.NumComputeUnits == 1 {
+		c.Attrs.NumComputeUnits = 0
+	}
+	return c
+}
+
+// Fingerprint returns a stable hex digest identifying one (target,
+// configuration) pair: SHA-256 over the target id and the canonical JSON
+// encoding of the configuration. Two requests with the same fingerprint
+// are guaranteed to simulate identically (the simulator is
+// deterministic), which is what makes result caching sound.
+func (c Config) Fingerprint(targetID string) string {
+	canon := c.Canonical()
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// Config is a plain struct of marshalable fields; Marshal can only
+		// fail on an enum value outside its range. Digest the full Go
+		// representation so distinct invalid configs never collide.
+		b = []byte(fmt.Sprintf("unmarshalable:%s:%#v", err, canon))
+	}
+	h := sha256.New()
+	h.Write([]byte(targetID))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

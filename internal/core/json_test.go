@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpstream/internal/kernel"
+	"mpstream/internal/sim/mem"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Triad, kernel.Add}
+	cfg.Type = kernel.Float64
+	cfg.VecWidth = 8
+	cfg.OptimalLoop = false
+	cfg.Loop = kernel.NestedLoop
+	cfg.Attrs.Unroll = 4
+	cfg.Attrs.NumSIMDWorkItems = 0
+	cfg.Pattern = mem.StridedPattern(32)
+	cfg.HostIO = true
+
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, back) {
+		t.Errorf("config did not round-trip:\n orig %+v\n back %+v", cfg, back)
+	}
+}
+
+func TestConfigJSONIsHumanReadable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Triad}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"ops":["triad"]`, `"type":"int"`, `"loop":"ndrange"`, `"kind":"contiguous"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded config missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestConfigJSONRejectsUnknownEnumValues(t *testing.T) {
+	for _, bad := range []string{
+		`{"type":"quad"}`,
+		`{"loop":"spiral"}`,
+		`{"ops":["fma"]}`,
+		`{"pattern":{"kind":"random"}}`,
+	} {
+		var c Config
+		if err := json.Unmarshal([]byte(bad), &c); err == nil {
+			t.Errorf("unmarshal %s must fail", bad)
+		}
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	// Zero-valued knobs and their explicit defaults hash identically.
+	sparse := Config{ArrayBytes: 4 << 20, Pattern: mem.ContiguousPattern(), Verify: true, OptimalLoop: true}
+	full := sparse
+	full.Ops = kernel.Ops()
+	full.NTimes = DefaultNTimes
+	full.Scalar = DefaultScalar
+	full.VecWidth = 1
+	if sparse.Fingerprint("aocl") != full.Fingerprint("aocl") {
+		t.Error("canonically equal configs must share a fingerprint")
+	}
+
+	// Loop is documented as ignored when OptimalLoop is set.
+	loopy := full
+	loopy.Loop = kernel.FlatLoop
+	if loopy.Fingerprint("aocl") != full.Fingerprint("aocl") {
+		t.Error("Loop must not affect the fingerprint when OptimalLoop is set")
+	}
+	// Attribute values 0 and 1 are documented as equivalent.
+	ones := full
+	ones.Attrs.Unroll = 1
+	ones.Attrs.NumSIMDWorkItems = 1
+	ones.Attrs.NumComputeUnits = 1
+	if ones.Fingerprint("aocl") != full.Fingerprint("aocl") {
+		t.Error("attribute value 1 must fingerprint like its equivalent 0")
+	}
+
+	// Any knob change, and any target change, changes the fingerprint.
+	seen := map[string]string{}
+	add := func(name, fp string) {
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("fingerprint collision between %s and %s", prev, name)
+		}
+		seen[fp] = name
+	}
+	add("base/aocl", full.Fingerprint("aocl"))
+	add("base/cpu", full.Fingerprint("cpu"))
+	vec := full
+	vec.VecWidth = 4
+	add("vec4/aocl", vec.Fingerprint("aocl"))
+	dt := full
+	dt.Type = kernel.Float64
+	add("double/aocl", dt.Fingerprint("aocl"))
+	pat := full
+	pat.Pattern = mem.ColMajorPattern()
+	add("colmajor/aocl", pat.Fingerprint("aocl"))
+
+	if fp := full.Fingerprint("aocl"); len(fp) != 64 {
+		t.Errorf("fingerprint length %d, want 64 hex chars", len(fp))
+	}
+
+	// Distinct configs sharing an unmarshalable enum must not collide
+	// (the fallback digest covers the whole config, not just the error).
+	badA := full
+	badA.Type = 99
+	badB := badA
+	badB.ArrayBytes = 1 << 16
+	if badA.Fingerprint("aocl") == badB.Fingerprint("aocl") {
+		t.Error("distinct unmarshalable configs must not share a fingerprint")
+	}
+}
+
+func TestResultJSONTags(t *testing.T) {
+	r := Result{}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"device"`, `"config"`, `"kernels"`, `"resources"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded result missing %s: %s", want, s)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package device
 
 import (
 	"fmt"
+	"strings"
 
 	"mpstream/internal/fabric"
 	"mpstream/internal/kernel"
@@ -42,27 +43,59 @@ func (k Kind) String() string {
 	}
 }
 
+// MarshalText encodes the kind as its name, for the service wire format.
+func (k Kind) MarshalText() ([]byte, error) {
+	if k > FPGA {
+		return nil, fmt.Errorf("device: unknown kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// ParseKind resolves a kind name (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "cpu":
+		return CPU, nil
+	case "gpu":
+		return GPU, nil
+	case "fpga":
+		return FPGA, nil
+	default:
+		return 0, fmt.Errorf("device: unknown kind %q (want cpu|gpu|fpga)", s)
+	}
+}
+
+// UnmarshalText decodes a kind name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	v, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Info describes a device the way the paper's Section IV table does.
 type Info struct {
 	// ID is the short name used throughout figures: "cpu", "gpu", "aocl",
 	// "sdaccel".
-	ID string
+	ID string `json:"id"`
 	// Description is the full hardware/toolchain identification.
-	Description string
-	Kind        Kind
+	Description string `json:"description"`
+	Kind        Kind   `json:"kind"`
 	// PeakMemGBps is the peak global-memory bandwidth (the dotted lines
 	// in Figure 1).
-	PeakMemGBps float64
+	PeakMemGBps float64 `json:"peak_mem_gbps"`
 	// MemBytes is the usable global memory.
-	MemBytes int64
+	MemBytes int64 `json:"mem_bytes"`
 	// OptimalLoop is the loop-management mode this target prefers
 	// (Figure 3): NDRange for CPU/GPU, flat for AOCL, nested for SDAccel.
-	OptimalLoop kernel.LoopMode
+	OptimalLoop kernel.LoopMode `json:"optimal_loop"`
 	// IdleWatts and PeakWatts bound the board power draw: idle and at
 	// full memory-bandwidth load. They drive the energy-efficiency
 	// extension (the paper's future-work item).
-	IdleWatts float64
-	PeakWatts float64
+	IdleWatts float64 `json:"idle_watts"`
+	PeakWatts float64 `json:"peak_watts"`
 }
 
 // WattsAt estimates draw at a sustained bandwidth: idle power plus the

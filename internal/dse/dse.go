@@ -7,6 +7,7 @@ package dse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"mpstream/internal/core"
@@ -42,13 +43,16 @@ func run(dev device.Device, cfg core.Config, label string) Point {
 	return Point{Label: label, Config: cfg, Result: res, Err: err}
 }
 
+func sizeLabel(s int64) string { return fmt.Sprintf("%dB", s) }
+func vecLabel(v int) string    { return fmt.Sprintf("v%d", v) }
+
 // SweepSizes varies the array size (Figure 1(a), Figure 2).
 func SweepSizes(dev device.Device, base core.Config, sizes []int64) []Point {
 	pts := make([]Point, 0, len(sizes))
 	for _, s := range sizes {
 		cfg := base
 		cfg.ArrayBytes = s
-		pts = append(pts, run(dev, cfg, fmt.Sprintf("%dB", s)))
+		pts = append(pts, run(dev, cfg, sizeLabel(s)))
 	}
 	return pts
 }
@@ -59,7 +63,7 @@ func SweepVecWidths(dev device.Device, base core.Config, widths []int) []Point {
 	for _, v := range widths {
 		cfg := base
 		cfg.VecWidth = v
-		pts = append(pts, run(dev, cfg, fmt.Sprintf("v%d", v)))
+		pts = append(pts, run(dev, cfg, vecLabel(v)))
 	}
 	return pts
 }
@@ -152,19 +156,23 @@ func SweepTypes(dev device.Device, base core.Config) []Point {
 // Space is a parameter grid for exhaustive exploration. Nil axes keep the
 // base configuration's value.
 type Space struct {
-	VecWidths []int
-	Loops     []kernel.LoopMode
-	Unrolls   []int
-	SIMDs     []int
-	CUs       []int
-	Types     []kernel.DataType
+	VecWidths []int             `json:"vec_widths,omitempty"`
+	Loops     []kernel.LoopMode `json:"loops,omitempty"`
+	Unrolls   []int             `json:"unrolls,omitempty"`
+	SIMDs     []int             `json:"simds,omitempty"`
+	CUs       []int             `json:"cus,omitempty"`
+	Types     []kernel.DataType `json:"types,omitempty"`
 }
 
-// Size returns the number of grid points.
+// Size returns the number of grid points, saturating at MaxInt on
+// overflow so size guards cannot be bypassed by wraparound.
 func (s Space) Size() int {
 	n := 1
 	for _, axis := range []int{len(s.VecWidths), len(s.Loops), len(s.Unrolls), len(s.SIMDs), len(s.CUs), len(s.Types)} {
 		if axis > 0 {
+			if n > math.MaxInt/axis {
+				return math.MaxInt
+			}
 			n *= axis
 		}
 	}
@@ -205,10 +213,10 @@ func (s Space) Configs(base core.Config) []core.Config {
 // Exploration is the outcome of an exhaustive search.
 type Exploration struct {
 	// Ranked holds feasible points, best bandwidth first.
-	Ranked []Point
+	Ranked []Point `json:"ranked"`
 	// Infeasible counts configurations the device rejected (invalid
 	// kernels, designs that do not fit).
-	Infeasible int
+	Infeasible int `json:"infeasible"`
 }
 
 // Best returns the winning point; ok is false when nothing was feasible.
@@ -222,9 +230,23 @@ func (e Exploration) Best() (Point, bool) {
 // Explore evaluates every grid point for op and ranks the feasible ones.
 func Explore(dev device.Device, base core.Config, space Space, op kernel.Op) Exploration {
 	base.Ops = []kernel.Op{op}
-	var out Exploration
-	for _, cfg := range space.Configs(base) {
-		p := run(dev, cfg, configLabel(cfg))
+	cfgs := space.Configs(base)
+	pts := make([]Point, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		pts = append(pts, run(dev, cfg, ConfigLabel(cfg)))
+	}
+	return Rank(pts, op)
+}
+
+// Rank filters evaluated points into an Exploration: infeasible points
+// are counted, feasible ones ordered best bandwidth first. The sort is
+// stable, so equal-bandwidth points keep their grid order and sequential
+// and parallel exploration rank identically.
+func Rank(pts []Point, op kernel.Op) Exploration {
+	// Ranked starts non-nil so an all-infeasible exploration marshals as
+	// an empty JSON array, not null.
+	out := Exploration{Ranked: []Point{}}
+	for _, p := range pts {
 		if p.Err != nil {
 			out.Infeasible++
 			continue
@@ -237,7 +259,8 @@ func Explore(dev device.Device, base core.Config, space Space, op kernel.Op) Exp
 	return out
 }
 
-func configLabel(c core.Config) string {
+// ConfigLabel renders the compact label Explore gives a grid point.
+func ConfigLabel(c core.Config) string {
 	loop := "auto"
 	if !c.OptimalLoop {
 		loop = c.Loop.String()

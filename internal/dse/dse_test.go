@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"math"
 	"testing"
 
 	"mpstream/internal/core"
@@ -154,10 +155,19 @@ func TestSpaceSizeAndConfigs(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, c := range cfgs {
-		seen[configLabel(c)] = true
+		seen[ConfigLabel(c)] = true
 	}
 	if len(seen) != 12 {
 		t.Errorf("labels not unique: %d distinct", len(seen))
+	}
+}
+
+func TestSpaceSizeSaturatesOnOverflow(t *testing.T) {
+	huge := make([]int, 1<<21)
+	s := Space{Unrolls: huge, SIMDs: huge, CUs: huge}
+	// 2^63 grid points overflow int on every platform.
+	if got := s.Size(); got != math.MaxInt {
+		t.Errorf("Size must saturate at MaxInt, got %d", got)
 	}
 }
 

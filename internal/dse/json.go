@@ -1,0 +1,41 @@
+package dse
+
+import (
+	"encoding/json"
+	"errors"
+
+	"mpstream/internal/core"
+)
+
+// pointJSON is the wire form of a Point: the error (an interface value)
+// flattens to its message so points round-trip through the service API
+// and the CLIs' -json output.
+type pointJSON struct {
+	Label  string       `json:"label"`
+	Config core.Config  `json:"config"`
+	Result *core.Result `json:"result,omitempty"`
+	Err    string       `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes the point with its error as a string message.
+func (p Point) MarshalJSON() ([]byte, error) {
+	pj := pointJSON{Label: p.Label, Config: p.Config, Result: p.Result}
+	if p.Err != nil {
+		pj.Err = p.Err.Error()
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON decodes a point; a non-empty error field becomes an
+// opaque error value carrying the original message.
+func (p *Point) UnmarshalJSON(b []byte) error {
+	var pj pointJSON
+	if err := json.Unmarshal(b, &pj); err != nil {
+		return err
+	}
+	*p = Point{Label: pj.Label, Config: pj.Config, Result: pj.Result}
+	if pj.Err != "" {
+		p.Err = errors.New(pj.Err)
+	}
+	return nil
+}

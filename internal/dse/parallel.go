@@ -1,0 +1,128 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device"
+	"mpstream/internal/kernel"
+)
+
+// DeviceFactory produces a fresh device instance. Parallel evaluation
+// needs one instance per worker: devices carry simulator state (caches,
+// open DRAM rows) and are not safe for concurrent use. core.Run resets
+// the device before every run, so per-worker reuse is deterministic and
+// a worker's results are identical to a sequential evaluation.
+type DeviceFactory func() (device.Device, error)
+
+// EvalParallel evaluates configurations concurrently on independent
+// device instances and returns the points in input order, so output is
+// byte-identical to evaluating the slice sequentially. labels may be nil
+// (each point then gets its ConfigLabel); otherwise it must be the same
+// length as cfgs. workers <= 0 means GOMAXPROCS.
+//
+// A failing factory marks the points its worker claims with the error
+// (retried per point); callers that must distinguish infrastructure
+// failure from infeasible designs should wrap newDev and inspect its
+// error, as the service layer does.
+func EvalParallel(newDev DeviceFactory, cfgs []core.Config, labels []string, workers int) []Point {
+	pts := make([]Point, len(cfgs))
+	if len(cfgs) == 0 {
+		return pts
+	}
+	label := func(i int) string {
+		if labels != nil {
+			return labels[i]
+		}
+		return ConfigLabel(cfgs[i])
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+
+	// evalOne converts a panicking evaluation into an errored point: a
+	// hostile grid point must not kill the process hosting the sweep
+	// (the service runs these on long-lived workers).
+	evalOne := func(dev device.Device, i int) (p Point) {
+		defer func() {
+			if r := recover(); r != nil {
+				p = Point{Label: label(i), Config: cfgs[i], Err: fmt.Errorf("dse: evaluation panicked: %v", r)}
+			}
+		}()
+		return run(dev, cfgs[i], label(i))
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dev device.Device
+			for i := range idx {
+				if dev == nil {
+					// Retry the factory per claimed point so a transient
+					// failure marks as few points as possible; persistent
+					// failures surface as per-point errors rather than
+					// stalling the sweep.
+					var err error
+					if dev, err = newDev(); err != nil {
+						dev = nil
+						pts[i] = Point{Label: label(i), Config: cfgs[i], Err: err}
+						continue
+					}
+				}
+				pts[i] = evalOne(dev, i)
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return pts
+}
+
+// ExploreParallel is Explore with the grid fanned out over GOMAXPROCS
+// workers. It returns byte-identical results to Explore for the same
+// base and space: points are produced in grid order before ranking, the
+// simulator is deterministic, and Rank's stable sort breaks ties the
+// same way.
+func ExploreParallel(newDev DeviceFactory, base core.Config, space Space, op kernel.Op) Exploration {
+	base.Ops = []kernel.Op{op}
+	return Rank(EvalParallel(newDev, space.Configs(base), nil, 0), op)
+}
+
+// SweepSizesParallel is SweepSizes fanned out over goroutines; points
+// come back in sizes order.
+func SweepSizesParallel(newDev DeviceFactory, base core.Config, sizes []int64) []Point {
+	cfgs := make([]core.Config, len(sizes))
+	labels := make([]string, len(sizes))
+	for i, s := range sizes {
+		cfg := base
+		cfg.ArrayBytes = s
+		cfgs[i] = cfg
+		labels[i] = sizeLabel(s)
+	}
+	return EvalParallel(newDev, cfgs, labels, 0)
+}
+
+// SweepVecWidthsParallel is SweepVecWidths fanned out over goroutines;
+// points come back in widths order.
+func SweepVecWidthsParallel(newDev DeviceFactory, base core.Config, widths []int) []Point {
+	cfgs := make([]core.Config, len(widths))
+	labels := make([]string, len(widths))
+	for i, v := range widths {
+		cfg := base
+		cfg.VecWidth = v
+		cfgs[i] = cfg
+		labels[i] = vecLabel(v)
+	}
+	return EvalParallel(newDev, cfgs, labels, 0)
+}

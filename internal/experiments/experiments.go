@@ -26,10 +26,10 @@ import (
 // Series is one measured line with its paper counterpart (Paper may be
 // shorter than X or nil when the figure gives no numbers).
 type Series struct {
-	Name  string
-	X     []float64
-	GBps  []float64
-	Paper []float64
+	Name  string    `json:"name"`
+	X     []float64 `json:"x"`
+	GBps  []float64 `json:"gbps"`
+	Paper []float64 `json:"paper,omitempty"`
 }
 
 // WorstFactor returns the largest multiplicative deviation from the paper
@@ -58,14 +58,14 @@ func (s Series) WorstFactor() float64 {
 
 // Experiment is one reproduced figure or table.
 type Experiment struct {
-	ID     string
-	Title  string
-	XLabel string
-	Series []Series
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label,omitempty"`
+	Series []Series `json:"series,omitempty"`
 	// Extra holds a pre-built table for experiments that are tables
 	// rather than series (resources, target info).
-	Extra *report.Table
-	Notes []string
+	Extra *report.Table `json:"extra,omitempty"`
+	Notes []string      `json:"notes,omitempty"`
 }
 
 // verifyLimit is the largest array materialized functionally; larger

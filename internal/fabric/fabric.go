@@ -26,10 +26,10 @@ import (
 // Intel/Altera parts, LUTs for Xilinx parts); comparisons are always
 // against the same part's capacity.
 type Resources struct {
-	Logic     int // ALMs / LUTs
-	Registers int
-	BRAM      int // block RAM primitives (M20K / BRAM36)
-	DSP       int
+	Logic     int `json:"logic"` // ALMs / LUTs
+	Registers int `json:"registers"`
+	BRAM      int `json:"bram"` // block RAM primitives (M20K / BRAM36)
+	DSP       int `json:"dsp"`
 }
 
 // Add returns the component-wise sum.

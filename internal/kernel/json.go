@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The kernel enums marshal as their figure-label strings ("copy",
+// "double", "ndrange", ...) so configurations and results round-trip
+// through JSON — the wire format of the service layer and of the CLIs'
+// -json output.
+
+// ParseOp resolves an operation name (case-insensitive). "sum" is
+// accepted as the paper's alias for add.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(s) {
+	case "copy":
+		return Copy, nil
+	case "scale":
+		return Scale, nil
+	case "add", "sum":
+		return Add, nil
+	case "triad":
+		return Triad, nil
+	default:
+		return 0, fmt.Errorf("kernel: unknown op %q (want copy|scale|add|triad)", s)
+	}
+}
+
+// MarshalText encodes the operation as its name.
+func (o Op) MarshalText() ([]byte, error) {
+	if o > Triad {
+		return nil, fmt.Errorf("kernel: unknown op %d", uint8(o))
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText decodes an operation name.
+func (o *Op) UnmarshalText(b []byte) error {
+	v, err := ParseOp(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
+
+// ParseDataType resolves an element-type name (case-insensitive).
+func ParseDataType(s string) (DataType, error) {
+	switch strings.ToLower(s) {
+	case "int", "int32":
+		return Int32, nil
+	case "double", "float64":
+		return Float64, nil
+	default:
+		return 0, fmt.Errorf("kernel: unknown data type %q (want int|double)", s)
+	}
+}
+
+// MarshalText encodes the data type as its OpenCL spelling.
+func (t DataType) MarshalText() ([]byte, error) {
+	if t > Float64 {
+		return nil, fmt.Errorf("kernel: unknown data type %d", uint8(t))
+	}
+	return []byte(t.String()), nil
+}
+
+// UnmarshalText decodes a data-type name.
+func (t *DataType) UnmarshalText(b []byte) error {
+	v, err := ParseDataType(string(b))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// ParseLoopMode resolves a loop-management name (case-insensitive).
+func ParseLoopMode(s string) (LoopMode, error) {
+	switch strings.ToLower(s) {
+	case "ndrange":
+		return NDRange, nil
+	case "flat", "flatloop":
+		return FlatLoop, nil
+	case "nested", "nestedloop":
+		return NestedLoop, nil
+	default:
+		return 0, fmt.Errorf("kernel: unknown loop mode %q (want ndrange|flat|nested)", s)
+	}
+}
+
+// MarshalText encodes the loop mode as its figure label.
+func (m LoopMode) MarshalText() ([]byte, error) {
+	if m > NestedLoop {
+		return nil, fmt.Errorf("kernel: unknown loop mode %d", uint8(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText decodes a loop-mode name.
+func (m *LoopMode) UnmarshalText(b []byte) error {
+	v, err := ParseLoopMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}

@@ -141,26 +141,26 @@ func (m LoopMode) String() string {
 // the vendor-specific optimization knobs from the paper's Section III.
 type Attrs struct {
 	// Unroll is the opencl_unroll_hint factor; 0 or 1 means no unrolling.
-	Unroll int
+	Unroll int `json:"unroll,omitempty"`
 	// ReqdWorkGroupSize is the reqd_work_group_size(X,1,1) hint; 0 = unset.
-	ReqdWorkGroupSize int
+	ReqdWorkGroupSize int `json:"reqd_work_group_size,omitempty"`
 
 	// NumSIMDWorkItems is AOCL's num_simd_work_items attribute (NDRange
 	// kernels only); 0 or 1 means none.
-	NumSIMDWorkItems int
+	NumSIMDWorkItems int `json:"num_simd_work_items,omitempty"`
 	// NumComputeUnits is AOCL's num_compute_units attribute; 0 or 1 means
 	// a single compute unit.
-	NumComputeUnits int
+	NumComputeUnits int `json:"num_compute_units,omitempty"`
 
 	// PipelineLoop is SDAccel's xcl_pipeline_loop attribute.
-	PipelineLoop bool
+	PipelineLoop bool `json:"pipeline_loop,omitempty"`
 	// PipelineWorkItems is SDAccel's xcl_pipeline_workitems attribute.
-	PipelineWorkItems bool
+	PipelineWorkItems bool `json:"pipeline_workitems,omitempty"`
 	// MaxMemoryPorts is SDAccel's max_memory_ports attribute: one memory
 	// port per kernel argument instead of a shared port.
-	MaxMemoryPorts bool
+	MaxMemoryPorts bool `json:"max_memory_ports,omitempty"`
 	// MemoryPortWidthBits is SDAccel's memory port data width; 0 = default.
-	MemoryPortWidthBits int
+	MemoryPortWidthBits int `json:"memory_port_width_bits,omitempty"`
 }
 
 // Kernel is one fully parameterized MP-STREAM kernel.

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -48,6 +49,34 @@ func (t *Table) AddRowf(cells ...any) {
 		}
 	}
 	t.AddRow(row...)
+}
+
+// tableJSON is the wire form of a Table, used by the CLIs' -json output.
+type tableJSON struct {
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {"headers": [...], "rows": [[...]]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	tj := tableJSON{Headers: t.headers, Rows: t.rows}
+	if tj.Headers == nil {
+		tj.Headers = []string{}
+	}
+	if tj.Rows == nil {
+		tj.Rows = [][]string{}
+	}
+	return json.Marshal(tj)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(b, &tj); err != nil {
+		return err
+	}
+	t.headers, t.rows = tj.Headers, tj.Rows
+	return nil
 }
 
 // FormatFloat renders a float compactly (%.4g with a fixed small form).

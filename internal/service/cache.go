@@ -1,0 +1,95 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"mpstream/internal/core"
+)
+
+// resultCache is a thread-safe LRU over completed runs, keyed by the
+// canonical (target, config) fingerprint. The simulator is
+// deterministic, so a cached *core.Result is exactly what a re-run
+// would produce; entries are shared read-only between the cache and
+// responses and must not be mutated.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// newResultCache builds a cache holding up to max entries; max <= 0
+// disables caching entirely (every lookup misses, puts are dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// enabled reports whether the cache stores anything at all.
+func (c *resultCache) enabled() bool { return c.max > 0 }
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key string, res *core.Result) {
+	if c.max <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is the cache telemetry /v1/healthz reports.
+type CacheStats struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:  c.order.Len(),
+		Capacity: c.max,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}

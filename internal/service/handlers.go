@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+)
+
+// RunRequest is the POST /v1/run body. A nil config runs the paper's
+// baseline configuration.
+type RunRequest struct {
+	Target string       `json:"target"`
+	Config *core.Config `json:"config,omitempty"`
+	// Async returns 202 with a job id immediately instead of waiting for
+	// the result; poll GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body. A nil base starts from the
+// default configuration; op defaults to copy.
+type SweepRequest struct {
+	Target string       `json:"target"`
+	Base   *core.Config `json:"base,omitempty"`
+	Space  dse.Space    `json:"space"`
+	Op     *kernel.Op   `json:"op,omitempty"`
+	Async  bool         `json:"async,omitempty"`
+}
+
+// JobResponse wraps every job-bearing response body.
+type JobResponse struct {
+	Job View `json:"job"`
+}
+
+// TargetsResponse is the GET /v1/targets body; device.Info carries the
+// wire-format tags (string kind and loop mode).
+type TargetsResponse struct {
+	Targets []device.Info `json:"targets"`
+}
+
+// JobsResponse is the GET /v1/jobs body.
+type JobsResponse struct {
+	Jobs []View `json:"jobs"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; the largest legitimate sweep
+// space is well under a megabyte.
+const maxBodyBytes = 4 << 20
+
+// decodeBody decodes a JSON request body, bounded to maxBodyBytes.
+// The returned status is 0 on success.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	// A typoed knob silently falling back to its default would compute
+	// (and cache) a result for the wrong configuration.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode request: %w", err)
+	}
+	return 0, nil
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/run        run one configuration (sync, or async with "async": true)
+//	POST /v1/sweep      explore a parameter grid
+//	GET  /v1/jobs       list all jobs
+//	GET  /v1/jobs/{id}  poll one job
+//	GET  /v1/targets    list benchmark targets
+//	GET  /v1/healthz    liveness, queue and cache telemetry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// submitCode maps submission failures to HTTP statuses.
+func submitCode(err error) int {
+	if errors.Is(err, ErrQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// respond waits for a synchronous job (or returns immediately for an
+// async one) and writes the job view. If the client goes away while a
+// sync job is still running, the job keeps executing — its result stays
+// pollable and cached.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, j *Job, async bool) {
+	if async {
+		writeJSON(w, http.StatusAccepted, JobResponse{Job: j.Snapshot()})
+		return
+	}
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, JobResponse{Job: j.Snapshot()})
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusAccepted, JobResponse{Job: j.Snapshot()})
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	cfg := core.DefaultConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	j, err := s.SubmitRun(req.Target, cfg)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	base := core.DefaultConfig()
+	if req.Base != nil {
+		base = *req.Base
+	}
+	op := kernel.Copy
+	if req.Op != nil {
+		op = *req.Op
+	}
+	j, err := s.SubmitSweep(req.Target, base, req.Space, op)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{Job: j.Snapshot()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.snapshots()})
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, TargetsResponse{Targets: s.infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}

@@ -1,0 +1,243 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mpstream/internal/core"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+)
+
+// Kind distinguishes the two job shapes the service executes.
+type Kind string
+
+// Job kinds.
+const (
+	KindRun   Kind = "run"   // one configuration on one target
+	KindSweep Kind = "sweep" // a parameter grid on one target
+)
+
+// Status is the job lifecycle state.
+type Status string
+
+// Job states, in lifecycle order.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// View is the externally visible snapshot of a job — the JSON shape
+// /v1/jobs/{id} serves and run/sweep responses embed.
+type View struct {
+	ID       string    `json:"id"`
+	Kind     Kind      `json:"kind"`
+	Status   Status    `json:"status"`
+	Target   string    `json:"target"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Cached reports that the result was served from the LRU cache
+	// without re-running the simulator.
+	Cached bool `json:"cached,omitempty"`
+	// CachedPoints counts sweep grid points served from the cache.
+	CachedPoints int `json:"cached_points,omitempty"`
+	// Fingerprint is the canonical (target, config) hash of a run job —
+	// the result-cache key.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Result carries a finished run job's measurement.
+	Result *core.Result `json:"result,omitempty"`
+	// Sweep carries a finished sweep job's ranked exploration.
+	Sweep *dse.Exploration `json:"sweep,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+// Job is one queued unit of work. All mutation goes through the job's
+// mutex; handlers only ever see copies via Snapshot.
+type Job struct {
+	mu   sync.Mutex
+	view View
+	seq  uint64 // submission order; immutable after add
+
+	// run parameters
+	cfg core.Config
+
+	// sweep parameters
+	base  core.Config
+	space dse.Space
+	op    kernel.Op
+
+	// done is closed exactly once when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// Snapshot returns a copy of the job's visible state.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view
+}
+
+// Done returns a channel closed when the job finishes (or fails).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether the job has reached a final state.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view.Status == StatusDone || j.view.Status == StatusFailed
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.view.ID
+}
+
+// start transitions the job to running.
+func (j *Job) start() {
+	j.mu.Lock()
+	j.view.Status = StatusRunning
+	j.view.Started = time.Now().UTC()
+	j.mu.Unlock()
+}
+
+// finish records a terminal state and wakes waiters. mutate runs under
+// the job lock to fill result fields. Idempotent: only the first call
+// takes effect, so a panic-recovery path can finish defensively.
+func (j *Job) finish(status Status, mutate func(v *View)) {
+	j.mu.Lock()
+	if j.view.Status == StatusDone || j.view.Status == StatusFailed {
+		j.mu.Unlock()
+		return
+	}
+	j.view.Status = status
+	j.view.Finished = time.Now().UTC()
+	if mutate != nil {
+		mutate(&j.view)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// jobStore indexes jobs by id, bounded to maxRetained entries: the
+// service is long-lived, so finished jobs (and their result payloads)
+// must not accumulate forever. Oldest finished jobs are evicted first;
+// queued and running jobs are never evicted.
+type jobStore struct {
+	mu          sync.Mutex
+	seq         uint64
+	jobs        map[string]*Job
+	order       []string // insertion order, oldest first
+	maxRetained int
+}
+
+func newJobStore(maxRetained int) *jobStore {
+	return &jobStore{jobs: make(map[string]*Job), maxRetained: maxRetained}
+}
+
+// add registers a new job of the given kind and returns it with an
+// assigned id in queued state.
+func (s *jobStore) add(kind Kind, target string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		view: View{
+			ID:      fmt.Sprintf("j%06d", s.seq),
+			Kind:    kind,
+			Status:  StatusQueued,
+			Target:  target,
+			Created: time.Now().UTC(),
+		},
+		seq:  s.seq,
+		done: make(chan struct{}),
+	}
+	s.jobs[j.view.ID] = j
+	s.order = append(s.order, j.view.ID)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished jobs while over capacity.
+// Requires s.mu held.
+func (s *jobStore) evictLocked() {
+	if s.maxRetained <= 0 || len(s.jobs) <= s.maxRetained {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.maxRetained && j.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, s.order[i])
+	}
+	s.order = kept
+}
+
+// get looks a job up by id.
+func (s *jobStore) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// remove deletes a job (used when the queue rejects a submission),
+// including its order entry — rejections must not grow order forever.
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	// The id is almost always the most recent append; scan from the end.
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// snapshots returns all job views, oldest first (by submission order,
+// not lexical id — ids wrap their fixed width past a million jobs).
+func (s *jobStore) snapshots() []View {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.Snapshot()
+	}
+	return views
+}
+
+// counts tallies jobs by status without copying full views.
+func (s *jobStore) counts() map[Status]int {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make(map[Status]int, 4)
+	for _, j := range jobs {
+		j.mu.Lock()
+		out[j.view.Status]++
+		j.mu.Unlock()
+	}
+	return out
+}

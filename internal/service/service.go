@@ -1,0 +1,526 @@
+// Package service is the benchmark-as-a-service layer: a long-lived
+// server that schedules MP-STREAM runs and design-space sweeps onto a
+// bounded worker pool, caches results by canonical configuration
+// fingerprint, and exposes everything over an HTTP JSON API
+// (cmd/mpserved). It turns the one-shot CLI workflow into the
+// programmatic exploration service the paper's design-space-exploration
+// framing calls for.
+//
+// Concurrency model: Submit places a job on a bounded queue; Workers
+// goroutines (GOMAXPROCS by default) pull jobs and execute them. Each
+// execution builds its own device instances — devices carry simulator
+// state and are never shared across goroutines. Sweep jobs additionally
+// fan their grid points out over dse.EvalParallel, and every grid point
+// consults the same result cache a /v1/run request does, so sweeps and
+// runs share work transparently.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueDepth   = 256
+	DefaultCacheEntries = 512
+	// DefaultMaxSweepPoints bounds a single sweep's grid so one request
+	// cannot monopolize the service.
+	DefaultMaxSweepPoints = 4096
+	// DefaultMaxJobsRetained bounds the job index in a long-lived
+	// server; the oldest finished jobs are evicted beyond it.
+	DefaultMaxJobsRetained = 1024
+	// DefaultMaxNTimes bounds a run's repetition count.
+	DefaultMaxNTimes = 100
+	// DefaultMaxVerifyArrayBytes bounds arrays materialized for
+	// functional verification (three host slices per run); larger
+	// sweeps must set verify false, as the experiments layer does.
+	DefaultMaxVerifyArrayBytes = 256 << 20
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: server closed")
+
+// Options configures a Server. The zero value is a production-shaped
+// default: GOMAXPROCS workers, a 256-deep queue, a 512-entry cache and
+// the paper's four simulated targets.
+type Options struct {
+	// Workers bounds concurrently executing jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs; <= 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// CacheEntries bounds the result cache; 0 means DefaultCacheEntries,
+	// negative disables caching.
+	CacheEntries int
+	// SweepWorkers bounds the per-sweep grid fan-out; <= 0 divides
+	// GOMAXPROCS across the job workers so concurrent sweeps cannot
+	// oversubscribe the CPU to Workers x GOMAXPROCS goroutines.
+	SweepWorkers int
+	// MaxSweepPoints rejects sweeps whose grid exceeds it; <= 0 means
+	// DefaultMaxSweepPoints.
+	MaxSweepPoints int
+	// MaxJobsRetained bounds the job index: once exceeded, the oldest
+	// finished jobs are evicted (queued and running jobs are never
+	// evicted). <= 0 means DefaultMaxJobsRetained.
+	MaxJobsRetained int
+	// MaxNTimes rejects runs repeating more than this many iterations;
+	// <= 0 means DefaultMaxNTimes.
+	MaxNTimes int
+	// MaxVerifyArrayBytes rejects verified runs over arrays larger than
+	// this (verification materializes the arrays in host memory);
+	// <= 0 means DefaultMaxVerifyArrayBytes.
+	MaxVerifyArrayBytes int64
+	// NewDevice resolves a target id to a fresh device instance; nil
+	// means targets.ByID. Tests inject counting or blocking factories
+	// here.
+	NewDevice func(id string) (device.Device, error)
+	// TargetInfos lists the devices /v1/targets reports, resolved once
+	// at startup; it is also the submit-time target whitelist, so a
+	// custom NewDevice serving extra targets must list them here. Nil
+	// derives the list from the paper's four targets.
+	TargetInfos func() []device.Info
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = DefaultCacheEntries
+	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = runtime.GOMAXPROCS(0) / o.Workers
+		if o.SweepWorkers < 1 {
+			o.SweepWorkers = 1
+		}
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = DefaultMaxSweepPoints
+	}
+	if o.MaxJobsRetained <= 0 {
+		o.MaxJobsRetained = DefaultMaxJobsRetained
+	}
+	if o.MaxNTimes <= 0 {
+		o.MaxNTimes = DefaultMaxNTimes
+	}
+	if o.MaxVerifyArrayBytes <= 0 {
+		o.MaxVerifyArrayBytes = DefaultMaxVerifyArrayBytes
+	}
+	if o.NewDevice == nil {
+		o.NewDevice = targets.ByID
+	}
+	if o.TargetInfos == nil {
+		o.TargetInfos = func() []device.Info {
+			devs := targets.All()
+			infos := make([]device.Info, len(devs))
+			for i, d := range devs {
+				infos[i] = d.Info()
+			}
+			return infos
+		}
+	}
+	return o
+}
+
+// Server schedules benchmark jobs onto a worker pool and caches their
+// results. Create with New, serve its Handler, and Close it when done.
+type Server struct {
+	opts  Options
+	infos []device.Info // target list, resolved once at startup
+	jobs  *jobStore
+	queue chan *Job
+	cache *resultCache
+	start time.Time
+
+	// flight deduplicates concurrently executing identical run jobs:
+	// fingerprint -> channel closed when the leading execution finishes.
+	flightMu sync.Mutex
+	flight   map[string]chan struct{}
+
+	// closeMu orders submissions against Close: enqueue holds the read
+	// lock, so once Close holds the write lock and sets closed, nothing
+	// can slip into the queue after the drain.
+	closeMu   sync.RWMutex
+	closed    bool
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		infos:  opts.TargetInfos(),
+		jobs:   newJobStore(opts.MaxJobsRetained),
+		queue:  make(chan *Job, opts.QueueDepth),
+		cache:  newResultCache(opts.CacheEntries),
+		flight: make(map[string]chan struct{}),
+		start:  time.Now(),
+		quit:   make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool. Running jobs finish; jobs still queued
+// are failed so their Done channels close and no waiter deadlocks.
+// Submissions racing Close either land before the drain or get
+// ErrClosed. Close is idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(StatusFailed, func(v *View) { v.Error = "service shut down before the job ran" })
+		default:
+			return
+		}
+	}
+}
+
+// CacheStats reports result-cache telemetry.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*Job, bool) { return s.jobs.get(id) }
+
+// SubmitRun validates and enqueues one configuration on one target.
+func (s *Server) SubmitRun(target string, cfg core.Config) (*Job, error) {
+	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Canonical()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.checkLimits(info, cfg); err != nil {
+		return nil, err
+	}
+	j := s.jobs.add(KindRun, target)
+	j.mu.Lock()
+	j.cfg = cfg
+	j.view.Fingerprint = cfg.Fingerprint(target)
+	j.mu.Unlock()
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// SubmitSweep validates and enqueues a parameter grid on one target.
+func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, op kernel.Op) (*Job, error) {
+	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	base.Ops = []kernel.Op{op}
+	base = base.Canonical()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	// Grid expansion never changes size, repetitions or verification,
+	// so bounding the base bounds every point.
+	if err := s.checkLimits(info, base); err != nil {
+		return nil, err
+	}
+	if n := space.Size(); n > s.opts.MaxSweepPoints {
+		return nil, fmt.Errorf("service: sweep grid has %d points, limit %d", n, s.opts.MaxSweepPoints)
+	}
+	j := s.jobs.add(KindSweep, target)
+	j.mu.Lock()
+	j.base, j.space, j.op = base, space, op
+	j.mu.Unlock()
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// checkTarget validates a target id against the (startup-cached) info
+// list — a membership check, not a device construction, so cached runs
+// never touch the simulator at all.
+func (s *Server) checkTarget(id string) (device.Info, error) {
+	for _, inf := range s.infos {
+		if inf.ID == id {
+			return inf, nil
+		}
+	}
+	return device.Info{}, fmt.Errorf("service: unknown target %q", id)
+}
+
+// checkLimits bounds a canonical configuration's resource cost so a
+// single request cannot exhaust the host or pin a worker indefinitely.
+func (s *Server) checkLimits(info device.Info, cfg core.Config) error {
+	if cfg.NTimes > s.opts.MaxNTimes {
+		return fmt.Errorf("service: ntimes %d exceeds limit %d", cfg.NTimes, s.opts.MaxNTimes)
+	}
+	if info.MemBytes > 0 && cfg.ArrayBytes > info.MemBytes {
+		return fmt.Errorf("service: array bytes %d exceed %s device memory %d",
+			cfg.ArrayBytes, info.ID, info.MemBytes)
+	}
+	if cfg.Verify && cfg.ArrayBytes > s.opts.MaxVerifyArrayBytes {
+		return fmt.Errorf("service: verified arrays are limited to %d bytes (got %d); set verify false for timing-only runs",
+			s.opts.MaxVerifyArrayBytes, cfg.ArrayBytes)
+	}
+	return nil
+}
+
+// enqueue pushes a stored job onto the bounded queue, undoing the store
+// on overflow or after Close. Holding closeMu.RLock across the push
+// guarantees every successfully queued job is visible to Close's drain.
+func (s *Server) enqueue(j *Job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		s.jobs.remove(j.ID())
+		return ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		s.jobs.remove(j.ID())
+		return ErrQueueFull
+	}
+}
+
+// worker pulls jobs until Close. quit is checked with priority first:
+// a two-way select with both channels ready picks randomly, which would
+// let workers keep draining a full queue long after Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.execute(j)
+		}
+	}
+}
+
+// execute runs one job to a terminal state. A panic in the simulator
+// (or a hostile configuration that slipped past validation) fails the
+// job instead of killing the whole server.
+func (s *Server) execute(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.finish(StatusFailed, func(v *View) {
+				v.Error = fmt.Sprintf("job panicked: %v", r)
+			})
+		}
+	}()
+	j.start()
+	switch j.Snapshot().Kind {
+	case KindRun:
+		s.executeRun(j)
+	case KindSweep:
+		s.executeSweep(j)
+	default:
+		j.finish(StatusFailed, func(v *View) { v.Error = fmt.Sprintf("unknown job kind %q", v.Kind) })
+	}
+}
+
+// rehome returns a shallow copy of a cached result with its Config
+// replaced by the requesting configuration, so a cache hit reads
+// exactly like a fresh evaluation no matter which canonically-equal
+// spelling primed the entry. The cached entry stays untouched.
+func rehome(res *core.Result, cfg core.Config) *core.Result {
+	r := *res
+	r.Config = cfg
+	return &r
+}
+
+// claimFlight registers fp as in-flight. leader is true for the caller
+// that should execute; followers get the leader's completion channel.
+func (s *Server) claimFlight(fp string) (leader bool, ch chan struct{}) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if ch, ok := s.flight[fp]; ok {
+		return false, ch
+	}
+	ch = make(chan struct{})
+	s.flight[fp] = ch
+	return true, ch
+}
+
+// releaseFlight unregisters fp and wakes the followers.
+func (s *Server) releaseFlight(fp string, ch chan struct{}) {
+	s.flightMu.Lock()
+	delete(s.flight, fp)
+	s.flightMu.Unlock()
+	close(ch)
+}
+
+// executeRun serves a run job from the cache when possible, otherwise
+// simulates and populates the cache. Concurrent identical runs are
+// deduplicated: one leader simulates, followers wait and then read the
+// cache (if the leader failed, the next follower takes over).
+func (s *Server) executeRun(j *Job) {
+	snap := j.Snapshot()
+	finishCached := func(res *core.Result) {
+		j.finish(StatusDone, func(v *View) {
+			v.Cached = true
+			v.Result = rehome(res, j.cfg)
+		})
+	}
+	// Dedup only pays off when the cache can hand followers the leader's
+	// result; with caching disabled, identical runs execute in parallel.
+	if s.cache.enabled() {
+		for {
+			if res, ok := s.cache.get(snap.Fingerprint); ok {
+				finishCached(res)
+				return
+			}
+			leader, ch := s.claimFlight(snap.Fingerprint)
+			if !leader {
+				<-ch
+				continue
+			}
+			// The previous leader may have filled the cache between our
+			// miss and the claim; re-check so a promoted follower never
+			// re-simulates a cached configuration.
+			if res, ok := s.cache.get(snap.Fingerprint); ok {
+				s.releaseFlight(snap.Fingerprint, ch)
+				finishCached(res)
+				return
+			}
+			defer s.releaseFlight(snap.Fingerprint, ch)
+			break
+		}
+	}
+	dev, err := s.opts.NewDevice(snap.Target)
+	if err != nil {
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	res, err := core.Run(dev, j.cfg)
+	if err != nil {
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	s.cache.put(snap.Fingerprint, res)
+	j.finish(StatusDone, func(v *View) { v.Result = res })
+}
+
+// executeSweep evaluates a grid with per-point cache integration: points
+// already in the result cache are reused, the misses fan out over
+// dse.EvalParallel, and fresh feasible results are inserted back so
+// later runs and sweeps hit. The assembled ranking is byte-identical to
+// dse.Explore over the same grid.
+func (s *Server) executeSweep(j *Job) {
+	snap := j.Snapshot()
+	cfgs := j.space.Configs(j.base)
+
+	pts := make([]dse.Point, len(cfgs))
+	fps := make([]string, len(cfgs))
+	var missCfgs []core.Config
+	var missLabels []string
+	var missIdx []int
+	cachedPoints := 0
+	for i, cfg := range cfgs {
+		// With the cache disabled, skip fingerprinting and lookups
+		// entirely — same guard executeRun applies.
+		if s.cache.enabled() {
+			fps[i] = cfg.Fingerprint(snap.Target)
+			if res, ok := s.cache.get(fps[i]); ok {
+				pts[i] = dse.Point{Label: dse.ConfigLabel(cfg), Config: cfg, Result: rehome(res, cfg)}
+				cachedPoints++
+				continue
+			}
+		}
+		missCfgs = append(missCfgs, cfg)
+		missLabels = append(missLabels, dse.ConfigLabel(cfg))
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missCfgs) > 0 {
+		// A factory failure is an infrastructure error, not an infeasible
+		// design point: record it and fail the whole job instead of
+		// reporting a successful sweep full of phantom infeasibles.
+		var factoryErr atomic.Pointer[error]
+		factory := func() (device.Device, error) {
+			dev, err := s.opts.NewDevice(snap.Target)
+			if err != nil {
+				factoryErr.CompareAndSwap(nil, &err)
+			}
+			return dev, err
+		}
+		fresh := dse.EvalParallel(factory, missCfgs, missLabels, s.opts.SweepWorkers)
+		if errp := factoryErr.Load(); errp != nil {
+			// EvalParallel marks the claimed point whenever the factory
+			// fails, so a recorded error always means unevaluated points.
+			err := *errp
+			j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+			return
+		}
+		for k, p := range fresh {
+			i := missIdx[k]
+			pts[i] = p
+			if p.Err == nil {
+				s.cache.put(fps[i], p.Result)
+			}
+		}
+	}
+
+	ex := dse.Rank(pts, j.op)
+	j.finish(StatusDone, func(v *View) {
+		v.Sweep = &ex
+		v.CachedPoints = cachedPoints
+	})
+}
+
+// health is the /v1/healthz body.
+type health struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	QueueLength   int            `json:"queue_length"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[Status]int `json:"jobs"`
+	Cache         CacheStats     `json:"cache"`
+}
+
+func (s *Server) health() health {
+	return health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueLength:   len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          s.jobs.counts(),
+		Cache:         s.cache.stats(),
+	}
+}

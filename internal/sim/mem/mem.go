@@ -15,6 +15,7 @@ package mem
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Op distinguishes reads from writes.
@@ -74,14 +75,48 @@ func (k PatternKind) String() string {
 	}
 }
 
+// ParsePatternKind resolves a pattern-kind name (case-insensitive).
+func ParsePatternKind(s string) (PatternKind, error) {
+	switch strings.ToLower(s) {
+	case "contiguous", "contig":
+		return Contiguous, nil
+	case "strided", "stride":
+		return Strided, nil
+	case "colmajor2d", "colmajor":
+		return ColMajor2D, nil
+	default:
+		return 0, fmt.Errorf("mem: unknown pattern kind %q (want contiguous|strided|colmajor2d)", s)
+	}
+}
+
+// MarshalText encodes the pattern kind as its name, for the JSON wire
+// format of the service layer.
+func (k PatternKind) MarshalText() ([]byte, error) {
+	if k > ColMajor2D {
+		return nil, fmt.Errorf("mem: unknown pattern kind %d", uint8(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText decodes a pattern-kind name.
+func (k *PatternKind) UnmarshalText(b []byte) error {
+	v, err := ParsePatternKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Pattern describes a walk order over an array of elements.
 type Pattern struct {
-	Kind PatternKind
+	Kind PatternKind `json:"kind"`
 	// StrideElems is the element stride for Strided patterns; must be >= 1.
-	StrideElems int
+	StrideElems int `json:"stride_elems,omitempty"`
 	// Rows, Cols give the matrix shape for ColMajor2D. Zero means derive a
 	// near-square shape from the element count (Shape2D).
-	Rows, Cols int
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 }
 
 // ContiguousPattern returns the contiguous walk.

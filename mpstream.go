@@ -24,6 +24,7 @@ import (
 	"mpstream/internal/experiments"
 	"mpstream/internal/hoststream"
 	"mpstream/internal/kernel"
+	"mpstream/internal/service"
 	"mpstream/internal/sim/mem"
 )
 
@@ -122,6 +123,31 @@ type (
 func Explore(dev Device, base Config, space Space, op Op) Exploration {
 	return dse.Explore(dev, base, space, op)
 }
+
+// ExploreParallel is Explore fanned out over GOMAXPROCS goroutines.
+// newDev must return a fresh device per call (e.g. a TargetByID
+// closure): devices carry simulator state and are not shared across
+// workers. Results are byte-identical to Explore over the same grid.
+func ExploreParallel(newDev func() (Device, error), base Config, space Space, op Op) Exploration {
+	return dse.ExploreParallel(dse.DeviceFactory(newDev), base, space, op)
+}
+
+// Benchmark-as-a-service layer (cmd/mpserved): a job queue, bounded
+// worker pool and LRU result cache behind an HTTP JSON API.
+type (
+	// ServiceOptions configures a benchmark service; the zero value is a
+	// production-shaped default.
+	ServiceOptions = service.Options
+	// Service schedules runs and sweeps onto workers and caches results
+	// by canonical configuration fingerprint.
+	Service = service.Server
+	// ServiceJob is one queued benchmark job.
+	ServiceJob = service.Job
+)
+
+// NewService builds a benchmark service and starts its worker pool.
+// Serve its Handler() over HTTP and Close() it when done.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // Experiment reproduction (the paper's figures and tables).
 type Experiment = experiments.Experiment
