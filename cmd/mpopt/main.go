@@ -1,0 +1,183 @@
+// Command mpopt searches a design space for the configuration that
+// maximizes sustained bandwidth on one simulated target, using the
+// budgeted optimizer strategies of internal/dse/search instead of
+// exhaustive enumeration — the terminal-side counterpart of the
+// service's POST /v1/optimize.
+//
+// Examples:
+//
+//	mpopt -target aocl -op triad -strategy hillclimb -budget 20
+//	mpopt -target cpu -strategy anneal -seed 7 -vec 1,2,4,8,16 -unrolls 1,2,4
+//	mpopt -target sdaccel -strategy random -budget 16 -json | jq '.best.label'
+//	mpopt -target aocl -strategy exhaustive -trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
+	"mpstream/internal/kernel"
+	"mpstream/internal/report"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "aocl", "target device: aocl|sdaccel|cpu|gpu")
+		op       = flag.String("op", "triad", "kernel to optimize: copy|scale|add|triad")
+		strategy = flag.String("strategy", "hillclimb", "search strategy: "+strings.Join(search.Strategies(), "|"))
+		budget   = flag.Int("budget", 0, "max unique simulations (0 = the full grid)")
+		seed     = flag.Int64("seed", 0, "RNG seed for stochastic strategies")
+		size     = flag.String("size", "4MB", "per-array size, e.g. 256KB, 4MB")
+		ntimes   = flag.Int("ntimes", core.DefaultNTimes, "repetitions per evaluation")
+		vecs     = flag.String("vec", "1,2,4,8,16", "vector-width axis (comma-separated; empty omits the axis)")
+		loops    = flag.String("loops", "", "loop-mode axis, e.g. ndrange,flat,nested (empty omits)")
+		unrolls  = flag.String("unrolls", "1,2,4", "unroll-factor axis (empty omits)")
+		simds    = flag.String("simds", "", "num_simd_work_items axis (empty omits)")
+		cus      = flag.String("cus", "", "num_compute_units axis (empty omits)")
+		dtypes   = flag.String("types", "int,double", "data-type axis (empty omits)")
+		asJSON   = flag.Bool("json", false, "emit the full search result as JSON")
+		trace    = flag.Bool("trace", false, "print the evaluation trace")
+	)
+	flag.Parse()
+
+	if err := run(*target, *op, *strategy, *budget, *seed, *size, *ntimes,
+		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *asJSON, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "mpopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, opName, strategy string, budget int, seed int64, size string, ntimes int,
+	vecs, loops, unrolls, simds, cus, dtypes string, asJSON, trace bool) error {
+	dev, err := targets.ByID(target)
+	if err != nil {
+		return err
+	}
+	op, err := kernel.ParseOp(opName)
+	if err != nil {
+		return err
+	}
+	base := core.DefaultConfig()
+	base.NTimes = ntimes
+	if base.ArrayBytes, err = report.ParseBytes(size); err != nil {
+		return err
+	}
+	space, err := parseSpace(vecs, loops, unrolls, simds, cus, dtypes)
+	if err != nil {
+		return err
+	}
+
+	res, err := search.Run(dev, base, space, op, search.Options{
+		Strategy: strategy,
+		Budget:   budget,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return writeText(os.Stdout, dev.Info().ID, op, res, trace)
+}
+
+// parseSpace assembles the search grid from the per-axis flag values.
+func parseSpace(vecs, loops, unrolls, simds, cus, dtypes string) (dse.Space, error) {
+	var s dse.Space
+	var err error
+	if s.VecWidths, err = parseInts("vec", vecs); err != nil {
+		return s, err
+	}
+	if s.Unrolls, err = parseInts("unrolls", unrolls); err != nil {
+		return s, err
+	}
+	if s.SIMDs, err = parseInts("simds", simds); err != nil {
+		return s, err
+	}
+	if s.CUs, err = parseInts("cus", cus); err != nil {
+		return s, err
+	}
+	for _, f := range splitList(loops) {
+		lm, err := kernel.ParseLoopMode(f)
+		if err != nil {
+			return s, err
+		}
+		s.Loops = append(s.Loops, lm)
+	}
+	for _, f := range splitList(dtypes) {
+		dt, err := kernel.ParseDataType(f)
+		if err != nil {
+			return s, err
+		}
+		s.Types = append(s.Types, dt)
+	}
+	return s, nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(axis, s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s value %q", axis, f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeText renders the human-readable report: the summary line, the
+// best point, the Pareto front, and optionally the trace.
+func writeText(w *os.File, target string, op kernel.Op, res *search.Result, trace bool) error {
+	fmt.Fprintf(w, "mpopt -- %s on %s, strategy=%s seed=%d\n", op, target, res.Strategy, res.Seed)
+	fmt.Fprintf(w, "space=%d points, budget=%d, simulated=%d (revisits deduplicated: %d), infeasible=%d\n",
+		res.SpaceSize, res.Budget, res.Evaluations, res.Revisits, res.Exploration.Infeasible)
+	if res.Best == nil {
+		fmt.Fprintln(w, "no feasible configuration found")
+		return nil
+	}
+	fmt.Fprintf(w, "best: %s at %.3f GB/s\n\n", res.Best.Label, res.BestGBps)
+
+	tb := report.NewTable("pareto point", "GB/s", "logic", "regs", "bram", "dsp")
+	for _, p := range res.Pareto {
+		tb.AddRowf(p.Label, p.GBps, p.Resources.Logic, p.Resources.Registers, p.Resources.BRAM, p.Resources.DSP)
+	}
+	if err := tb.WriteText(w); err != nil {
+		return err
+	}
+
+	if trace {
+		fmt.Fprintln(w)
+		tt := report.NewTable("step", "label", "GB/s", "feasible", "best")
+		for _, t := range res.Trace {
+			tt.AddRowf(t.Step, t.Label, t.GBps, fmt.Sprintf("%v", t.Feasible), fmt.Sprintf("%v", t.Best))
+		}
+		return tt.WriteText(w)
+	}
+	return nil
+}

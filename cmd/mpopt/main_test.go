@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+func TestRunText(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("aocl", "triad", "hillclimb", 10, 1, "64KB", 2,
+			"1,2,4", "", "1,2", "", "", "int,double", false, true)
+	})
+	for _, want := range []string{"strategy=hillclimb", "best:", "pareto point", "step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("cpu", "copy", "random", 4, 2, "64KB", 2,
+			"1,2,4,8", "", "", "", "", "", true, false)
+	})
+	var res struct {
+		Strategy    string `json:"strategy"`
+		Evaluations int    `json:"evaluations"`
+		Best        *struct {
+			Label string `json:"label"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if res.Strategy != "random" || res.Evaluations == 0 || res.Best == nil || res.Best.Label == "" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"unknown target", func() error {
+			return run("tpu", "copy", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+		}},
+		{"unknown op", func() error {
+			return run("cpu", "transpose", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+		}},
+		{"unknown strategy", func() error {
+			return run("cpu", "copy", "bogo", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+		}},
+		{"bad size", func() error {
+			return run("cpu", "copy", "random", 1, 0, "nope", 2, "1", "", "", "", "", "", false, false)
+		}},
+		{"bad axis value", func() error {
+			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "one", "", "", "", "", "", false, false)
+		}},
+		{"bad loop mode", func() error {
+			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "1", "spiral", "", "", "", "", false, false)
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.f(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Budgeted design-space optimization: find a near-best TRIAD
+// configuration on the AOCL FPGA with simulated annealing, spending a
+// fraction of the simulations exhaustive exploration would, and print
+// the bandwidth-versus-resources Pareto front the search uncovered
+// along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpstream"
+)
+
+func main() {
+	dev, err := mpstream.TargetByID("aocl")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := mpstream.DefaultConfig()
+	base.ArrayBytes = 4 << 20
+	base.NTimes = 2
+
+	// 270 grid points; the budget pays for 40 simulations.
+	space := mpstream.Space{
+		VecWidths: []int{1, 2, 4, 8, 16},
+		Loops:     []mpstream.LoopMode{mpstream.NDRange, mpstream.FlatLoop, mpstream.NestedLoop},
+		Unrolls:   []int{1, 2, 4},
+		SIMDs:     []int{1, 4, 8},
+		Types:     []mpstream.DataType{mpstream.Int32, mpstream.Float64},
+	}
+
+	res, err := mpstream.Optimize(dev, base, space, mpstream.Triad, mpstream.SearchOptions{
+		Strategy: "anneal",
+		Budget:   40,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d of %d points (%d revisits were free)\n",
+		res.Evaluations, res.SpaceSize, res.Revisits)
+	if res.Best != nil {
+		fmt.Printf("best: %s at %.2f GB/s\n", res.Best.Label, res.BestGBps)
+	}
+	fmt.Println("pareto front (bandwidth vs. FPGA resources):")
+	for _, p := range res.Pareto {
+		fmt.Printf("  %-24s %7.2f GB/s  logic=%d bram=%d dsp=%d\n",
+			p.Label, p.GBps, p.Resources.Logic, p.Resources.BRAM, p.Resources.DSP)
+	}
+}

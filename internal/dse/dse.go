@@ -7,7 +7,6 @@ package dse
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"mpstream/internal/core"
@@ -151,63 +150,6 @@ func SweepTypes(dev device.Device, base core.Config) []Point {
 		pts = append(pts, run(dev, cfg, dt.String()))
 	}
 	return pts
-}
-
-// Space is a parameter grid for exhaustive exploration. Nil axes keep the
-// base configuration's value.
-type Space struct {
-	VecWidths []int             `json:"vec_widths,omitempty"`
-	Loops     []kernel.LoopMode `json:"loops,omitempty"`
-	Unrolls   []int             `json:"unrolls,omitempty"`
-	SIMDs     []int             `json:"simds,omitempty"`
-	CUs       []int             `json:"cus,omitempty"`
-	Types     []kernel.DataType `json:"types,omitempty"`
-}
-
-// Size returns the number of grid points, saturating at MaxInt on
-// overflow so size guards cannot be bypassed by wraparound.
-func (s Space) Size() int {
-	n := 1
-	for _, axis := range []int{len(s.VecWidths), len(s.Loops), len(s.Unrolls), len(s.SIMDs), len(s.CUs), len(s.Types)} {
-		if axis > 0 {
-			if n > math.MaxInt/axis {
-				return math.MaxInt
-			}
-			n *= axis
-		}
-	}
-	return n
-}
-
-// Configs enumerates the grid over a base configuration.
-func (s Space) Configs(base core.Config) []core.Config {
-	cfgs := []core.Config{base}
-	expand := func(in []core.Config, n int, apply func(*core.Config, int)) []core.Config {
-		if n == 0 {
-			return in
-		}
-		out := make([]core.Config, 0, len(in)*n)
-		for _, c := range in {
-			for i := 0; i < n; i++ {
-				cc := c
-				apply(&cc, i)
-				out = append(out, cc)
-			}
-		}
-		return out
-	}
-	cfgs = expand(cfgs, len(s.VecWidths), func(c *core.Config, i int) { c.VecWidth = s.VecWidths[i] })
-	cfgs = expand(cfgs, len(s.Loops), func(c *core.Config, i int) { c.OptimalLoop = false; c.Loop = s.Loops[i] })
-	cfgs = expand(cfgs, len(s.Unrolls), func(c *core.Config, i int) { c.Attrs.Unroll = s.Unrolls[i] })
-	cfgs = expand(cfgs, len(s.SIMDs), func(c *core.Config, i int) {
-		c.Attrs.NumSIMDWorkItems = s.SIMDs[i]
-		if s.SIMDs[i] > 1 && c.Attrs.ReqdWorkGroupSize == 0 {
-			c.Attrs.ReqdWorkGroupSize = 256
-		}
-	})
-	cfgs = expand(cfgs, len(s.CUs), func(c *core.Config, i int) { c.Attrs.NumComputeUnits = s.CUs[i] })
-	cfgs = expand(cfgs, len(s.Types), func(c *core.Config, i int) { c.Type = s.Types[i] })
-	return cfgs
 }
 
 // Exploration is the outcome of an exhaustive search.

@@ -1,0 +1,48 @@
+package search_test
+
+import (
+	"fmt"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
+	"mpstream/internal/kernel"
+)
+
+// ExampleRun optimizes triad bandwidth on the simulated AOCL FPGA with
+// budgeted hill climbing instead of enumerating the full grid. The
+// simulator is deterministic and the strategy is seeded, so the output
+// is stable.
+func ExampleRun() {
+	dev, err := targets.ByID("aocl")
+	if err != nil {
+		panic(err)
+	}
+	base := core.DefaultConfig()
+	base.ArrayBytes = 1 << 16
+	base.NTimes = 2
+
+	space := dse.Space{
+		VecWidths: []int{1, 2, 4, 8, 16},
+		Unrolls:   []int{1, 2, 4},
+		Types:     []kernel.DataType{kernel.Int32, kernel.Float64},
+	}
+
+	res, err := search.Run(dev, base, space, kernel.Triad, search.Options{
+		Strategy: "hillclimb",
+		Budget:   12, // the full grid has 30 points; spend 12 simulations
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("strategy %s: %d/%d points simulated\n", res.Strategy, res.Evaluations, res.SpaceSize)
+	fmt.Printf("best: %s\n", res.Best.Label)
+	fmt.Printf("pareto front holds %d trade-offs\n", len(res.Pareto))
+	// Output:
+	// strategy hillclimb: 12/30 points simulated
+	// best: double-v4-auto
+	// pareto front holds 3 trade-offs
+}

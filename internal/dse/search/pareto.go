@@ -1,0 +1,78 @@
+package search
+
+import (
+	"sort"
+
+	"mpstream/internal/core"
+	"mpstream/internal/dse"
+	"mpstream/internal/fabric"
+	"mpstream/internal/kernel"
+)
+
+// ParetoPoint is one non-dominated point of the bandwidth-versus-
+// resources trade-off.
+type ParetoPoint struct {
+	Label  string      `json:"label"`
+	Config core.Config `json:"config"`
+	// GBps is the bandwidth objective (maximized).
+	GBps float64 `json:"gbps"`
+	// Resources is the FPGA footprint objective vector (minimized
+	// component-wise). All-zero for targets that report no resources
+	// (CPU, GPU), which collapses the front to the bandwidth optimum.
+	Resources    fabric.Resources `json:"resources"`
+	HasResources bool             `json:"has_resources"`
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one: higher bandwidth,
+// component-wise lower resource usage.
+func dominates(a, b ParetoPoint) bool {
+	if a.GBps < b.GBps ||
+		a.Resources.Logic > b.Resources.Logic ||
+		a.Resources.Registers > b.Resources.Registers ||
+		a.Resources.BRAM > b.Resources.BRAM ||
+		a.Resources.DSP > b.Resources.DSP {
+		return false
+	}
+	return a.GBps > b.GBps ||
+		a.Resources.Logic < b.Resources.Logic ||
+		a.Resources.Registers < b.Resources.Registers ||
+		a.Resources.BRAM < b.Resources.BRAM ||
+		a.Resources.DSP < b.Resources.DSP
+}
+
+// ParetoFront filters the feasible points down to the non-dominated
+// bandwidth/resource trade-offs, the multi-objective view the paper's
+// FPGA exploration motivates: the fastest design is rarely the only
+// interesting one when it burns most of the part. The front is sorted
+// best bandwidth first (stable on input order for ties), so element 0
+// always agrees with the bandwidth-only winner.
+func ParetoFront(pts []dse.Point, op kernel.Op) []ParetoPoint {
+	// Non-nil so an all-infeasible search marshals as [], not null.
+	cands := []ParetoPoint{}
+	for _, p := range pts {
+		if p.Err != nil || p.Result == nil {
+			continue
+		}
+		pp := ParetoPoint{Label: p.Label, Config: p.Config, GBps: p.GBps(op)}
+		if p.Result.HasResources {
+			pp.Resources, pp.HasResources = p.Result.Resources, true
+		}
+		cands = append(cands, pp)
+	}
+	front := []ParetoPoint{}
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i != j && dominates(o, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.SliceStable(front, func(i, j int) bool { return front[i].GBps > front[j].GBps })
+	return front
+}

@@ -1,0 +1,193 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+var negInf = math.Inf(-1)
+
+// Strategy decides which grid points to evaluate. Search drives the
+// engine until the budget is spent (Engine evaluations return ok ==
+// false), the space is exhausted, or the strategy has nothing further
+// to try. Implementations must take all randomness from Engine.Rand so
+// seeded runs reproduce.
+type Strategy interface {
+	// Name is the registry key and the name reported in Result.
+	Name() string
+	// Search runs the strategy to completion on e.
+	Search(e *Engine)
+}
+
+// registry holds the known strategies. Factories (rather than shared
+// instances) keep strategies free to carry per-run state.
+var registry = map[string]func() Strategy{}
+
+// Register adds a strategy factory under its name. Registering a
+// duplicate name panics: strategies are wired at init time and a
+// collision is a programming error.
+func Register(name string, f func() Strategy) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("search: strategy %q already registered", name))
+	}
+	registry[name] = f
+}
+
+// Lookup resolves a strategy by name; empty selects exhaustive. The
+// error lists the known names, so it is directly servable as an HTTP
+// 400 body.
+func Lookup(name string) (Strategy, error) {
+	if name == "" {
+		name = "exhaustive"
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown strategy %q (want one of %v)", name, Strategies())
+	}
+	return f(), nil
+}
+
+// Strategies lists the registered strategy names, sorted.
+func Strategies() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("exhaustive", func() Strategy { return exhaustive{} })
+	Register("random", func() Strategy { return random{} })
+	Register("hillclimb", func() Strategy { return hillClimb{} })
+	Register("anneal", func() Strategy { return anneal{} })
+}
+
+// exhaustive walks the grid in flat enumeration order — the dse.Explore
+// baseline expressed as a Strategy. At full budget over a space whose
+// axis values are canonically distinct its Result.Exploration is
+// identical to dse.Explore; under a budget it is a truncated prefix
+// scan, useful as a worst-case comparison for the adaptive strategies.
+type exhaustive struct{}
+
+func (exhaustive) Name() string { return "exhaustive" }
+
+func (exhaustive) Search(e *Engine) {
+	for i := 0; i < e.Size(); i++ {
+		if _, ok := e.EvalFlat(i); !ok {
+			return
+		}
+	}
+}
+
+// random samples the grid uniformly with replacement. Dedup makes
+// repeated draws free, so the budget buys distinct points; the attempt
+// cap bounds the tail where a small space is almost fully explored and
+// fresh draws mostly collide.
+type random struct{}
+
+func (random) Name() string { return "random" }
+
+func (random) Search(e *Engine) {
+	maxAttempts := 16*e.Budget() + 64
+	for attempts := 0; attempts < maxAttempts && !e.Done(); attempts++ {
+		if _, ok := e.EvalFlat(e.Rand().Intn(e.Size())); !ok {
+			return
+		}
+	}
+}
+
+// hillClimb is first-improvement hill climbing with random restarts:
+// from a random point, move to the first Hamming-1 neighbor that
+// strictly improves bandwidth; at a local optimum, restart. Climbs are
+// strictly monotone, so each restart terminates; revisited points are
+// free, so climbing back through known territory costs no budget.
+type hillClimb struct{}
+
+func (hillClimb) Name() string { return "hillclimb" }
+
+func (hillClimb) Search(e *Engine) {
+	// Restarts that land on explored territory cost nothing but also
+	// find nothing; cap them so a nearly-exhausted space terminates.
+	maxRestarts := 4*e.Budget() + 16
+	for restart := 0; restart < maxRestarts && !e.Done(); restart++ {
+		cur := e.RandomIndex()
+		curPt, ok := e.EvalIndex(cur)
+		if !ok {
+			return
+		}
+		curScore := e.Score(curPt)
+		for improved := true; improved; {
+			improved = false
+			for _, nb := range e.Space().Neighbors(cur) {
+				p, ok := e.EvalIndex(nb)
+				if !ok {
+					return
+				}
+				if s := e.Score(p); s > curScore {
+					cur, curScore, improved = nb, s, true
+					break
+				}
+			}
+		}
+	}
+}
+
+// anneal is simulated annealing over the Hamming-1 neighborhood:
+// uphill moves are always taken, downhill moves with probability
+// exp(Δ/(T·ref)) where Δ is the (negative) bandwidth change, ref the
+// incumbent best bandwidth (keeping acceptance scale-free across
+// devices whose bandwidths differ by orders of magnitude), and T
+// cools geometrically over the step schedule. Infeasible proposals are
+// never accepted but an infeasible *start* accepts any feasible move.
+type anneal struct{}
+
+func (anneal) Name() string { return "anneal" }
+
+const (
+	annealT0 = 0.30  // initial relative temperature
+	annealT1 = 0.005 // final relative temperature
+)
+
+func (anneal) Search(e *Engine) {
+	cur := e.RandomIndex()
+	curPt, ok := e.EvalIndex(cur)
+	if !ok {
+		return
+	}
+	curScore := e.Score(curPt)
+	// Proposals revisit freely; the step schedule (not the budget) is
+	// what cools and terminates the walk.
+	maxSteps := 16*e.Budget() + 64
+	for step := 0; step < maxSteps && !e.Done(); step++ {
+		nbs := e.Space().Neighbors(cur)
+		if len(nbs) == 0 {
+			return // zero-dimensional space
+		}
+		nb := nbs[e.Rand().Intn(len(nbs))]
+		p, ok := e.EvalIndex(nb)
+		if !ok {
+			return
+		}
+		s := e.Score(p)
+		// Infeasible proposals (s == -Inf) are never accepted, even from
+		// an infeasible start; they still bill the budget when unique,
+		// which is honest — a real FPGA compile that fails to fit costs
+		// the same tool time as one that fits.
+		accept := s >= curScore && !math.IsInf(s, -1)
+		if !accept && !math.IsInf(s, -1) {
+			frac := float64(step) / float64(maxSteps)
+			t := annealT0 * math.Pow(annealT1/annealT0, frac)
+			ref := e.BestScore()
+			if ref <= 0 {
+				ref = 1
+			}
+			accept = e.Rand().Float64() < math.Exp((s-curScore)/(ref*t))
+		}
+		if accept {
+			cur, curScore = nb, s
+		}
+	}
+}

@@ -5,14 +5,21 @@ import (
 	"sync"
 
 	"mpstream/internal/core"
+	"mpstream/internal/dse/search"
 )
 
-// resultCache is a thread-safe LRU over completed runs, keyed by the
-// canonical (target, config) fingerprint. The simulator is
-// deterministic, so a cached *core.Result is exactly what a re-run
-// would produce; entries are shared read-only between the cache and
-// responses and must not be mutated.
-type resultCache struct {
+// lruCache is a thread-safe LRU keyed by canonical fingerprint,
+// parameterized over the cached value. The simulator is deterministic,
+// so a cached value is exactly what a re-execution would produce;
+// entries are shared read-only between the cache and responses and
+// must not be mutated.
+//
+// Two instantiations exist: the run-result cache (fingerprint of one
+// (target, config) pair -> *core.Result, also consulted per grid point
+// by sweeps and per evaluation by optimizer jobs) and the optimizer
+// cache (fingerprint of a whole (target, base, space, op, strategy,
+// budget, seed) request -> *search.Result).
+type lruCache[V any] struct {
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recently used
@@ -21,15 +28,28 @@ type resultCache struct {
 	hits, misses uint64
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key string
-	res *core.Result
+	val V
 }
 
-// newResultCache builds a cache holding up to max entries; max <= 0
-// disables caching entirely (every lookup misses, puts are dropped).
-func newResultCache(max int) *resultCache {
-	return &resultCache{
+// resultCache caches completed run results.
+type resultCache = lruCache[*core.Result]
+
+// optimizeCache caches completed optimizer results.
+type optimizeCache = lruCache[*search.Result]
+
+// newResultCache builds a run-result cache holding up to max entries;
+// max <= 0 disables caching entirely (every lookup misses, puts are
+// dropped).
+func newResultCache(max int) *resultCache { return newLRU[*core.Result](max) }
+
+// newOptimizeCache builds an optimizer-result cache with the same
+// max/disable semantics.
+func newOptimizeCache(max int) *optimizeCache { return newLRU[*search.Result](max) }
+
+func newLRU[V any](max int) *lruCache[V] {
+	return &lruCache[V]{
 		max:   max,
 		order: list.New(),
 		items: make(map[string]*list.Element),
@@ -37,40 +57,41 @@ func newResultCache(max int) *resultCache {
 }
 
 // enabled reports whether the cache stores anything at all.
-func (c *resultCache) enabled() bool { return c.max > 0 }
+func (c *lruCache[V]) enabled() bool { return c.max > 0 }
 
-// get returns the cached result for key, promoting it to most recent.
-func (c *resultCache) get(key string) (*core.Result, bool) {
+// get returns the cached value for key, promoting it to most recent.
+func (c *lruCache[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return el.Value.(*cacheEntry[V]).val, true
 }
 
 // put inserts or refreshes key, evicting the least recently used entry
 // when over capacity.
-func (c *resultCache) put(key string, res *core.Result) {
-	if c.max <= 0 || res == nil {
+func (c *lruCache[V]) put(key string, val V) {
+	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		el.Value.(*cacheEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.order.PushFront(&cacheEntry[V]{key: key, val: val})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
 	}
 }
 
@@ -83,7 +104,7 @@ type CacheStats struct {
 }
 
 // stats snapshots the counters.
-func (c *resultCache) stats() CacheStats {
+func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{

@@ -9,6 +9,7 @@ import (
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
 )
 
@@ -30,6 +31,21 @@ type SweepRequest struct {
 	Space  dse.Space    `json:"space"`
 	Op     *kernel.Op   `json:"op,omitempty"`
 	Async  bool         `json:"async,omitempty"`
+}
+
+// OptimizeRequest is the POST /v1/optimize body. A nil base starts
+// from the default configuration; op defaults to copy; an empty
+// strategy means exhaustive; budget 0 means the full space (subject to
+// the server's budget limit); equal seeds reproduce equal searches.
+type OptimizeRequest struct {
+	Target   string       `json:"target"`
+	Base     *core.Config `json:"base,omitempty"`
+	Space    dse.Space    `json:"space"`
+	Op       *kernel.Op   `json:"op,omitempty"`
+	Strategy string       `json:"strategy,omitempty"`
+	Budget   int          `json:"budget,omitempty"`
+	Seed     int64        `json:"seed,omitempty"`
+	Async    bool         `json:"async,omitempty"`
 }
 
 // JobResponse wraps every job-bearing response body.
@@ -78,7 +94,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/run        run one configuration (sync, or async with "async": true)
-//	POST /v1/sweep      explore a parameter grid
+//	POST /v1/sweep      explore a parameter grid exhaustively
+//	POST /v1/optimize   search a parameter grid with a budgeted strategy
 //	GET  /v1/jobs       list all jobs
 //	GET  /v1/jobs/{id}  poll one job
 //	GET  /v1/targets    list benchmark targets
@@ -87,6 +104,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
@@ -164,6 +182,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		op = *req.Op
 	}
 	j, err := s.SubmitSweep(req.Target, base, req.Space, op)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	base := core.DefaultConfig()
+	if req.Base != nil {
+		base = *req.Base
+	}
+	op := kernel.Copy
+	if req.Op != nil {
+		op = *req.Op
+	}
+	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed}
+	j, err := s.SubmitOptimize(req.Target, base, req.Space, op, opts)
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return

@@ -8,16 +8,18 @@ import (
 
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
 )
 
-// Kind distinguishes the two job shapes the service executes.
+// Kind distinguishes the job shapes the service executes.
 type Kind string
 
 // Job kinds.
 const (
-	KindRun   Kind = "run"   // one configuration on one target
-	KindSweep Kind = "sweep" // a parameter grid on one target
+	KindRun      Kind = "run"      // one configuration on one target
+	KindSweep    Kind = "sweep"    // a parameter grid on one target
+	KindOptimize Kind = "optimize" // a budgeted strategy search over a grid
 )
 
 // Status is the job lifecycle state.
@@ -44,16 +46,20 @@ type View struct {
 	// Cached reports that the result was served from the LRU cache
 	// without re-running the simulator.
 	Cached bool `json:"cached,omitempty"`
-	// CachedPoints counts sweep grid points served from the cache.
+	// CachedPoints counts sweep grid points (or optimizer evaluations)
+	// served from the run-result cache.
 	CachedPoints int `json:"cached_points,omitempty"`
-	// Fingerprint is the canonical (target, config) hash of a run job —
-	// the result-cache key.
+	// Fingerprint is the cache key of the job: the canonical (target,
+	// config) hash for a run, or the canonical (target, base, space,
+	// op, strategy, budget, seed) hash for an optimize.
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Result carries a finished run job's measurement.
 	Result *core.Result `json:"result,omitempty"`
 	// Sweep carries a finished sweep job's ranked exploration.
 	Sweep *dse.Exploration `json:"sweep,omitempty"`
-	Error string           `json:"error,omitempty"`
+	// Optimize carries a finished optimize job's search outcome.
+	Optimize *search.Result `json:"optimize,omitempty"`
+	Error    string         `json:"error,omitempty"`
 }
 
 // Job is one queued unit of work. All mutation goes through the job's
@@ -66,10 +72,12 @@ type Job struct {
 	// run parameters
 	cfg core.Config
 
-	// sweep parameters
+	// sweep and optimize parameters
 	base  core.Config
 	space dse.Space
 	op    kernel.Op
+	// optimize parameters (normalized at submit time)
+	sopts search.Options
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}

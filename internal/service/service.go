@@ -1,10 +1,10 @@
 // Package service is the benchmark-as-a-service layer: a long-lived
-// server that schedules MP-STREAM runs and design-space sweeps onto a
-// bounded worker pool, caches results by canonical configuration
-// fingerprint, and exposes everything over an HTTP JSON API
-// (cmd/mpserved). It turns the one-shot CLI workflow into the
-// programmatic exploration service the paper's design-space-exploration
-// framing calls for.
+// server that schedules MP-STREAM runs, design-space sweeps and
+// budgeted optimizer searches (dse/search) onto a bounded worker pool,
+// caches results by canonical fingerprint, and exposes everything over
+// an HTTP JSON API (cmd/mpserved). It turns the one-shot CLI workflow
+// into the programmatic exploration service the paper's
+// design-space-exploration framing calls for.
 //
 // Concurrency model: Submit places a job on a bounded queue; Workers
 // goroutines (GOMAXPROCS by default) pull jobs and execute them. Each
@@ -13,9 +13,22 @@
 // fan their grid points out over dse.EvalParallel, and every grid point
 // consults the same result cache a /v1/run request does, so sweeps and
 // runs share work transparently.
+//
+// Caching happens at two granularities. The run-result LRU holds
+// individual simulations keyed by (target, canonical config) and is
+// shared by runs, sweep grid points and optimizer evaluations. The
+// optimizer LRU holds whole search outcomes keyed by the full request
+// tuple (target, base, space, op, strategy, budget, seed) — sound
+// because seeded searches over a deterministic simulator reproduce
+// exactly. Both identical runs and identical optimize requests are
+// single-flighted: concurrent duplicates wait for one leader and then
+// read its cached result.
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,6 +40,7 @@ import (
 	"mpstream/internal/device"
 	"mpstream/internal/device/targets"
 	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
 )
 
@@ -37,6 +51,11 @@ const (
 	// DefaultMaxSweepPoints bounds a single sweep's grid so one request
 	// cannot monopolize the service.
 	DefaultMaxSweepPoints = 4096
+	// DefaultMaxOptimizeBudget bounds a single optimize job's unique
+	// simulations. The *space* of an optimize job may be far larger
+	// than a sweep's (adaptive search is the point), but the work done
+	// is capped by the budget.
+	DefaultMaxOptimizeBudget = 4096
 	// DefaultMaxJobsRetained bounds the job index in a long-lived
 	// server; the oldest finished jobs are evicted beyond it.
 	DefaultMaxJobsRetained = 1024
@@ -73,6 +92,10 @@ type Options struct {
 	// MaxSweepPoints rejects sweeps whose grid exceeds it; <= 0 means
 	// DefaultMaxSweepPoints.
 	MaxSweepPoints int
+	// MaxOptimizeBudget rejects optimize jobs whose effective
+	// evaluation budget exceeds it; <= 0 means
+	// DefaultMaxOptimizeBudget.
+	MaxOptimizeBudget int
 	// MaxJobsRetained bounds the job index: once exceeded, the oldest
 	// finished jobs are evicted (queued and running jobs are never
 	// evicted). <= 0 means DefaultMaxJobsRetained.
@@ -114,6 +137,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = DefaultMaxSweepPoints
 	}
+	if o.MaxOptimizeBudget <= 0 {
+		o.MaxOptimizeBudget = DefaultMaxOptimizeBudget
+	}
 	if o.MaxJobsRetained <= 0 {
 		o.MaxJobsRetained = DefaultMaxJobsRetained
 	}
@@ -142,12 +168,13 @@ func (o Options) withDefaults() Options {
 // Server schedules benchmark jobs onto a worker pool and caches their
 // results. Create with New, serve its Handler, and Close it when done.
 type Server struct {
-	opts  Options
-	infos []device.Info // target list, resolved once at startup
-	jobs  *jobStore
-	queue chan *Job
-	cache *resultCache
-	start time.Time
+	opts     Options
+	infos    []device.Info // target list, resolved once at startup
+	jobs     *jobStore
+	queue    chan *Job
+	cache    *resultCache
+	optCache *optimizeCache
+	start    time.Time
 
 	// flight deduplicates concurrently executing identical run jobs:
 	// fingerprint -> channel closed when the leading execution finishes.
@@ -168,14 +195,15 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:   opts,
-		infos:  opts.TargetInfos(),
-		jobs:   newJobStore(opts.MaxJobsRetained),
-		queue:  make(chan *Job, opts.QueueDepth),
-		cache:  newResultCache(opts.CacheEntries),
-		flight: make(map[string]chan struct{}),
-		start:  time.Now(),
-		quit:   make(chan struct{}),
+		opts:     opts,
+		infos:    opts.TargetInfos(),
+		jobs:     newJobStore(opts.MaxJobsRetained),
+		queue:    make(chan *Job, opts.QueueDepth),
+		cache:    newResultCache(opts.CacheEntries),
+		optCache: newOptimizeCache(opts.CacheEntries),
+		flight:   make(map[string]chan struct{}),
+		start:    time.Now(),
+		quit:     make(chan struct{}),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -263,6 +291,81 @@ func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, o
 	return j, nil
 }
 
+// SubmitOptimize validates and enqueues a budgeted strategy search
+// over a parameter grid on one target. Unlike SubmitSweep the grid
+// itself may be arbitrarily large — adaptive strategies exist exactly
+// so the whole grid need not be simulated — but the effective
+// evaluation budget is bounded by MaxOptimizeBudget.
+func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options) (*Job, error) {
+	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	base.Ops = []kernel.Op{op}
+	base = base.Canonical()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	// The search mutates the base only along grid axes, which never
+	// change size, repetitions or verification: bounding the base
+	// bounds every evaluated point.
+	if err := s.checkLimits(info, base); err != nil {
+		return nil, err
+	}
+	strat, err := search.Lookup(opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	opts.Strategy = strat.Name()
+	if opts.Budget < 0 {
+		return nil, fmt.Errorf("service: optimize budget %d must be >= 0 (0 means the full space)", opts.Budget)
+	}
+	// Normalize to the effective budget so "0" and "the exact space
+	// size" fingerprint identically.
+	if size := space.Size(); opts.Budget == 0 || opts.Budget > size {
+		opts.Budget = size
+	}
+	if opts.Budget > s.opts.MaxOptimizeBudget {
+		return nil, fmt.Errorf("service: optimize budget %d exceeds limit %d (pass an explicit budget)",
+			opts.Budget, s.opts.MaxOptimizeBudget)
+	}
+	j := s.jobs.add(KindOptimize, target)
+	j.mu.Lock()
+	j.base, j.space, j.op, j.sopts = base, space, op, opts
+	j.view.Fingerprint = optimizeFingerprint(target, base, space, op, opts)
+	j.mu.Unlock()
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// optimizeFingerprint digests a whole optimize request. The seeded
+// search is deterministic, so equal fingerprints reproduce equal
+// results — which makes caching whole optimizer runs as sound as
+// caching individual simulations.
+func optimizeFingerprint(target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options) string {
+	req := struct {
+		Base    core.Config    `json:"base"`
+		Space   dse.Space      `json:"space"`
+		Op      kernel.Op      `json:"op"`
+		Options search.Options `json:"options"`
+	}{base.Canonical(), space, op, opts}
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Only reachable with an enum outside its range; digest the Go
+		// representation so distinct invalid requests never collide.
+		b = []byte(fmt.Sprintf("unmarshalable:%s:%#v", err, req))
+	}
+	h := sha256.New()
+	h.Write([]byte("optimize"))
+	h.Write([]byte{0})
+	h.Write([]byte(target))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // checkTarget validates a target id against the (startup-cached) info
 // list — a membership check, not a device construction, so cached runs
 // never touch the simulator at all.
@@ -348,6 +451,8 @@ func (s *Server) execute(j *Job) {
 		s.executeRun(j)
 	case KindSweep:
 		s.executeSweep(j)
+	case KindOptimize:
+		s.executeOptimize(j)
 	default:
 		j.finish(StatusFailed, func(v *View) { v.Error = fmt.Sprintf("unknown job kind %q", v.Kind) })
 	}
@@ -502,6 +607,80 @@ func (s *Server) executeSweep(j *Job) {
 	})
 }
 
+// executeOptimize runs a budgeted strategy search. Whole-request
+// caching mirrors executeRun: identical optimize requests (same
+// target, base, space, op, strategy, budget and seed — the search is
+// deterministic under that tuple) are served from the optimizer LRU,
+// and concurrent identical requests are single-flighted so only the
+// leader searches. Below that, every unique evaluation shares the
+// per-point run-result cache with /v1/run and /v1/sweep, so an
+// optimizer walks for free over territory any earlier job explored.
+func (s *Server) executeOptimize(j *Job) {
+	snap := j.Snapshot()
+	finishCached := func(res *search.Result) {
+		j.finish(StatusDone, func(v *View) {
+			v.Cached = true
+			v.Optimize = res
+		})
+	}
+	if s.optCache.enabled() {
+		for {
+			if res, ok := s.optCache.get(snap.Fingerprint); ok {
+				finishCached(res)
+				return
+			}
+			leader, ch := s.claimFlight(snap.Fingerprint)
+			if !leader {
+				<-ch
+				continue
+			}
+			if res, ok := s.optCache.get(snap.Fingerprint); ok {
+				s.releaseFlight(snap.Fingerprint, ch)
+				finishCached(res)
+				return
+			}
+			defer s.releaseFlight(snap.Fingerprint, ch)
+			break
+		}
+	}
+	dev, err := s.opts.NewDevice(snap.Target)
+	if err != nil {
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	// The search is sequential on one device (strategies are adaptive:
+	// the next evaluation depends on the last), so unlike sweeps there
+	// is no grid fan-out; parallelism comes from concurrent jobs.
+	cachedPoints := 0
+	eval := func(cfg core.Config, label, fp string) dse.Point {
+		if s.cache.enabled() {
+			if res, ok := s.cache.get(fp); ok {
+				cachedPoints++
+				return dse.Point{Label: label, Config: cfg, Result: rehome(res, cfg)}
+			}
+		}
+		res, err := core.Run(dev, cfg)
+		if err != nil {
+			return dse.Point{Label: label, Config: cfg, Err: err}
+		}
+		s.cache.put(fp, res)
+		return dse.Point{Label: label, Config: cfg, Result: res}
+	}
+	res, err := search.RunWith(eval, func(c core.Config) string { return c.Fingerprint(snap.Target) },
+		j.base, j.space, j.op, j.sopts)
+	if err != nil {
+		// Unreachable in practice: strategy and budget were validated at
+		// submit time.
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	s.optCache.put(snap.Fingerprint, res)
+	j.finish(StatusDone, func(v *View) {
+		v.Optimize = res
+		v.CachedPoints = cachedPoints
+	})
+}
+
 // health is the /v1/healthz body.
 type health struct {
 	Status        string         `json:"status"`
@@ -511,6 +690,7 @@ type health struct {
 	QueueCapacity int            `json:"queue_capacity"`
 	Jobs          map[Status]int `json:"jobs"`
 	Cache         CacheStats     `json:"cache"`
+	OptimizeCache CacheStats     `json:"optimize_cache"`
 }
 
 func (s *Server) health() health {
@@ -522,5 +702,6 @@ func (s *Server) health() health {
 		QueueCapacity: cap(s.queue),
 		Jobs:          s.jobs.counts(),
 		Cache:         s.cache.stats(),
+		OptimizeCache: s.optCache.stats(),
 	}
 }

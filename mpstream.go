@@ -21,6 +21,7 @@ import (
 	"mpstream/internal/device"
 	"mpstream/internal/device/targets"
 	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
 	"mpstream/internal/experiments"
 	"mpstream/internal/hoststream"
 	"mpstream/internal/kernel"
@@ -131,6 +132,28 @@ func Explore(dev Device, base Config, space Space, op Op) Exploration {
 func ExploreParallel(newDev func() (Device, error), base Config, space Space, op Op) Exploration {
 	return dse.ExploreParallel(dse.DeviceFactory(newDev), base, space, op)
 }
+
+// Adaptive search (the budgeted optimizer strategies of dse/search).
+type (
+	// SearchOptions selects a strategy, budget and seed for Optimize.
+	SearchOptions = search.Options
+	// SearchResult is the outcome of one Optimize run: best point,
+	// Pareto front, ranked exploration and evaluation trace.
+	SearchResult = search.Result
+	// ParetoPoint is one non-dominated bandwidth/resource trade-off.
+	ParetoPoint = search.ParetoPoint
+)
+
+// Optimize searches a parameter grid with a budgeted strategy
+// (exhaustive, random, hillclimb, anneal) instead of enumerating it.
+// Unique simulations are bounded by the budget and deduplicated by
+// configuration fingerprint; seeded stochastic runs reproduce exactly.
+func Optimize(dev Device, base Config, space Space, op Op, opts SearchOptions) (*SearchResult, error) {
+	return search.Run(dev, base, space, op, opts)
+}
+
+// SearchStrategies lists the registered optimizer strategy names.
+func SearchStrategies() []string { return search.Strategies() }
 
 // Benchmark-as-a-service layer (cmd/mpserved): a job queue, bounded
 // worker pool and LRU result cache behind an HTTP JSON API.
