@@ -10,6 +10,8 @@
 //	mpopt -target cpu -strategy anneal -seed 7 -vec 1,2,4,8,16 -unrolls 1,2,4
 //	mpopt -target sdaccel -strategy random -budget 16 -json | jq '.best.label'
 //	mpopt -target aocl -strategy exhaustive -trace
+//	mpopt -target gpu -objective knee -vec 1,4,16
+//	mpopt -target aocl -strategy exhaustive -csv > ranking.csv
 package main
 
 import (
@@ -30,33 +32,38 @@ import (
 
 func main() {
 	var (
-		target   = flag.String("target", "aocl", "target device: aocl|sdaccel|cpu|gpu")
-		op       = flag.String("op", "triad", "kernel to optimize: copy|scale|add|triad")
-		strategy = flag.String("strategy", "hillclimb", "search strategy: "+strings.Join(search.Strategies(), "|"))
-		budget   = flag.Int("budget", 0, "max unique simulations (0 = the full grid)")
-		seed     = flag.Int64("seed", 0, "RNG seed for stochastic strategies")
-		size     = flag.String("size", "4MB", "per-array size, e.g. 256KB, 4MB")
-		ntimes   = flag.Int("ntimes", core.DefaultNTimes, "repetitions per evaluation")
-		vecs     = flag.String("vec", "1,2,4,8,16", "vector-width axis (comma-separated; empty omits the axis)")
-		loops    = flag.String("loops", "", "loop-mode axis, e.g. ndrange,flat,nested (empty omits)")
-		unrolls  = flag.String("unrolls", "1,2,4", "unroll-factor axis (empty omits)")
-		simds    = flag.String("simds", "", "num_simd_work_items axis (empty omits)")
-		cus      = flag.String("cus", "", "num_compute_units axis (empty omits)")
-		dtypes   = flag.String("types", "int,double", "data-type axis (empty omits)")
-		asJSON   = flag.Bool("json", false, "emit the full search result as JSON")
-		trace    = flag.Bool("trace", false, "print the evaluation trace")
+		target    = flag.String("target", "aocl", "target device: aocl|sdaccel|cpu|gpu")
+		op        = flag.String("op", "triad", "kernel to optimize: copy|scale|add|triad")
+		strategy  = flag.String("strategy", "hillclimb", "search strategy: "+strings.Join(search.Strategies(), "|"))
+		budget    = flag.Int("budget", 0, "max unique simulations (0 = the full grid)")
+		seed      = flag.Int64("seed", 0, "RNG seed for stochastic strategies")
+		size      = flag.String("size", "4MB", "per-array size, e.g. 256KB, 4MB")
+		ntimes    = flag.Int("ntimes", core.DefaultNTimes, "repetitions per evaluation")
+		vecs      = flag.String("vec", "1,2,4,8,16", "vector-width axis (comma-separated; empty omits the axis)")
+		loops     = flag.String("loops", "", "loop-mode axis, e.g. ndrange,flat,nested (empty omits)")
+		unrolls   = flag.String("unrolls", "1,2,4", "unroll-factor axis (empty omits)")
+		simds     = flag.String("simds", "", "num_simd_work_items axis (empty omits)")
+		cus       = flag.String("cus", "", "num_compute_units axis (empty omits)")
+		dtypes    = flag.String("types", "int,double", "data-type axis (empty omits)")
+		objective = flag.String("objective", "", "ranking metric: gbps (default) or knee (surface-knee bandwidth)")
+		asJSON    = flag.Bool("json", false, "emit the full search result as JSON")
+		asCSV     = flag.Bool("csv", false, "emit the ranked points as CSV")
+		trace     = flag.Bool("trace", false, "print the evaluation trace")
 	)
 	flag.Parse()
 
 	if err := run(*target, *op, *strategy, *budget, *seed, *size, *ntimes,
-		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *asJSON, *trace); err != nil {
+		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *asJSON, *asCSV, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpopt:", err)
 		os.Exit(1)
 	}
 }
 
 func run(target, opName, strategy string, budget int, seed int64, size string, ntimes int,
-	vecs, loops, unrolls, simds, cus, dtypes string, asJSON, trace bool) error {
+	vecs, loops, unrolls, simds, cus, dtypes, objective string, asJSON, asCSV, trace bool) error {
+	if asJSON && asCSV {
+		return fmt.Errorf("-json and -csv are mutually exclusive")
+	}
 	dev, err := targets.ByID(target)
 	if err != nil {
 		return err
@@ -76,20 +83,34 @@ func run(target, opName, strategy string, budget int, seed int64, size string, n
 	}
 
 	res, err := search.Run(dev, base, space, op, search.Options{
-		Strategy: strategy,
-		Budget:   budget,
-		Seed:     seed,
+		Strategy:  strategy,
+		Budget:    budget,
+		Seed:      seed,
+		Objective: objective,
 	})
 	if err != nil {
 		return err
 	}
 
-	if asJSON {
+	switch {
+	case asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
+	case asCSV:
+		return rankingTable(op, res).WriteCSV(os.Stdout)
 	}
 	return writeText(os.Stdout, dev.Info().ID, op, res, trace)
+}
+
+// rankingTable renders the ranked exploration, one row per feasible
+// point in objective order.
+func rankingTable(op kernel.Op, res *search.Result) *report.Table {
+	tb := report.NewTable("rank", "label", "GB/s", "knee GB/s")
+	for i, p := range res.Exploration.Ranked {
+		tb.AddRowf(i+1, p.Label, p.GBps(op), p.KneeGBps)
+	}
+	return tb
 }
 
 // parseSpace assembles the search grid from the per-axis flag values.

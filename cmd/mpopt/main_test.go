@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"io"
 	"os"
@@ -35,8 +36,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRunText(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("aocl", "triad", "hillclimb", 10, 1, "64KB", 2,
-			"1,2,4", "", "1,2", "", "", "int,double", false, true)
+		return run("aocl", "triad", "hillclimb", 10, 1, "64KB", 2, "1, 2, 4", "", "1, 2", "", "", "int, double", "", false, false, true)
 	})
 	for _, want := range []string{"strategy=hillclimb", "best:", "pareto point", "step"} {
 		if !strings.Contains(out, want) {
@@ -47,8 +47,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run("cpu", "copy", "random", 4, 2, "64KB", 2,
-			"1,2,4,8", "", "", "", "", "", true, false)
+		return run("cpu", "copy", "random", 4, 2, "64KB", 2, "1, 2, 4, 8", "", "", "", "", "", "", true, false, false)
 	})
 	var res struct {
 		Strategy    string `json:"strategy"`
@@ -71,27 +70,95 @@ func TestRunErrors(t *testing.T) {
 		f    func() error
 	}{
 		{"unknown target", func() error {
-			return run("tpu", "copy", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+			return run("tpu", "copy", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", false, false, false)
 		}},
 		{"unknown op", func() error {
-			return run("cpu", "transpose", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+			return run("cpu", "transpose", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", false, false, false)
 		}},
 		{"unknown strategy", func() error {
-			return run("cpu", "copy", "bogo", 1, 0, "64KB", 2, "1", "", "", "", "", "", false, false)
+			return run("cpu", "copy", "bogo", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", false, false, false)
 		}},
 		{"bad size", func() error {
-			return run("cpu", "copy", "random", 1, 0, "nope", 2, "1", "", "", "", "", "", false, false)
+			return run("cpu", "copy", "random", 1, 0, "nope", 2, "1", "", "", "", "", "", "", false, false, false)
 		}},
 		{"bad axis value", func() error {
-			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "one", "", "", "", "", "", false, false)
+			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "one", "", "", "", "", "", "", false, false, false)
 		}},
 		{"bad loop mode", func() error {
-			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "1", "spiral", "", "", "", "", false, false)
+			return run("cpu", "copy", "random", 1, 0, "64KB", 2, "1", "spiral", "", "", "", "", "", false, false, false)
 		}},
 	}
 	for _, tc := range cases {
 		if err := tc.f(); err == nil {
 			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+// TestRunCSVRoundTrip: -csv output parses as CSV and matches the
+// ranking the same (seeded, deterministic) search reports via JSON.
+func TestRunCSVRoundTrip(t *testing.T) {
+	args := func(asJSON, asCSV bool) func() error {
+		return func() error {
+			return run("aocl", "triad", "exhaustive", 0, 0, "64KB", 2,
+				"1,2,4", "", "", "", "", "int", "", asJSON, asCSV, false)
+		}
+	}
+	csvOut := captureStdout(t, args(false, true))
+	rows, err := csv.NewReader(strings.NewReader(csvOut)).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, csvOut)
+	}
+	jsonOut := captureStdout(t, args(true, false))
+	var res struct {
+		Exploration struct {
+			Ranked []struct {
+				Label string `json:"label"`
+			} `json:"ranked"`
+		} `json:"exploration"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Exploration.Ranked)+1 {
+		t.Fatalf("CSV has %d rows, want %d ranked points + header",
+			len(rows), len(res.Exploration.Ranked))
+	}
+	if got := rows[0]; got[0] != "rank" || got[1] != "label" {
+		t.Errorf("CSV header = %v", got)
+	}
+	for i, p := range res.Exploration.Ranked {
+		if rows[i+1][1] != p.Label {
+			t.Errorf("CSV rank %d label = %q, want %q", i+1, rows[i+1][1], p.Label)
+		}
+	}
+}
+
+func TestRunCSVExclusive(t *testing.T) {
+	err := run("aocl", "copy", "exhaustive", 0, 0, "64KB", 2,
+		"1", "", "", "", "", "int", "", true, true, false)
+	if err == nil {
+		t.Error("-json with -csv must error")
+	}
+}
+
+// TestRunKneeObjective: the knee metric is selectable from the CLI and
+// surfaces per-point knee bandwidths in the CSV ranking.
+func TestRunKneeObjective(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run("gpu", "copy", "exhaustive", 0, 0, "64KB", 2,
+			"1,4", "", "", "", "", "int", "knee", false, true, false)
+	})
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV rows = %d, want 3:\n%s", len(rows), out)
+	}
+	for _, row := range rows[1:] {
+		if row[3] == "0" || row[3] == "" {
+			t.Errorf("knee column empty in %v", row)
 		}
 	}
 }

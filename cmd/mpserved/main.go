@@ -1,15 +1,19 @@
 // Command mpserved serves the MP-STREAM benchmark as a long-lived HTTP
-// JSON service: runs and design-space sweeps are scheduled onto a
-// bounded worker pool and cached by canonical configuration
-// fingerprint. Repeated requests are answered from the cache, and
-// concurrently submitted identical runs are simulated only once.
+// JSON service: runs, design-space sweeps, optimizer searches and
+// bandwidth–latency surfaces are scheduled onto a bounded worker pool
+// and cached by canonical request fingerprint. Repeated requests are
+// answered from the cache, and concurrently submitted identical
+// requests are simulated only once.
 //
 // Examples:
 //
 //	mpserved -addr :8774
 //	curl -s localhost:8774/v1/targets
+//	curl -s localhost:8774/v1/version
 //	curl -s localhost:8774/v1/run -d '{"target":"aocl","config":{"array_bytes":4194304,"vec_width":16,"optimal_loop":true,"verify":true}}'
 //	curl -s localhost:8774/v1/sweep -d '{"target":"aocl","op":"triad","space":{"vec_widths":[1,4,16]}}'
+//	curl -s localhost:8774/v1/optimize -d '{"target":"gpu","op":"copy","space":{"vec_widths":[1,4,16]},"objective":"knee"}'
+//	curl -s localhost:8774/v1/surface -d '{"target":"gpu"}'
 //	curl -s localhost:8774/v1/healthz
 package main
 

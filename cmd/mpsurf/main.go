@@ -1,0 +1,195 @@
+// Command mpsurf measures a device's bandwidth–latency surface: loaded
+// latency across background access patterns, read/write ratios and an
+// injection-rate ladder, with knee detection — the terminal-side
+// counterpart of the service's POST /v1/surface.
+//
+// Examples:
+//
+//	mpsurf -target gpu
+//	mpsurf -target cpu -patterns contiguous,strided:128 -ratios 1,0.5
+//	mpsurf -target aocl -rates 0.25,0.5,0.75,1 -chart
+//	mpsurf -target sdaccel -csv > surface.csv
+//	mpsurf -target gpu -json | jq '.curves[].knee'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/report"
+	"mpstream/internal/sim/mem"
+	"mpstream/internal/surface"
+)
+
+func main() {
+	var (
+		target     = flag.String("target", "gpu", "target device: aocl|sdaccel|cpu|gpu")
+		patterns   = flag.String("patterns", "", "background patterns, e.g. contiguous,strided:16,colmajor (empty = default)")
+		ratios     = flag.String("ratios", "", "read fractions, e.g. 1,0.67,0.5 (empty = default)")
+		rates      = flag.String("rates", "", "injection ladder as fractions of peak, e.g. 0.1,0.5,1,1.2 (empty = default)")
+		size       = flag.String("size", "", "per-stream footprint, e.g. 32MB (empty = default)")
+		window     = flag.Int("window", 0, "transactions simulated per ladder point (0 = default)")
+		probe      = flag.Int("probe", 0, "chase hops of the idle-latency measurement (0 = default)")
+		kneeFactor = flag.Float64("knee-factor", 0, "acceptable-latency multiple of idle (0 = default)")
+		markdown   = flag.Bool("markdown", false, "emit Markdown tables instead of text")
+		asCSV      = flag.Bool("csv", false, "emit the ladder as CSV")
+		asJSON     = flag.Bool("json", false, "emit the full surface as JSON")
+		chart      = flag.Bool("chart", false, "append an ASCII latency chart per curve (text mode)")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *target, *patterns, *ratios, *rates, *size,
+		*window, *probe, *kneeFactor, *markdown, *asCSV, *asJSON, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsurf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, target, patterns, ratios, rates, size string,
+	window, probe int, kneeFactor float64, markdown, asCSV, asJSON, chart bool) error {
+	exclusive := 0
+	for _, f := range []bool{markdown, asCSV, asJSON} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("-markdown, -csv and -json are mutually exclusive")
+	}
+	if chart && exclusive > 0 {
+		return fmt.Errorf("-chart only applies to the text output")
+	}
+	dev, err := targets.ByID(target)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(patterns, ratios, rates, size, window, probe, kneeFactor)
+	if err != nil {
+		return err
+	}
+	s, err := core.RunSurface(dev, cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case asJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	case asCSV:
+		return s.Table().WriteCSV(w)
+	case markdown:
+		if _, err := fmt.Fprintf(w, "### Bandwidth–latency surface of `%s`\n\n", s.Device.ID); err != nil {
+			return err
+		}
+		if err := s.KneeTable().WriteMarkdown(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		return s.Table().WriteMarkdown(w)
+	}
+	fmt.Fprintf(w, "bandwidth–latency surface — %s (%s)\n\n", s.Device.ID, s.Device.Description)
+	if err := s.KneeTable().WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := s.Table().WriteText(w); err != nil {
+		return err
+	}
+	if chart {
+		for _, c := range s.Curves {
+			fmt.Fprintln(w)
+			if err := c.Chart().Write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildConfig assembles the surface configuration from flag values;
+// empty values leave the corresponding axis at its default.
+func buildConfig(patterns, ratios, rates, size string, window, probe int, kneeFactor float64) (surface.Config, error) {
+	var cfg surface.Config
+	var err error
+	for _, f := range splitList(patterns) {
+		p, err := parsePattern(f)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Patterns = append(cfg.Patterns, p)
+	}
+	if cfg.RWRatios, err = parseFloats("ratios", ratios); err != nil {
+		return cfg, err
+	}
+	if cfg.Rates, err = parseFloats("rates", rates); err != nil {
+		return cfg, err
+	}
+	if size != "" {
+		if cfg.ArrayBytes, err = report.ParseBytes(size); err != nil {
+			return cfg, err
+		}
+	}
+	cfg.WindowTxns = window
+	cfg.ProbeHops = probe
+	cfg.KneeFactor = kneeFactor
+	return cfg, nil
+}
+
+// parsePattern resolves "contiguous", "strided:N" or "colmajor".
+func parsePattern(s string) (mem.Pattern, error) {
+	name, arg, hasArg := strings.Cut(s, ":")
+	kind, err := mem.ParsePatternKind(name)
+	if err != nil {
+		return mem.Pattern{}, err
+	}
+	p := mem.Pattern{Kind: kind}
+	if kind == mem.Strided {
+		p.StrideElems = 1
+		if hasArg {
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return mem.Pattern{}, fmt.Errorf("bad stride in pattern %q", s)
+			}
+			p.StrideElems = n
+		}
+	} else if hasArg {
+		return mem.Pattern{}, fmt.Errorf("pattern %q takes no argument", s)
+	}
+	return p, nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(axis, s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s value %q", axis, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

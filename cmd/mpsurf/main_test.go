@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"mpstream/internal/sim/mem"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+const (
+	testPatterns = "contiguous"
+	testRatios   = "1"
+	testRates    = "0.25,1"
+	testSize     = "4MB"
+)
+
+func runSmall(markdown, asCSV, asJSON, chart bool) func() error {
+	return func() error {
+		return run(os.Stdout, "gpu", testPatterns, testRatios, testRates, testSize,
+			2048, 128, 0, markdown, asCSV, asJSON, chart)
+	}
+}
+
+func TestRunText(t *testing.T) {
+	out := captureStdout(t, runSmall(false, false, false, true))
+	for _, want := range []string{"bandwidth–latency surface", "knee GB/s", "achieved GB/s", "contiguous", "loaded latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	out := captureStdout(t, runSmall(true, false, false, false))
+	if !strings.Contains(out, "| pattern |") && !strings.Contains(out, "| pattern ") {
+		t.Errorf("markdown output missing table header:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out := captureStdout(t, runSmall(false, false, true, false))
+	var s struct {
+		Device struct {
+			ID string `json:"id"`
+		} `json:"device"`
+		Curves []struct {
+			Knee struct {
+				GBps float64 `json:"gbps"`
+			} `json:"knee"`
+			Points []struct {
+				LatencyNs float64 `json:"latency_ns"`
+			} `json:"points"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal([]byte(out), &s); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if s.Device.ID != "gpu" || len(s.Curves) != 1 || len(s.Curves[0].Points) != 2 {
+		t.Errorf("unexpected shape: %+v", s)
+	}
+	if s.Curves[0].Knee.GBps <= 0 {
+		t.Error("knee missing from JSON output")
+	}
+}
+
+func TestRunCSVRoundTrip(t *testing.T) {
+	out := captureStdout(t, runSmall(false, true, false, false))
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, out)
+	}
+	// Header plus one row per ladder point.
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want 3:\n%s", len(rows), out)
+	}
+	if rows[0][0] != "pattern" || rows[1][0] != "contiguous" {
+		t.Errorf("unexpected CSV cells: %v", rows[:2])
+	}
+	for _, row := range rows {
+		if len(row) != len(rows[0]) {
+			t.Errorf("ragged CSV row: %v", row)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	sink := os.Stdout
+	if err := run(sink, "tpu", "", "", "", "", 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("unknown target must error")
+	}
+	if err := run(sink, "gpu", "zigzag", "", "", "", 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("unknown pattern must error")
+	}
+	if err := run(sink, "gpu", "", "2", "", "", 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("read fraction above 1 must error")
+	}
+	if err := run(sink, "gpu", "", "", "abc", "", 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("unparsable rate must error")
+	}
+	if err := run(sink, "gpu", "", "", "", "nonsense", 0, 0, 0, false, false, false, false); err == nil {
+		t.Error("unparsable size must error")
+	}
+	if err := run(sink, "gpu", "", "", "", "", 0, 0, 0, false, true, true, false); err == nil {
+		t.Error("-csv with -json must error")
+	}
+	if err := run(sink, "gpu", "", "", "", "", 0, 0, 0, false, false, true, true); err == nil {
+		t.Error("-chart with -json must error")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	p, err := parsePattern("strided:32")
+	if err != nil || p.Kind != mem.Strided || p.StrideElems != 32 {
+		t.Errorf("parsePattern(strided:32) = %+v, %v", p, err)
+	}
+	p, err = parsePattern("strided")
+	if err != nil || p.StrideElems != 1 {
+		t.Errorf("parsePattern(strided) = %+v, %v", p, err)
+	}
+	if _, err := parsePattern("contiguous:4"); err == nil {
+		t.Error("argument on contiguous must error")
+	}
+	if _, err := parsePattern("strided:zero"); err == nil {
+		t.Error("bad stride must error")
+	}
+}

@@ -9,6 +9,7 @@
 //	mpsweep -all
 //	mpsweep -all -markdown > results.md
 //	mpsweep -exp fig2 -json | jq '.series[].gbps'
+//	mpsweep -exp targets -csv > targets.csv
 package main
 
 import (
@@ -26,25 +27,35 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of text (-all yields a JSON array)")
+		asCSV    = flag.Bool("csv", false, "emit each experiment's table as CSV")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *all, *markdown, *asJSON); err != nil {
+	if err := run(*exp, *all, *markdown, *asJSON, *asCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, all, markdown, asJSON bool) error {
+func run(exp string, all, markdown, asJSON, asCSV bool) error {
 	if !all && exp == "" {
 		return fmt.Errorf("pass -exp <id> or -all (ids: %s)", ids())
 	}
-	if markdown && asJSON {
-		return fmt.Errorf("-markdown and -json are mutually exclusive")
+	exclusive := 0
+	for _, f := range []bool{markdown, asJSON, asCSV} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("-markdown, -json and -csv are mutually exclusive")
 	}
 	emit := func(e *experiments.Experiment) error {
-		if markdown {
+		switch {
+		case markdown:
 			return e.WriteMarkdown(os.Stdout)
+		case asCSV:
+			return e.WriteCSV(os.Stdout)
 		}
 		return e.WriteText(os.Stdout)
 	}

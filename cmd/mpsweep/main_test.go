@@ -1,30 +1,33 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"mpstream/internal/experiments"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run("targets", false, false, false); err != nil {
+	if err := run("targets", false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("targets", false, true, false); err != nil {
+	if err := run("targets", false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, false, false); err == nil {
+	if err := run("", false, false, false, false); err == nil {
 		t.Error("missing -exp/-all must error")
 	}
-	if err := run("bogus", false, false, false); err == nil {
+	if err := run("bogus", false, false, false, false); err == nil {
 		t.Error("unknown experiment must error")
 	}
-	if err := run("targets", false, true, true); err == nil {
+	if err := run("targets", false, true, true, false); err == nil {
 		t.Error("-markdown with -json must error")
 	}
 }
@@ -55,7 +58,7 @@ func captureStdout(t *testing.T, f func() error) string {
 }
 
 func TestRunJSONSeries(t *testing.T) {
-	out := captureStdout(t, func() error { return run("dtype", false, false, true) })
+	out := captureStdout(t, func() error { return run("dtype", false, false, true, false) })
 	var e struct {
 		ID     string `json:"id"`
 		Series []struct {
@@ -77,7 +80,7 @@ func TestRunJSONSeries(t *testing.T) {
 }
 
 func TestRunJSONTable(t *testing.T) {
-	out := captureStdout(t, func() error { return run("targets", false, false, true) })
+	out := captureStdout(t, func() error { return run("targets", false, false, true, false) })
 	var e struct {
 		Extra struct {
 			Headers []string   `json:"headers"`
@@ -98,5 +101,58 @@ func TestIDsListsAll(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("ids() missing %q: %s", want, s)
 		}
+	}
+}
+
+// TestRunCSVRoundTrip: -csv output parses as CSV and reproduces the
+// experiment's table cell for cell.
+func TestRunCSVRoundTrip(t *testing.T) {
+	out := captureStdout(t, func() error { return run("targets", false, false, false, true) })
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, out)
+	}
+	runExp, err := experiments.ByID("targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := runExp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := json.Marshal(e.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want struct {
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(tb, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want.Rows)+1 {
+		t.Fatalf("CSV has %d rows, want %d", len(rows), len(want.Rows)+1)
+	}
+	for i, h := range want.Headers {
+		if rows[0][i] != h {
+			t.Errorf("CSV header %d = %q, want %q", i, rows[0][i], h)
+		}
+	}
+	for r, wantRow := range want.Rows {
+		for c, cell := range wantRow {
+			if rows[r+1][c] != cell {
+				t.Errorf("CSV cell [%d][%d] = %q, want %q", r, c, rows[r+1][c], cell)
+			}
+		}
+	}
+}
+
+func TestRunCSVExclusive(t *testing.T) {
+	if err := run("targets", false, false, true, true); err == nil {
+		t.Error("-csv with -json must error")
+	}
+	if err := run("targets", false, true, false, true); err == nil {
+		t.Error("-csv with -markdown must error")
 	}
 }

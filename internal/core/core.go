@@ -22,6 +22,7 @@ import (
 	"mpstream/internal/kernel"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/stats"
+	"mpstream/internal/surface"
 )
 
 // Default measurement constants, matching STREAM's conventions.
@@ -276,6 +277,61 @@ func Run(dev device.Device, cfg Config) (*Result, error) {
 		res.Kernels = append(res.Kernels, kr)
 	}
 	return res, nil
+}
+
+// RunSurface measures dev's bandwidth–latency surface: the loaded-
+// latency characterization the surface package generates from the
+// device's memory model, entered through the same device plumbing as
+// Run (cold state, validated configuration). The device must expose its
+// memory system (device.MemorySystem); every simulated target does.
+func RunSurface(dev device.Device, cfg surface.Config) (*surface.Surface, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev.Reset()
+	return surface.Generate(dev, cfg)
+}
+
+// SurfaceProbe derives the small single-curve surface configuration the
+// DSE layer measures per design point under the "knee" objective: the
+// point's own access pattern, the read fraction of its kernel op, and a
+// short injection ladder. It is deliberately cheap — an optimizer
+// evaluates it once per unique configuration.
+func (c Config) SurfaceProbe() surface.Config {
+	c = c.withDefaults()
+	op := c.Ops[0]
+	// The probe walks its own fixed footprint, so an explicit 2D shape
+	// sized for the benchmark arrays cannot carry over; let the probe
+	// derive a near-square shape for its element count instead.
+	pat := c.Pattern
+	if pat.Kind == mem.ColMajor2D {
+		pat.Rows, pat.Cols = 0, 0
+	}
+	return surface.Config{
+		Patterns: []mem.Pattern{pat},
+		RWRatios: []float64{float64(op.InputStreams()) / float64(op.Streams())},
+		Rates:    []float64{0.25, 0.5, 0.75, 0.9, 1.0},
+		// The probe characterizes DRAM under the configuration's walk; a
+		// fixed multi-megabyte footprint keeps it comparable across
+		// array sizes and safely beyond on-chip caches.
+		ArrayBytes: 8 << 20,
+		WindowTxns: 2048,
+		ProbeHops:  128,
+	}
+}
+
+// KneeGBps measures the surface-knee bandwidth of cfg on dev: the
+// bandwidth the memory system sustains at acceptable loaded latency
+// under traffic shaped like cfg (SurfaceProbe). It is the alternative
+// DSE objective — configurations that look fast under pure throughput
+// but congest the memory system rank lower here.
+func KneeGBps(dev device.Device, cfg Config) (float64, error) {
+	s, err := RunSurface(dev, cfg.SurfaceProbe())
+	if err != nil {
+		return 0, err
+	}
+	return s.MinKneeGBps(), nil
 }
 
 // bestTime is STREAM's convention: the minimum over iterations, excluding

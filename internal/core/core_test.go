@@ -9,6 +9,7 @@ import (
 	"mpstream/internal/kernel"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/stats"
+	"mpstream/internal/surface"
 )
 
 func dev(t *testing.T, id string) device.Device {
@@ -308,5 +309,102 @@ func TestCrossTargetOrdering(t *testing.T) {
 	}
 	if r := stats.Ratio(bw["aocl"], bw["sdaccel"]); r < 2 || r > 6 {
 		t.Errorf("aocl/sdaccel ratio = %.1f, want ~3.4", r)
+	}
+}
+
+func TestRunSurface(t *testing.T) {
+	cfg := surface.Config{
+		Patterns:   []mem.Pattern{mem.ContiguousPattern()},
+		RWRatios:   []float64{1},
+		Rates:      []float64{0.25, 1.0},
+		ArrayBytes: 4 << 20,
+		WindowTxns: 2048,
+		ProbeHops:  64,
+	}
+	bad := cfg
+	bad.KneeFactor = 0.5
+	if _, err := RunSurface(dev(t, "gpu"), bad); err == nil {
+		t.Error("sub-unity knee factor must fail validation")
+	}
+	s, err := RunSurface(dev(t, "gpu"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Curves) != 1 || len(s.Curves[0].Points) != 2 {
+		t.Fatalf("unexpected surface shape: %d curves", len(s.Curves))
+	}
+	if s.Curves[0].Knee.GBps <= 0 {
+		t.Error("knee bandwidth missing")
+	}
+}
+
+func TestSurfaceProbeDerivation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Triad}
+	cfg.Pattern = mem.StridedPattern(8)
+	probe := cfg.SurfaceProbe()
+	if len(probe.Patterns) != 1 || probe.Patterns[0] != cfg.Pattern {
+		t.Errorf("probe pattern %+v does not follow the config", probe.Patterns)
+	}
+	// Triad reads two streams and writes one: 2/3 reads.
+	if len(probe.RWRatios) != 1 || probe.RWRatios[0] < 0.66 || probe.RWRatios[0] > 0.67 {
+		t.Errorf("probe read fraction %v, want 2/3", probe.RWRatios)
+	}
+	if err := probe.Validate(); err != nil {
+		t.Errorf("derived probe config invalid: %v", err)
+	}
+	// Copy: one read, one write.
+	cfg.Ops = []kernel.Op{kernel.Copy}
+	if got := cfg.SurfaceProbe().RWRatios[0]; got != 0.5 {
+		t.Errorf("copy read fraction = %g, want 0.5", got)
+	}
+}
+
+func TestKneeGBps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Copy}
+	knee, err := KneeGBps(dev(t, "cpu"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee <= 0 {
+		t.Errorf("knee = %g, want positive", knee)
+	}
+	peak := dev(t, "cpu").Info().PeakMemGBps
+	if knee > peak {
+		t.Errorf("knee %g exceeds peak %g", knee, peak)
+	}
+	// Deterministic.
+	again, err := KneeGBps(dev(t, "cpu"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != again {
+		t.Errorf("knee not deterministic: %g vs %g", knee, again)
+	}
+}
+
+func TestRunRejectsChase(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Chase}
+	_, err := Run(dev(t, "cpu"), cfg)
+	if err == nil || !strings.Contains(err.Error(), "latency probe") {
+		t.Errorf("chase through core.Run must point to the surface subsystem, got %v", err)
+	}
+}
+
+func TestSurfaceProbeDropsExplicitShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Copy}
+	cfg.ArrayBytes = 4 << 20
+	// A shape valid for the benchmark arrays but not for the probe's own
+	// fixed footprint: the probe must re-derive it.
+	cfg.Pattern = mem.Pattern{Kind: mem.ColMajor2D, Rows: 1024, Cols: 1024}
+	knee, err := KneeGBps(dev(t, "gpu"), cfg)
+	if err != nil {
+		t.Fatalf("knee over an explicit 2D shape: %v", err)
+	}
+	if knee <= 0 {
+		t.Errorf("knee = %g", knee)
 	}
 }

@@ -216,6 +216,10 @@ func (d *Device) Link() *link.Link { return d.pcie }
 // Reset implements device.Device. The AOCL model holds no cross-run state.
 func (d *Device) Reset() {}
 
+// MemModel implements device.MemorySystem: the board DDR3 subsystem the
+// surface layer probes for loaded latency.
+func (d *Device) MemModel() *dram.Model { return d.mem }
+
 // arbEff is the shared arbitration-efficiency polynomial.
 func arbEff(n int, lin, quad float64) float64 {
 	if n <= 1 {
@@ -240,6 +244,9 @@ type plan struct {
 func (d *Device) Compile(k kernel.Kernel) (device.Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	if k.Op == kernel.Chase {
+		return nil, fmt.Errorf("aocl: chase is a latency probe, not a throughput kernel; run it through the surface subsystem")
 	}
 	// AOCL 15.1 requires a fixed work-group size to vectorize work-items.
 	if k.Attrs.NumSIMDWorkItems > 1 && k.Attrs.ReqdWorkGroupSize == 0 {

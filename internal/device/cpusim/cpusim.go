@@ -150,6 +150,10 @@ func (d *Device) Link() *link.Link { return d.lnk }
 // Reset implements device.Device: cold caches.
 func (d *Device) Reset() { d.llc.Reset() }
 
+// MemModel implements device.MemorySystem: the DDR3 subsystem the
+// surface layer probes for loaded latency.
+func (d *Device) MemModel() *dram.Model { return d.mem }
+
 // coreConcurrencyGBps is the Little's-law ceiling on DRAM traffic: each
 // core keeps at most LFBsPerCore line fetches in flight.
 func (d *Device) coreConcurrencyGBps(cores int) float64 {
@@ -167,6 +171,9 @@ type plan struct {
 func (d *Device) Compile(k kernel.Kernel) (device.Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	if k.Op == kernel.Chase {
+		return nil, fmt.Errorf("cpu: chase is a latency probe, not a throughput kernel; run it through the surface subsystem")
 	}
 	return &plan{dev: d, k: k}, nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"mpstream/internal/fabric"
 	"mpstream/internal/kernel"
+	"mpstream/internal/sim/dram"
 	"mpstream/internal/sim/link"
 	"mpstream/internal/sim/mem"
 )
@@ -180,6 +181,17 @@ type Device interface {
 	Link() *link.Link
 	// Reset restores cold state (caches, open rows) between experiments.
 	Reset()
+}
+
+// MemorySystem is the optional interface of back-ends whose global
+// memory is a dram.Model. The bandwidth–latency surface subsystem
+// (internal/surface) asserts it to drive the memory controller directly
+// with loaded-latency probe traffic; every simulated target implements
+// it. It is deliberately not part of Device so injected test doubles
+// stay trivial.
+type MemorySystem interface {
+	// MemModel returns the device's global-memory timing model.
+	MemModel() *dram.Model
 }
 
 // StreamBases returns non-overlapping base addresses for the benchmark

@@ -178,6 +178,10 @@ func (d *Device) Link() *link.Link { return d.pcie }
 // Reset implements device.Device: cold L2.
 func (d *Device) Reset() { d.l2.Reset() }
 
+// MemModel implements device.MemorySystem: the GDDR5 subsystem the
+// surface layer probes for loaded latency.
+func (d *Device) MemModel() *dram.Model { return d.mem }
+
 // Occupancy returns resident warps per SM for a kernel, from its register
 // pressure. Exposed for tests and reports.
 func (d *Device) Occupancy(k kernel.Kernel) int {
@@ -205,6 +209,9 @@ type plan struct {
 func (d *Device) Compile(k kernel.Kernel) (device.Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	if k.Op == kernel.Chase {
+		return nil, fmt.Errorf("gpu: chase is a latency probe, not a throughput kernel; run it through the surface subsystem")
 	}
 	return &plan{dev: d, k: k, warps: d.Occupancy(k)}, nil
 }

@@ -158,6 +158,10 @@ func (d *Device) Link() *link.Link { return d.pcie }
 // Reset implements device.Device. The model holds no cross-run state.
 func (d *Device) Reset() {}
 
+// MemModel implements device.MemorySystem: the board DDR3 subsystem the
+// surface layer probes for loaded latency.
+func (d *Device) MemModel() *dram.Model { return d.mem }
+
 // plan is a compiled SDAccel kernel.
 type plan struct {
 	dev   *Device
@@ -177,6 +181,9 @@ type plan struct {
 func (d *Device) Compile(k kernel.Kernel) (device.Compiled, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
+	}
+	if k.Op == kernel.Chase {
+		return nil, fmt.Errorf("sdaccel: chase is a latency probe, not a throughput kernel; run it through the surface subsystem")
 	}
 	// AOCL-only attributes are rejected rather than silently dropped.
 	if k.Attrs.NumSIMDWorkItems > 1 || k.Attrs.NumComputeUnits > 1 {

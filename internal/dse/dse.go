@@ -20,6 +20,12 @@ type Point struct {
 	Label  string
 	Config core.Config
 	Result *core.Result
+	// KneeGBps is the bandwidth this configuration delivers at
+	// acceptable loaded latency: its achieved bandwidth clipped to the
+	// bandwidth–latency-surface knee of its own traffic shape. It is
+	// populated only when a search runs under the "knee" objective
+	// (search.WithKneeObjective) and is 0 otherwise.
+	KneeGBps float64
 	// Err records infeasible configurations (e.g. FPGA designs that do
 	// not fit); Result is nil for them.
 	Err error
@@ -185,6 +191,12 @@ func Explore(dev device.Device, base core.Config, space Space, op kernel.Op) Exp
 // stable, so equal-bandwidth points keep their grid order and sequential
 // and parallel exploration rank identically.
 func Rank(pts []Point, op kernel.Op) Exploration {
+	return RankBy(pts, func(p Point) float64 { return p.GBps(op) })
+}
+
+// RankBy is Rank with the ranking metric injected — the hook the search
+// layer uses for alternative objectives (e.g. the surface knee).
+func RankBy(pts []Point, score func(Point) float64) Exploration {
 	// Ranked starts non-nil so an all-infeasible exploration marshals as
 	// an empty JSON array, not null.
 	out := Exploration{Ranked: []Point{}}
@@ -196,7 +208,7 @@ func Rank(pts []Point, op kernel.Op) Exploration {
 		out.Ranked = append(out.Ranked, p)
 	}
 	sort.SliceStable(out.Ranked, func(i, j int) bool {
-		return out.Ranked[i].GBps(op) > out.Ranked[j].GBps(op)
+		return score(out.Ranked[i]) > score(out.Ranked[j])
 	})
 	return out
 }

@@ -11,15 +11,16 @@ import (
 // flattens to its message so points round-trip through the service API
 // and the CLIs' -json output.
 type pointJSON struct {
-	Label  string       `json:"label"`
-	Config core.Config  `json:"config"`
-	Result *core.Result `json:"result,omitempty"`
-	Err    string       `json:"error,omitempty"`
+	Label    string       `json:"label"`
+	Config   core.Config  `json:"config"`
+	Result   *core.Result `json:"result,omitempty"`
+	KneeGBps float64      `json:"knee_gbps,omitempty"`
+	Err      string       `json:"error,omitempty"`
 }
 
 // MarshalJSON encodes the point with its error as a string message.
 func (p Point) MarshalJSON() ([]byte, error) {
-	pj := pointJSON{Label: p.Label, Config: p.Config, Result: p.Result}
+	pj := pointJSON{Label: p.Label, Config: p.Config, Result: p.Result, KneeGBps: p.KneeGBps}
 	if p.Err != nil {
 		pj.Err = p.Err.Error()
 	}
@@ -33,7 +34,7 @@ func (p *Point) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &pj); err != nil {
 		return err
 	}
-	*p = Point{Label: pj.Label, Config: pj.Config, Result: pj.Result}
+	*p = Point{Label: pj.Label, Config: pj.Config, Result: pj.Result, KneeGBps: pj.KneeGBps}
 	if pj.Err != "" {
 		p.Err = errors.New(pj.Err)
 	}

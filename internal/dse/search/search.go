@@ -28,6 +28,7 @@
 package search
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -55,6 +56,37 @@ type Options struct {
 	// Seed seeds the stochastic strategies' RNG. Equal seeds reproduce
 	// equal runs; the exhaustive strategy ignores it.
 	Seed int64 `json:"seed,omitempty"`
+	// Objective selects the ranking metric: "" or "gbps" ranks by raw
+	// sustained bandwidth, "knee" by the bandwidth–latency-surface knee
+	// (the bandwidth delivered at acceptable loaded latency). Under the
+	// knee objective the evaluator must populate dse.Point.KneeGBps —
+	// Run wraps its evaluator with WithKneeObjective automatically;
+	// RunWith callers do it themselves.
+	Objective string `json:"objective,omitempty"`
+}
+
+// Objective names.
+const (
+	ObjectiveGBps = "gbps"
+	ObjectiveKnee = "knee"
+)
+
+// Objectives lists the selectable objective names.
+func Objectives() []string { return []string{ObjectiveGBps, ObjectiveKnee} }
+
+// ParseObjective canonicalizes an objective name. The default
+// bandwidth objective canonicalizes to the empty string so that legacy
+// requests (which never spelled an objective) and explicit "gbps"
+// requests fingerprint — and therefore cache — identically.
+func ParseObjective(s string) (string, error) {
+	switch s {
+	case "", ObjectiveGBps:
+		return "", nil
+	case ObjectiveKnee:
+		return ObjectiveKnee, nil
+	default:
+		return "", fmt.Errorf("search: unknown objective %q (want %v)", s, Objectives())
+	}
 }
 
 // TraceEntry is one unique evaluation, in the order the strategy
@@ -76,6 +108,9 @@ type TraceEntry struct {
 // Result is the outcome of one search run.
 type Result struct {
 	Strategy string `json:"strategy"`
+	// Objective is the canonical ranking metric ("" = raw bandwidth,
+	// "knee" = surface-knee bandwidth).
+	Objective string `json:"objective,omitempty"`
 	// Budget is the effective evaluation budget (after defaulting and
 	// clamping to the space size).
 	Budget int   `json:"budget"`
@@ -113,6 +148,7 @@ type Engine struct {
 	op    kernel.Op
 	eval  Evaluator
 	fp    func(core.Config) string
+	score func(dse.Point) float64
 	rng   *rand.Rand
 
 	dims   []int
@@ -165,14 +201,15 @@ func (e *Engine) RandomIndex() []int {
 	return idx
 }
 
-// Score is the optimization objective: bandwidth for the target op,
-// negative infinity for infeasible points so they lose every
-// comparison but remain accept-anything starting states.
+// Score is the optimization objective: the selected metric (bandwidth
+// by default, the surface knee under Options.Objective "knee") for
+// feasible points, negative infinity for infeasible points so they
+// lose every comparison but remain accept-anything starting states.
 func (e *Engine) Score(p dse.Point) float64 {
 	if p.Err != nil {
 		return negInf
 	}
-	return p.GBps(e.op)
+	return e.score(p)
 }
 
 // BestScore returns the incumbent best bandwidth, 0 before any
@@ -228,18 +265,69 @@ func (e *Engine) evalConfig(cfg core.Config) (dse.Point, bool) {
 	return p, true
 }
 
-// Run searches space over base for the best op bandwidth on dev,
+// Run searches space over base for the best op score on dev,
 // evaluating through core.Run exactly like dse.Explore does. The
 // search is sequential on one device instance (devices carry simulator
-// state and are not goroutine-safe).
+// state and are not goroutine-safe). Under the knee objective every
+// feasible evaluation additionally measures its loaded-latency surface
+// (WithKneeObjective).
 func Run(dev device.Device, base core.Config, space dse.Space, op kernel.Op, opts Options) (*Result, error) {
 	target := dev.Info().ID
 	eval := func(cfg core.Config, label, _ string) dse.Point {
 		res, err := core.Run(dev, cfg)
 		return dse.Point{Label: label, Config: cfg, Result: res, Err: err}
 	}
+	obj, err := ParseObjective(opts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if obj == ObjectiveKnee {
+		eval = WithKneeObjective(dev, eval)
+	}
 	fp := func(cfg core.Config) string { return cfg.Fingerprint(target) }
 	return RunWith(eval, fp, base, space, op, opts)
+}
+
+// WithKneeObjective wraps an evaluator so every feasible point also
+// measures its bandwidth–latency surface on dev and records the
+// bandwidth it delivers at acceptable loaded latency
+// (dse.Point.KneeGBps): the point's own achieved bandwidth, clipped to
+// the surface knee of its traffic shape. The clipping is what makes
+// the metric discriminate — a configuration whose raw throughput
+// exceeds what the memory system sustains at acceptable latency is
+// scored at the knee ceiling, while configurations below it rank by
+// their own bandwidth. A surface failure makes the point infeasible.
+func WithKneeObjective(dev device.Device, eval Evaluator) Evaluator {
+	// The ceiling depends only on the probe shape (pattern, read/write
+	// mix — see core.Config.SurfaceProbe), which today's grid axes never
+	// vary, so memoizing by probe configuration collapses a whole search
+	// to one surface measurement while staying correct if a pattern axis
+	// ever appears.
+	ceilings := make(map[string]float64)
+	return func(cfg core.Config, label, fp string) dse.Point {
+		p := eval(cfg, label, fp)
+		if p.Err != nil {
+			return p
+		}
+		probe := cfg.SurfaceProbe()
+		key, err := json.Marshal(probe)
+		if err != nil {
+			return dse.Point{Label: label, Config: cfg, Err: err}
+		}
+		ceiling, ok := ceilings[string(key)]
+		if !ok {
+			ceiling, err = core.KneeGBps(dev, cfg)
+			if err != nil {
+				return dse.Point{Label: label, Config: cfg, Err: err}
+			}
+			ceilings[string(key)] = ceiling
+		}
+		p.KneeGBps = ceiling
+		if g := p.GBps(cfg.Ops[0]); g < ceiling {
+			p.KneeGBps = g
+		}
+		return p
+	}
 }
 
 // RunWith is Run with the evaluation and dedup key injected — the hook
@@ -255,6 +343,10 @@ func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Con
 	if err != nil {
 		return nil, err
 	}
+	obj, err := ParseObjective(opts.Objective)
+	if err != nil {
+		return nil, err
+	}
 	if opts.Budget < 0 {
 		return nil, fmt.Errorf("search: budget %d must be >= 0 (0 means the full space)", opts.Budget)
 	}
@@ -265,12 +357,17 @@ func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Con
 	}
 	base.Ops = []kernel.Op{op}
 
+	score := func(p dse.Point) float64 { return p.GBps(op) }
+	if obj == ObjectiveKnee {
+		score = func(p dse.Point) float64 { return p.KneeGBps }
+	}
 	e := &Engine{
 		space:   space,
 		base:    base,
 		op:      op,
 		eval:    eval,
 		fp:      fingerprint,
+		score:   score,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		dims:    space.Dims(),
 		size:    size,
@@ -282,12 +379,13 @@ func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Con
 
 	res := &Result{
 		Strategy:    strat.Name(),
+		Objective:   obj,
 		Budget:      budget,
 		Seed:        opts.Seed,
 		SpaceSize:   size,
 		Evaluations: len(e.points),
 		Revisits:    e.revisits,
-		Exploration: dse.Rank(e.points, op),
+		Exploration: dse.RankBy(e.points, score),
 		Pareto:      ParetoFront(e.points, op),
 		Trace:       e.trace,
 	}

@@ -330,3 +330,151 @@ func TestFPGASearchProducesTradeoffs(t *testing.T) {
 		t.Errorf("front[0] = %+v must agree with best %v", res.Pareto[0], res.BestGBps)
 	}
 }
+
+// TestObjectiveGBpsParity is the knee-objective acceptance criterion's
+// other half: spelling the default objective explicitly ("gbps") must
+// reproduce the default search byte for byte — same ranking, same best,
+// same trace, same fingerprint-relevant canonical form.
+func TestObjectiveGBpsParity(t *testing.T) {
+	base, space, op := testBase(), testSpace(), kernel.Triad
+	def, err := search.Run(mustTarget(t, "aocl"), base, space, op,
+		search.Options{Strategy: "hillclimb", Budget: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := search.Run(mustTarget(t, "aocl"), base, space, op,
+		search.Options{Strategy: "hillclimb", Budget: 8, Seed: 3, Objective: search.ObjectiveGBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("explicit gbps objective diverges from the default:\n%s\nvs\n%s", a, b)
+	}
+	if def.Objective != "" {
+		t.Errorf("default objective canonical form = %q, want empty", def.Objective)
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, s := range []string{"", "gbps"} {
+		got, err := search.ParseObjective(s)
+		if err != nil || got != "" {
+			t.Errorf("ParseObjective(%q) = %q, %v", s, got, err)
+		}
+	}
+	if got, err := search.ParseObjective("knee"); err != nil || got != search.ObjectiveKnee {
+		t.Errorf("ParseObjective(knee) = %q, %v", got, err)
+	}
+	if _, err := search.ParseObjective("latency"); err == nil {
+		t.Error("unknown objective must error")
+	}
+}
+
+// TestKneeObjective checks the alternative ranking metric end to end on
+// a small exhaustive search: every feasible point carries its
+// latency-bounded bandwidth (raw bandwidth clipped to its surface
+// knee), the ranking is ordered by it, and the run is deterministic.
+func TestKneeObjective(t *testing.T) {
+	base, op := testBase(), kernel.Triad
+	space := dse.Space{VecWidths: []int{1, 4, 16}}
+	run := func() *search.Result {
+		res, err := search.Run(mustTarget(t, "gpu"), base, space, op,
+			search.Options{Strategy: "exhaustive", Objective: "knee"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Objective != search.ObjectiveKnee {
+		t.Errorf("objective = %q", res.Objective)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible point")
+	}
+	if res.Best.KneeGBps <= 0 {
+		t.Errorf("best point has no knee bandwidth: %+v", res.Best)
+	}
+	ranked := res.Exploration.Ranked
+	if len(ranked) != space.Size() {
+		t.Fatalf("ranked %d of %d points", len(ranked), space.Size())
+	}
+	for i := range ranked {
+		if ranked[i].KneeGBps <= 0 {
+			t.Errorf("ranked point %d (%s) missing knee bandwidth", i, ranked[i].Label)
+		}
+		// The score is the point's own bandwidth clipped to its knee
+		// ceiling, so it can never exceed the raw bandwidth.
+		if ranked[i].KneeGBps > ranked[i].GBps(op)+1e-9 {
+			t.Errorf("point %s knee score %.3f above its raw bandwidth %.3f",
+				ranked[i].Label, ranked[i].KneeGBps, ranked[i].GBps(op))
+		}
+		if i > 0 && ranked[i].KneeGBps > ranked[i-1].KneeGBps {
+			t.Errorf("ranking not ordered by knee: %.2f above %.2f",
+				ranked[i].KneeGBps, ranked[i-1].KneeGBps)
+		}
+	}
+	if ranked[0].KneeGBps != res.Best.KneeGBps {
+		t.Errorf("best (%.2f) is not the top-ranked knee (%.2f)",
+			res.Best.KneeGBps, ranked[0].KneeGBps)
+	}
+	// Seeded determinism holds for the knee objective too.
+	again := run()
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Error("knee-objective search is not deterministic")
+	}
+}
+
+// TestKneeAgreesWithGBpsBelowTheCeiling: when every point's raw
+// bandwidth sits below its knee ceiling (small launch-bound arrays on
+// the gpu, far under the DRAM knee), the clipped score equals the raw
+// bandwidth, so the knee ranking must reproduce the gbps ranking
+// point for point — the parity half of the acceptance criterion.
+func TestKneeAgreesWithGBpsBelowTheCeiling(t *testing.T) {
+	base, op := testBase(), kernel.Copy
+	space := dse.Space{VecWidths: []int{1, 2, 4}, Types: []kernel.DataType{kernel.Int32, kernel.Float64}}
+	gbps, err := search.Run(mustTarget(t, "gpu"), base, space, op,
+		search.Options{Strategy: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, err := search.Run(mustTarget(t, "gpu"), base, space, op,
+		search.Options{Strategy: "exhaustive", Objective: "knee"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gbps.Best == nil || knee.Best == nil {
+		t.Fatal("missing best points")
+	}
+	for i, p := range knee.Exploration.Ranked {
+		if p.KneeGBps != p.GBps(op) {
+			t.Fatalf("point %s clipped (%.3f < %.3f) — pick a smaller base for this test",
+				p.Label, p.KneeGBps, p.GBps(op))
+		}
+		if want := gbps.Exploration.Ranked[i].Label; p.Label != want {
+			t.Errorf("rank %d: knee ranking has %q, gbps ranking has %q", i, p.Label, want)
+		}
+	}
+	if gbps.Best.Label != knee.Best.Label {
+		t.Errorf("knee winner %q differs from bandwidth winner %q below the ceiling",
+			knee.Best.Label, gbps.Best.Label)
+	}
+}
+
+func TestBadObjectiveRejected(t *testing.T) {
+	_, err := search.Run(mustTarget(t, "cpu"), testBase(), testSpace(), kernel.Copy,
+		search.Options{Objective: "latency"})
+	if err == nil {
+		t.Error("unknown objective must be rejected")
+	}
+}

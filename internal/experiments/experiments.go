@@ -710,6 +710,13 @@ func (e *Experiment) WriteMarkdown(w io.Writer) error {
 	return err
 }
 
+// WriteCSV renders the experiment's table as CSV, preceded by no
+// decoration at all: the output of `mpsweep -csv` is meant for
+// spreadsheets and plotting scripts, one table per experiment.
+func (e *Experiment) WriteCSV(w io.Writer) error {
+	return e.Table().WriteCSV(w)
+}
+
 // GeoMeanDeviation summarizes all paper-comparable series of an
 // experiment as the geometric mean of per-point factors; 1.0 is perfect.
 func (e *Experiment) GeoMeanDeviation() float64 {

@@ -11,7 +11,8 @@ import (
 // -json output.
 
 // ParseOp resolves an operation name (case-insensitive). "sum" is
-// accepted as the paper's alias for add.
+// accepted as the paper's alias for add; "chase" is the latency probe
+// of the surface subsystem.
 func ParseOp(s string) (Op, error) {
 	switch strings.ToLower(s) {
 	case "copy":
@@ -22,14 +23,16 @@ func ParseOp(s string) (Op, error) {
 		return Add, nil
 	case "triad":
 		return Triad, nil
+	case "chase":
+		return Chase, nil
 	default:
-		return 0, fmt.Errorf("kernel: unknown op %q (want copy|scale|add|triad)", s)
+		return 0, fmt.Errorf("kernel: unknown op %q (want copy|scale|add|triad|chase)", s)
 	}
 }
 
 // MarshalText encodes the operation as its name.
 func (o Op) MarshalText() ([]byte, error) {
-	if o > Triad {
+	if o > Chase {
 		return nil, fmt.Errorf("kernel: unknown op %d", uint8(o))
 	}
 	return []byte(o.String()), nil

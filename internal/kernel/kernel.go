@@ -25,14 +25,25 @@ type Op uint8
 //	SCALE: a(i) = q*b(i)
 //	ADD:   a(i) = b(i) + c(i)      (called SUM in the paper's list)
 //	TRIAD: a(i) = b(i) + q*c(i)
+//
+// CHASE is not a STREAM kernel: it is the serial pointer-chase latency
+// probe of the bandwidth–latency surface subsystem (internal/surface).
+// Each iteration reads b at the index the previous read produced, so
+// exactly one memory access is in flight at a time — the kernel measures
+// round-trip latency, not bandwidth. Throughput back-ends reject it at
+// compile time; the surface generator drives it against the memory
+// model directly.
 const (
 	Copy Op = iota
 	Scale
 	Add
 	Triad
+	Chase
 )
 
-// Ops lists all four operations in paper order.
+// Ops lists the four STREAM operations in paper order. Chase is
+// deliberately excluded: it is the latency probe, not a bandwidth
+// kernel, and never part of a default benchmark run.
 func Ops() []Op { return []Op{Copy, Scale, Add, Triad} }
 
 // String names the operation.
@@ -46,6 +57,8 @@ func (o Op) String() string {
 		return "add"
 	case Triad:
 		return "triad"
+	case Chase:
+		return "chase"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -206,9 +219,17 @@ func (k Kernel) Name() string {
 // device back-ends impose further target-specific rules at compile time.
 func (k Kernel) Validate() error {
 	switch k.Op {
-	case Copy, Scale, Add, Triad:
+	case Copy, Scale, Add, Triad, Chase:
 	default:
 		return fmt.Errorf("kernel: unknown op %d", uint8(k.Op))
+	}
+	if k.Op == Chase {
+		if k.VecWidth != 1 {
+			return fmt.Errorf("kernel: chase is a scalar serial probe; vector width %d is meaningless", k.VecWidth)
+		}
+		if k.Type != Int32 {
+			return fmt.Errorf("kernel: chase chains array indices and requires the int type")
+		}
 	}
 	switch k.Type {
 	case Int32, Float64:
@@ -285,6 +306,24 @@ func (k Kernel) typeName() string {
 // this configuration. It exists for documentation, logging and tests: the
 // simulator consumes the Kernel value itself.
 func (k Kernel) OpenCLSource() string {
+	if k.Op == Chase {
+		// The latency probe is a single serial work-item regardless of
+		// the loop-management knob: the data dependency IS the kernel.
+		// The index normalization mirrors Apply exactly (idx stays in
+		// [0, n), C's % can go negative), so this source is a faithful
+		// reference for the functional model.
+		return `__kernel void chase(__global int * restrict a, __global const int * restrict b, const int n)
+{
+    int idx = 0;
+    for (int i = 0; i < n; i++) {
+        idx = b[idx] % n;
+        if (idx < 0)
+            idx += n;
+        a[i] = idx;
+    }
+}
+`
+	}
 	var sb strings.Builder
 	ty := k.typeName()
 
@@ -390,6 +429,16 @@ func Apply(op Op, q float64, dst, b, c any) error {
 			for i := range d {
 				d[i] = bb[i] + qi*cc[i]
 			}
+		case Chase:
+			n := int32(len(d))
+			var idx int32
+			for i := range d {
+				idx = bb[idx%n] % n
+				if idx < 0 {
+					idx += n
+				}
+				d[i] = idx
+			}
 		default:
 			return fmt.Errorf("kernel: unknown op %d", uint8(op))
 		}
@@ -427,6 +476,8 @@ func Apply(op Op, q float64, dst, b, c any) error {
 			for i := range d {
 				d[i] = bb[i] + q*cc[i]
 			}
+		case Chase:
+			return fmt.Errorf("kernel: chase chains array indices and requires the int type")
 		default:
 			return fmt.Errorf("kernel: unknown op %d", uint8(op))
 		}
@@ -438,9 +489,12 @@ func Apply(op Op, q float64, dst, b, c any) error {
 
 // Expected returns the value every element of the destination should hold
 // after applying op to arrays initialized with constants bInit and cInit.
+// For Chase a constant chain array makes every hop land on index bInit,
+// so the destination fills with bInit — the same fixed point STREAM-style
+// constant initialization gives the other kernels.
 func Expected(op Op, q, bInit, cInit float64) float64 {
 	switch op {
-	case Copy:
+	case Copy, Chase:
 		return bInit
 	case Scale:
 		return q * bInit

@@ -342,3 +342,88 @@ func TestQuickKernelMatrix(t *testing.T) {
 		}
 	}
 }
+
+func TestChaseOp(t *testing.T) {
+	if Chase.String() != "chase" {
+		t.Errorf("String = %q", Chase.String())
+	}
+	if got, err := ParseOp("chase"); err != nil || got != Chase {
+		t.Errorf("ParseOp(chase) = %v, %v", got, err)
+	}
+	if Chase.InputStreams() != 1 || Chase.Streams() != 2 {
+		t.Errorf("chase streams = %d/%d, want 1/2", Chase.InputStreams(), Chase.Streams())
+	}
+	if Chase.NeedsScalar() {
+		t.Error("chase must not need the scalar")
+	}
+	for _, op := range Ops() {
+		if op == Chase {
+			t.Error("Ops() must list only the four STREAM kernels")
+		}
+	}
+	b, err := Chase.MarshalText()
+	if err != nil || string(b) != "chase" {
+		t.Errorf("MarshalText = %q, %v", b, err)
+	}
+}
+
+func TestChaseValidate(t *testing.T) {
+	k := Kernel{Op: Chase, Type: Int32, VecWidth: 1, Loop: FlatLoop}
+	if err := k.Validate(); err != nil {
+		t.Errorf("scalar int chase must validate: %v", err)
+	}
+	k.VecWidth = 4
+	if err := k.Validate(); err == nil {
+		t.Error("vectorized chase must be rejected")
+	}
+	k.VecWidth = 1
+	k.Type = Float64
+	if err := k.Validate(); err == nil {
+		t.Error("double chase must be rejected")
+	}
+}
+
+func TestChaseApply(t *testing.T) {
+	// A constant chain array is a fixed point: every hop lands on index
+	// bInit, so the destination fills with bInit — matching Expected.
+	n := 16
+	dst := make([]int32, n)
+	chain := make([]int32, n)
+	for i := range chain {
+		chain[i] = 2
+	}
+	if err := Apply(Chase, 0, dst, chain, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := Expected(Chase, 3, 2, 5)
+	for i, v := range dst {
+		if float64(v) != want {
+			t.Fatalf("dst[%d] = %d, want %g", i, v, want)
+		}
+	}
+	// A genuine permutation is followed index by index.
+	perm := []int32{3, 0, 1, 2}
+	dst4 := make([]int32, 4)
+	if err := Apply(Chase, 0, dst4, perm, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int32{3, 2, 1, 0} {
+		if dst4[i] != want {
+			t.Errorf("perm hop %d = %d, want %d", i, dst4[i], want)
+		}
+	}
+	// Doubles cannot hold chain indices.
+	if err := Apply(Chase, 0, make([]float64, 4), make([]float64, 4), nil); err == nil {
+		t.Error("chase over doubles must error")
+	}
+}
+
+func TestChaseOpenCLSource(t *testing.T) {
+	k := Kernel{Op: Chase, Type: Int32, VecWidth: 1}
+	src := k.OpenCLSource()
+	for _, want := range []string{"__kernel void chase", "idx = b[idx] % n", "idx += n", "for (int i = 0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("chase source missing %q:\n%s", want, src)
+		}
+	}
+}

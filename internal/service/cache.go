@@ -6,6 +6,7 @@ import (
 
 	"mpstream/internal/core"
 	"mpstream/internal/dse/search"
+	"mpstream/internal/surface"
 )
 
 // lruCache is a thread-safe LRU keyed by canonical fingerprint,
@@ -39,6 +40,9 @@ type resultCache = lruCache[*core.Result]
 // optimizeCache caches completed optimizer results.
 type optimizeCache = lruCache[*search.Result]
 
+// surfaceCache caches completed bandwidth–latency surfaces.
+type surfaceCache = lruCache[*surface.Surface]
+
 // newResultCache builds a run-result cache holding up to max entries;
 // max <= 0 disables caching entirely (every lookup misses, puts are
 // dropped).
@@ -47,6 +51,10 @@ func newResultCache(max int) *resultCache { return newLRU[*core.Result](max) }
 // newOptimizeCache builds an optimizer-result cache with the same
 // max/disable semantics.
 func newOptimizeCache(max int) *optimizeCache { return newLRU[*search.Result](max) }
+
+// newSurfaceCache builds a surface cache with the same max/disable
+// semantics.
+func newSurfaceCache(max int) *surfaceCache { return newLRU[*surface.Surface](max) }
 
 func newLRU[V any](max int) *lruCache[V] {
 	return &lruCache[V]{

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/surface"
 )
 
 // RunRequest is the POST /v1/run body. A nil config runs the paper's
@@ -36,16 +39,26 @@ type SweepRequest struct {
 // OptimizeRequest is the POST /v1/optimize body. A nil base starts
 // from the default configuration; op defaults to copy; an empty
 // strategy means exhaustive; budget 0 means the full space (subject to
-// the server's budget limit); equal seeds reproduce equal searches.
+// the server's budget limit); equal seeds reproduce equal searches; an
+// empty objective ranks by raw bandwidth, "knee" by the surface knee.
 type OptimizeRequest struct {
-	Target   string       `json:"target"`
-	Base     *core.Config `json:"base,omitempty"`
-	Space    dse.Space    `json:"space"`
-	Op       *kernel.Op   `json:"op,omitempty"`
-	Strategy string       `json:"strategy,omitempty"`
-	Budget   int          `json:"budget,omitempty"`
-	Seed     int64        `json:"seed,omitempty"`
-	Async    bool         `json:"async,omitempty"`
+	Target    string       `json:"target"`
+	Base      *core.Config `json:"base,omitempty"`
+	Space     dse.Space    `json:"space"`
+	Op        *kernel.Op   `json:"op,omitempty"`
+	Strategy  string       `json:"strategy,omitempty"`
+	Budget    int          `json:"budget,omitempty"`
+	Seed      int64        `json:"seed,omitempty"`
+	Objective string       `json:"objective,omitempty"`
+	Async     bool         `json:"async,omitempty"`
+}
+
+// SurfaceRequest is the POST /v1/surface body. A nil config measures
+// the default bandwidth–latency surface (surface.Config zero value).
+type SurfaceRequest struct {
+	Target string          `json:"target"`
+	Config *surface.Config `json:"config,omitempty"`
+	Async  bool            `json:"async,omitempty"`
 }
 
 // JobResponse wraps every job-bearing response body.
@@ -96,18 +109,22 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	POST /v1/run        run one configuration (sync, or async with "async": true)
 //	POST /v1/sweep      explore a parameter grid exhaustively
 //	POST /v1/optimize   search a parameter grid with a budgeted strategy
+//	POST /v1/surface    measure a bandwidth–latency surface
 //	GET  /v1/jobs       list all jobs
 //	GET  /v1/jobs/{id}  poll one job
 //	GET  /v1/targets    list benchmark targets
+//	GET  /v1/version    build info, registered targets, strategies, objectives
 //	GET  /v1/healthz    liveness, queue and cache telemetry
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/surface", s.handleSurface)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
@@ -203,13 +220,78 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Op != nil {
 		op = *req.Op
 	}
-	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed}
+	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed, Objective: req.Objective}
 	j, err := s.SubmitOptimize(req.Target, base, req.Space, op, opts)
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
+}
+
+func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
+	var req SurfaceRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	var cfg surface.Config
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	j, err := s.SubmitSurface(req.Target, cfg)
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+// VersionResponse is the GET /v1/version body: enough for a client to
+// know what it is talking to and what it may ask for.
+type VersionResponse struct {
+	Service   string `json:"service"`
+	GoVersion string `json:"go_version"`
+	// ModuleVersion, VCSRevision and VCSTime come from the build info
+	// when available (released builds and clean checkouts).
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	// Targets lists the registered benchmark targets, Strategies the
+	// optimizer strategies, Objectives the optimizer ranking metrics.
+	Targets    []string `json:"targets"`
+	Strategies []string `json:"strategies"`
+	Objectives []string `json:"objectives"`
+}
+
+func (s *Server) version() VersionResponse {
+	v := VersionResponse{
+		Service:    "mpstream",
+		GoVersion:  runtime.Version(),
+		Strategies: search.Strategies(),
+		Objectives: search.Objectives(),
+	}
+	for _, inf := range s.infos {
+		v.Targets = append(v.Targets, inf.ID)
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v.ModuleVersion = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				v.VCSRevision = kv.Value
+			case "vcs.time":
+				v.VCSTime = kv.Value
+			}
+		}
+	}
+	return v
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.version())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

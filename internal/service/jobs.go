@@ -10,6 +10,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/surface"
 )
 
 // Kind distinguishes the job shapes the service executes.
@@ -20,6 +21,7 @@ const (
 	KindRun      Kind = "run"      // one configuration on one target
 	KindSweep    Kind = "sweep"    // a parameter grid on one target
 	KindOptimize Kind = "optimize" // a budgeted strategy search over a grid
+	KindSurface  Kind = "surface"  // a bandwidth–latency surface on one target
 )
 
 // Status is the job lifecycle state.
@@ -59,7 +61,10 @@ type View struct {
 	Sweep *dse.Exploration `json:"sweep,omitempty"`
 	// Optimize carries a finished optimize job's search outcome.
 	Optimize *search.Result `json:"optimize,omitempty"`
-	Error    string         `json:"error,omitempty"`
+	// Surface carries a finished surface job's bandwidth–latency
+	// characterization.
+	Surface *surface.Surface `json:"surface,omitempty"`
+	Error   string           `json:"error,omitempty"`
 }
 
 // Job is one queued unit of work. All mutation goes through the job's
@@ -78,6 +83,8 @@ type Job struct {
 	op    kernel.Op
 	// optimize parameters (normalized at submit time)
 	sopts search.Options
+	// surface parameters (defaults resolved at submit time)
+	scfg surface.Config
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}

@@ -1,8 +1,9 @@
 // Package service is the benchmark-as-a-service layer: a long-lived
-// server that schedules MP-STREAM runs, design-space sweeps and
-// budgeted optimizer searches (dse/search) onto a bounded worker pool,
-// caches results by canonical fingerprint, and exposes everything over
-// an HTTP JSON API (cmd/mpserved). It turns the one-shot CLI workflow
+// server that schedules MP-STREAM runs, design-space sweeps, budgeted
+// optimizer searches (dse/search) and bandwidth–latency surface
+// measurements (internal/surface) onto a bounded worker pool, caches
+// results by canonical fingerprint, and exposes everything over an
+// HTTP JSON API (cmd/mpserved). It turns the one-shot CLI workflow
 // into the programmatic exploration service the paper's
 // design-space-exploration framing calls for.
 //
@@ -17,12 +18,12 @@
 // Caching happens at two granularities. The run-result LRU holds
 // individual simulations keyed by (target, canonical config) and is
 // shared by runs, sweep grid points and optimizer evaluations. The
-// optimizer LRU holds whole search outcomes keyed by the full request
-// tuple (target, base, space, op, strategy, budget, seed) — sound
-// because seeded searches over a deterministic simulator reproduce
-// exactly. Both identical runs and identical optimize requests are
-// single-flighted: concurrent duplicates wait for one leader and then
-// read its cached result.
+// optimizer and surface LRUs hold whole request outcomes keyed by the
+// full canonical request — sound because seeded searches and surface
+// generations over a deterministic simulator reproduce exactly.
+// Identical run, optimize and surface requests are single-flighted:
+// concurrent duplicates wait for one leader and then read its cached
+// result.
 package service
 
 import (
@@ -42,6 +43,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/surface"
 )
 
 // Defaults for Options zero values.
@@ -65,6 +67,12 @@ const (
 	// functional verification (three host slices per run); larger
 	// sweeps must set verify false, as the experiments layer does.
 	DefaultMaxVerifyArrayBytes = 256 << 20
+	// DefaultMaxSurfacePoints bounds one surface request's ladder
+	// (patterns x ratios x rates).
+	DefaultMaxSurfacePoints = 256
+	// DefaultMaxSurfaceWindowTxns bounds the transactions simulated per
+	// ladder point.
+	DefaultMaxSurfaceWindowTxns = 1 << 20
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
@@ -107,6 +115,9 @@ type Options struct {
 	// this (verification materializes the arrays in host memory);
 	// <= 0 means DefaultMaxVerifyArrayBytes.
 	MaxVerifyArrayBytes int64
+	// MaxSurfacePoints rejects surface requests whose ladder exceeds
+	// it; <= 0 means DefaultMaxSurfacePoints.
+	MaxSurfacePoints int
 	// NewDevice resolves a target id to a fresh device instance; nil
 	// means targets.ByID. Tests inject counting or blocking factories
 	// here.
@@ -149,6 +160,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxVerifyArrayBytes <= 0 {
 		o.MaxVerifyArrayBytes = DefaultMaxVerifyArrayBytes
 	}
+	if o.MaxSurfacePoints <= 0 {
+		o.MaxSurfacePoints = DefaultMaxSurfacePoints
+	}
 	if o.NewDevice == nil {
 		o.NewDevice = targets.ByID
 	}
@@ -168,13 +182,14 @@ func (o Options) withDefaults() Options {
 // Server schedules benchmark jobs onto a worker pool and caches their
 // results. Create with New, serve its Handler, and Close it when done.
 type Server struct {
-	opts     Options
-	infos    []device.Info // target list, resolved once at startup
-	jobs     *jobStore
-	queue    chan *Job
-	cache    *resultCache
-	optCache *optimizeCache
-	start    time.Time
+	opts      Options
+	infos     []device.Info // target list, resolved once at startup
+	jobs      *jobStore
+	queue     chan *Job
+	cache     *resultCache
+	optCache  *optimizeCache
+	surfCache *surfaceCache
+	start     time.Time
 
 	// flight deduplicates concurrently executing identical run jobs:
 	// fingerprint -> channel closed when the leading execution finishes.
@@ -195,15 +210,16 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		infos:    opts.TargetInfos(),
-		jobs:     newJobStore(opts.MaxJobsRetained),
-		queue:    make(chan *Job, opts.QueueDepth),
-		cache:    newResultCache(opts.CacheEntries),
-		optCache: newOptimizeCache(opts.CacheEntries),
-		flight:   make(map[string]chan struct{}),
-		start:    time.Now(),
-		quit:     make(chan struct{}),
+		opts:      opts,
+		infos:     opts.TargetInfos(),
+		jobs:      newJobStore(opts.MaxJobsRetained),
+		queue:     make(chan *Job, opts.QueueDepth),
+		cache:     newResultCache(opts.CacheEntries),
+		optCache:  newOptimizeCache(opts.CacheEntries),
+		surfCache: newSurfaceCache(opts.CacheEntries),
+		flight:    make(map[string]chan struct{}),
+		start:     time.Now(),
+		quit:      make(chan struct{}),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -317,6 +333,13 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 		return nil, err
 	}
 	opts.Strategy = strat.Name()
+	// Canonicalize the objective ("gbps" and "" spell the same metric)
+	// so equivalent requests fingerprint identically.
+	obj, err := search.ParseObjective(opts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	opts.Objective = obj
 	if opts.Budget < 0 {
 		return nil, fmt.Errorf("service: optimize budget %d must be >= 0 (0 means the full space)", opts.Budget)
 	}
@@ -338,6 +361,60 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 		return nil, err
 	}
 	return j, nil
+}
+
+// SubmitSurface validates and enqueues a bandwidth–latency surface
+// measurement on one target. The configuration is canonicalized
+// (defaults resolved) before fingerprinting so equivalent spellings
+// share one cache entry.
+func (s *Server) SubmitSurface(target string, cfg surface.Config) (*Job, error) {
+	if _, err := s.checkTarget(target); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n := cfg.Points(); n > s.opts.MaxSurfacePoints {
+		return nil, fmt.Errorf("service: surface ladder has %d points, limit %d", n, s.opts.MaxSurfacePoints)
+	}
+	if cfg.WindowTxns > DefaultMaxSurfaceWindowTxns {
+		return nil, fmt.Errorf("service: surface window of %d transactions exceeds limit %d",
+			cfg.WindowTxns, DefaultMaxSurfaceWindowTxns)
+	}
+	// The idle-latency chase is unbounded by the window, so it gets the
+	// same ceiling: without it one request could pin a worker on an
+	// arbitrarily long serial simulation.
+	if cfg.ProbeHops > DefaultMaxSurfaceWindowTxns {
+		return nil, fmt.Errorf("service: surface probe of %d hops exceeds limit %d",
+			cfg.ProbeHops, DefaultMaxSurfaceWindowTxns)
+	}
+	j := s.jobs.add(KindSurface, target)
+	j.mu.Lock()
+	j.scfg = cfg
+	j.view.Fingerprint = surfaceFingerprint(target, cfg)
+	j.mu.Unlock()
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// surfaceFingerprint digests a whole surface request. The generator is
+// deterministic, so equal fingerprints reproduce equal surfaces and
+// whole-surface caching is sound.
+func surfaceFingerprint(target string, cfg surface.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		b = []byte(fmt.Sprintf("unmarshalable:%s:%#v", err, cfg))
+	}
+	h := sha256.New()
+	h.Write([]byte("surface"))
+	h.Write([]byte{0})
+	h.Write([]byte(target))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // optimizeFingerprint digests a whole optimize request. The seeded
@@ -453,6 +530,8 @@ func (s *Server) execute(j *Job) {
 		s.executeSweep(j)
 	case KindOptimize:
 		s.executeOptimize(j)
+	case KindSurface:
+		s.executeSurface(j)
 	default:
 		j.finish(StatusFailed, func(v *View) { v.Error = fmt.Sprintf("unknown job kind %q", v.Kind) })
 	}
@@ -666,7 +745,16 @@ func (s *Server) executeOptimize(j *Job) {
 		s.cache.put(fp, res)
 		return dse.Point{Label: label, Config: cfg, Result: res}
 	}
-	res, err := search.RunWith(eval, func(c core.Config) string { return c.Fingerprint(snap.Target) },
+	searchEval := search.Evaluator(eval)
+	if j.sopts.Objective == search.ObjectiveKnee {
+		// Each unique point is scored at its loaded-latency knee ceiling.
+		// The knee rides on top of (possibly cached) runs; the wrapper
+		// memoizes the cheap, deterministic surface probe per traffic
+		// shape within this search, and the whole-search LRU above
+		// absorbs repeated requests.
+		searchEval = search.WithKneeObjective(dev, searchEval)
+	}
+	res, err := search.RunWith(searchEval, func(c core.Config) string { return c.Fingerprint(snap.Target) },
 		j.base, j.space, j.op, j.sopts)
 	if err != nil {
 		// Unreachable in practice: strategy and budget were validated at
@@ -681,6 +769,53 @@ func (s *Server) executeOptimize(j *Job) {
 	})
 }
 
+// executeSurface measures a bandwidth–latency surface, mirroring
+// executeRun's whole-result caching and single-flight dedup: identical
+// surface requests (same target and canonical configuration — the
+// generator is deterministic) are served from the surface LRU, and
+// concurrent identical requests measure once.
+func (s *Server) executeSurface(j *Job) {
+	snap := j.Snapshot()
+	finishCached := func(res *surface.Surface) {
+		j.finish(StatusDone, func(v *View) {
+			v.Cached = true
+			v.Surface = res
+		})
+	}
+	if s.surfCache.enabled() {
+		for {
+			if res, ok := s.surfCache.get(snap.Fingerprint); ok {
+				finishCached(res)
+				return
+			}
+			leader, ch := s.claimFlight(snap.Fingerprint)
+			if !leader {
+				<-ch
+				continue
+			}
+			if res, ok := s.surfCache.get(snap.Fingerprint); ok {
+				s.releaseFlight(snap.Fingerprint, ch)
+				finishCached(res)
+				return
+			}
+			defer s.releaseFlight(snap.Fingerprint, ch)
+			break
+		}
+	}
+	dev, err := s.opts.NewDevice(snap.Target)
+	if err != nil {
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	res, err := core.RunSurface(dev, j.scfg)
+	if err != nil {
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	s.surfCache.put(snap.Fingerprint, res)
+	j.finish(StatusDone, func(v *View) { v.Surface = res })
+}
+
 // health is the /v1/healthz body.
 type health struct {
 	Status        string         `json:"status"`
@@ -691,6 +826,7 @@ type health struct {
 	Jobs          map[Status]int `json:"jobs"`
 	Cache         CacheStats     `json:"cache"`
 	OptimizeCache CacheStats     `json:"optimize_cache"`
+	SurfaceCache  CacheStats     `json:"surface_cache"`
 }
 
 func (s *Server) health() health {
@@ -703,5 +839,6 @@ func (s *Server) health() health {
 		Jobs:          s.jobs.counts(),
 		Cache:         s.cache.stats(),
 		OptimizeCache: s.optCache.stats(),
+		SurfaceCache:  s.surfCache.stats(),
 	}
 }

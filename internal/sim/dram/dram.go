@@ -253,9 +253,8 @@ func (m *Model) Service(src mem.Source) Result {
 	return m.ServiceBounded(src, 0)
 }
 
-// ServiceBounded services at most maxTxns transactions (0 = unlimited).
-// Bounded runs are the basis of sampled simulation for very large arrays.
-func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
+// newChanStates builds cold per-channel controller state.
+func (m *Model) newChanStates() []chanState {
 	cfg := m.cfg
 	chans := make([]chanState, cfg.Channels)
 	for i := range chans {
@@ -273,6 +272,189 @@ func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
 			chans[i].banks[b].openRow = -1
 		}
 	}
+	return chans
+}
+
+// LoadedOptions parameterizes an open-loop ServiceLoaded run.
+type LoadedOptions struct {
+	// InterArrivalNs spaces background arrivals: background request i
+	// arrives at i * InterArrivalNs, so it sets the offered injection
+	// rate (request size / InterArrivalNs bytes per ns). It must be
+	// positive when a background source is given.
+	InterArrivalNs float64
+	// MaxTxns bounds the run; 0 services both sources fully.
+	MaxTxns uint64
+	// WarmupTxns excludes the first transactions from the latency
+	// statistics (they still run and occupy the system): the measurement
+	// should see the steady state, not the cold ramp.
+	WarmupTxns uint64
+}
+
+// LoadedResult extends Result with the open-loop latency accounting a
+// bandwidth–latency surface needs: per-request latency (completion
+// minus arrival) over all requests and over the probe chain alone.
+type LoadedResult struct {
+	Result
+	// MeasuredTxns counts the requests included in the latency
+	// statistics (serviced transactions past the warmup), and
+	// MeasuredSpanNs the simulated time they cover.
+	MeasuredTxns   uint64
+	MeasuredSpanNs float64
+	// TotalLatencyNs and MaxLatencyNs aggregate completion-minus-arrival
+	// over the measured requests.
+	TotalLatencyNs float64
+	MaxLatencyNs   float64
+	// Probe accounting: the dependent-chain requests only.
+	ProbeTxns    uint64
+	ProbeTotalNs float64
+	ProbeMaxNs   float64
+}
+
+// AvgLatencyNs returns the mean measured request latency.
+func (r LoadedResult) AvgLatencyNs() float64 {
+	if r.MeasuredTxns == 0 {
+		return 0
+	}
+	return r.TotalLatencyNs / float64(r.MeasuredTxns)
+}
+
+// ProbeAvgNs returns the mean probe-hop latency — the loaded latency a
+// pointer chase observes under the run's background traffic.
+func (r LoadedResult) ProbeAvgNs() float64 {
+	if r.ProbeTxns == 0 {
+		return 0
+	}
+	return r.ProbeTotalNs / float64(r.ProbeTxns)
+}
+
+// AvgOccupancy returns the time-averaged number of in-flight
+// transactions over the measured span (Little's law: total latency
+// over the elapsed time the measured requests cover, so a warmup does
+// not dilute it).
+func (r LoadedResult) AvgOccupancy() float64 {
+	if r.MeasuredSpanNs <= 0 {
+		return 0
+	}
+	return r.TotalLatencyNs / r.MeasuredSpanNs
+}
+
+// ServiceLoaded measures loaded latency: it services an open-loop
+// background stream (request i arrives at i*InterArrivalNs, setting
+// the offered injection rate) merged by arrival time with a dependent
+// probe chain (a pointer chase: hop n+1 arrives only when hop n's data
+// returned). Requests are serviced first-come first-served in arrival
+// order, and every latency is completion minus arrival.
+//
+// The probe's average latency is the loaded latency of the
+// bandwidth–latency surface methodology: offered background load well
+// below capacity leaves it near the idle round trip; as offered load
+// approaches the sustainable bandwidth, each probe round trip spans
+// more and more background service time and the latency follows the
+// queueing-theory hockey stick, diverging past saturation.
+//
+// Either source may be nil: a nil background measures the idle chase
+// latency, a nil probe measures pure open-loop background service.
+// The open-loop path deliberately skips the closed-loop reorder/batch
+// machinery of Service: a latency probe measures the controller as the
+// traffic presents itself.
+func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedResult {
+	cfg := m.cfg
+	chans := m.newChanStates()
+
+	var res LoadedResult
+	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps
+	start := cfg.InitialLatencyNs
+	inter := opts.InterArrivalNs
+	if inter <= 0 {
+		inter = burstNs // back-to-back at bus speed when unset
+	}
+
+	// Head-of-stream state for the arrival-order merge.
+	var (
+		bgReq, probeReq         mem.Request
+		bgOK, probeOK           bool
+		bgArrival, probeArrival float64
+		slot                    int
+	)
+	pullBg := func() {
+		if bg == nil {
+			bgOK = false
+			return
+		}
+		if bgReq, bgOK = bg.Next(); bgOK {
+			bgArrival = start + float64(slot)*inter
+			slot++
+		}
+	}
+	pullProbe := func(after float64) {
+		if probe == nil {
+			probeOK = false
+			return
+		}
+		if probeReq, probeOK = probe.Next(); probeOK {
+			probeArrival = after
+		}
+	}
+	pullBg()
+	pullProbe(start)
+
+	// maxEnd tracks the simulated frontier; measureStart marks it when
+	// the warmup completes, bounding the measured span for occupancy.
+	maxEnd, measureStart := start, start
+	for bgOK || probeOK {
+		if opts.MaxTxns > 0 && res.Txns >= opts.MaxTxns {
+			break
+		}
+		// Background goes first on ties: the probe joins the queue behind
+		// traffic already in flight.
+		warm := res.Txns >= opts.WarmupTxns
+		if warm && res.MeasuredTxns == 0 {
+			measureStart = maxEnd
+		}
+		var end float64
+		if bgOK && (!probeOK || bgArrival <= probeArrival) {
+			end = m.issue(&res.Result, chans, bgReq, burstNs, bgArrival)
+			if warm {
+				record(&res, end-bgArrival, false)
+			}
+			pullBg()
+		} else {
+			end = m.issue(&res.Result, chans, probeReq, burstNs, probeArrival)
+			if warm {
+				record(&res, end-probeArrival, true)
+			}
+			pullProbe(end)
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	res.MeasuredSpanNs = maxEnd - measureStart
+	finish(&res.Result, chans, start, cfg, !bgOK && !probeOK)
+	return res
+}
+
+// record accumulates one serviced request's latency.
+func record(res *LoadedResult, lat float64, isProbe bool) {
+	res.MeasuredTxns++
+	res.TotalLatencyNs += lat
+	if lat > res.MaxLatencyNs {
+		res.MaxLatencyNs = lat
+	}
+	if isProbe {
+		res.ProbeTxns++
+		res.ProbeTotalNs += lat
+		if lat > res.ProbeMaxNs {
+			res.ProbeMaxNs = lat
+		}
+	}
+}
+
+// ServiceBounded services at most maxTxns transactions (0 = unlimited).
+// Bounded runs are the basis of sampled simulation for very large arrays.
+func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
+	cfg := m.cfg
+	chans := m.newChanStates()
 
 	var res Result
 	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps // ns per burst (GB/s == B/ns)
@@ -370,8 +552,11 @@ func hasOp(buf []mem.Request, op mem.Op) bool {
 	return false
 }
 
-// issue times a single transaction. All times are nanoseconds.
-func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, start float64) {
+// issue times a single transaction, returning its completion time. All
+// times are nanoseconds; earliest is the first instant the transaction
+// may begin (the run start for closed-loop service, the request's
+// arrival for open-loop service).
+func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, earliest float64) float64 {
 	cfg := m.cfg
 
 	chIdx, chAddr := cfg.route(r.Addr, r.Stream)
@@ -403,14 +588,14 @@ func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, st
 	var ready float64
 	if bank.openRow == row {
 		// Row hit: CAS pipelines with the previous transfer.
-		ready = start
+		ready = earliest
 		res.RowHits++
 	} else {
 		// Row miss: the bank precharges/activates after its previous use,
 		// subject to the channel's tFAW activation-rate limit.
 		base := bank.freeAt
-		if base < start {
-			base = start
+		if base < earliest {
+			base = earliest
 		}
 		act := ch.activate(base, cfg.ActWindowNs)
 		ready = act + cfg.RowMissNs
@@ -425,8 +610,8 @@ func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, st
 	if g := ch.gate(); issueAt < g {
 		issueAt = g // outstanding-window limit
 	}
-	if issueAt < start {
-		issueAt = start
+	if issueAt < earliest {
+		issueAt = earliest
 	}
 	end := issueAt + transfer
 
@@ -437,6 +622,7 @@ func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, st
 	res.Txns++
 	res.Bytes += uint64(r.Size)
 	res.BusBytes += uint64(bursts) * uint64(cfg.BurstBytes)
+	return end
 }
 
 func finish(res *Result, chans []chanState, start float64, cfg Config, drained bool) {

@@ -387,3 +387,158 @@ func TestHashBanksSpreadsPow2RowStrides(t *testing.T) {
 			hashed, unhashed)
 	}
 }
+
+// loadedChase builds a probe chase over elems burst-sized elements.
+func loadedChase(t testing.TB, elems, hops int) mem.Source {
+	t.Helper()
+	ch, err := mem.NewChaseIter(1<<32, elems, 64, hops, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestServiceLoadedIdleProbeLatency(t *testing.T) {
+	m := New(testConfig())
+	res := m.ServiceLoaded(nil, loadedChase(t, 1<<16, 200), LoadedOptions{})
+	if res.ProbeTxns != 200 {
+		t.Fatalf("probe txns = %d, want 200", res.ProbeTxns)
+	}
+	// A scattered serial chase misses rows nearly every hop: the idle
+	// loaded latency must sit near RowMissNs + burst transfer, far above
+	// the pure transfer time and far below a congested latency.
+	avg := res.ProbeAvgNs()
+	if avg < 40 || avg > 120 {
+		t.Errorf("idle probe latency %.1f ns outside the plausible [40,120] window", avg)
+	}
+	if res.MaxLatencyNs < avg {
+		t.Errorf("max latency %.1f below the average %.1f", res.MaxLatencyNs, avg)
+	}
+}
+
+func TestServiceLoadedLatencyRisesWithInjectionRate(t *testing.T) {
+	cfg := testConfig()
+	peakGBps := cfg.PeakGBps()
+	lat := func(frac float64) float64 {
+		m := New(cfg)
+		bg := contigReads(t, 1<<16, 64)
+		probe := loadedChase(t, 1<<16, 1<<20)
+		inter := float64(cfg.BurstBytes) / (frac * peakGBps)
+		res := m.ServiceLoaded(bg, probe, LoadedOptions{
+			InterArrivalNs: inter,
+			MaxTxns:        1 << 14,
+		})
+		if res.ProbeTxns == 0 {
+			t.Fatal("no probe hops serviced")
+		}
+		return res.ProbeAvgNs()
+	}
+	low, mid, high := lat(0.1), lat(0.6), lat(1.2)
+	if !(low < mid && mid < high) {
+		t.Errorf("loaded latency not monotone with injection rate: %.1f, %.1f, %.1f ns",
+			low, mid, high)
+	}
+	// Over-saturation must visibly blow the latency up.
+	if high < 3*low {
+		t.Errorf("saturated latency %.1f ns not clearly above idle %.1f ns", high, low)
+	}
+}
+
+func TestServiceLoadedAchievedBandwidthSaturates(t *testing.T) {
+	cfg := testConfig()
+	peak := cfg.PeakGBps()
+	achieved := func(frac float64) float64 {
+		m := New(cfg)
+		bg := contigReads(t, 1<<16, 64)
+		inter := float64(cfg.BurstBytes) / (frac * peak)
+		res := m.ServiceLoaded(bg, nil, LoadedOptions{InterArrivalNs: inter, MaxTxns: 1 << 14})
+		return res.RequestedGBps()
+	}
+	low := achieved(0.2)
+	want := 0.2 * peak
+	if low < 0.8*want || low > 1.05*want {
+		t.Errorf("under low load achieved %.2f GB/s, want about the offered %.2f", low, want)
+	}
+	over := achieved(2.0)
+	if over > peak {
+		t.Errorf("achieved %.2f GB/s exceeds the %.2f GB/s peak", over, peak)
+	}
+	if over < low {
+		t.Errorf("saturated bandwidth %.2f below low-load bandwidth %.2f", over, low)
+	}
+}
+
+func TestServiceLoadedOccupancyAndDeterminism(t *testing.T) {
+	cfg := testConfig()
+	run := func() LoadedResult {
+		m := New(cfg)
+		bg := contigReads(t, 1<<13, 64)
+		probe := loadedChase(t, 1<<16, 256)
+		return m.ServiceLoaded(bg, probe, LoadedOptions{InterArrivalNs: 8})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("ServiceLoaded is not deterministic: %+v vs %+v", a, b)
+	}
+	if a.AvgOccupancy() <= 0 {
+		t.Errorf("occupancy %.3f must be positive", a.AvgOccupancy())
+	}
+	if !a.Drained {
+		t.Error("unbounded run must drain both sources")
+	}
+	if a.Txns != 1<<13+256 || a.Bytes == 0 {
+		t.Errorf("unexpected result: %+v", a.Result)
+	}
+	if a.AvgLatencyNs() <= 0 || a.ProbeAvgNs() <= 0 {
+		t.Errorf("latencies must be positive: %+v", a)
+	}
+}
+
+func TestServiceLoadedMaxTxnsBounds(t *testing.T) {
+	m := New(testConfig())
+	res := m.ServiceLoaded(contigReads(t, 1<<14, 64), nil, LoadedOptions{
+		InterArrivalNs: 4, MaxTxns: 100,
+	})
+	if res.Txns != 100 {
+		t.Errorf("serviced %d txns, want 100", res.Txns)
+	}
+	if res.Drained {
+		t.Error("bounded run must not report drained")
+	}
+}
+
+func TestServiceLoadedEmpty(t *testing.T) {
+	m := New(testConfig())
+	res := m.ServiceLoaded(nil, nil, LoadedOptions{})
+	if res.Txns != 0 || res.Seconds != 0 {
+		t.Errorf("empty run produced %+v", res.Result)
+	}
+}
+
+func TestServiceLoadedWarmupExcludedFromOccupancy(t *testing.T) {
+	cfg := testConfig()
+	run := func(warmup uint64) LoadedResult {
+		m := New(cfg)
+		return m.ServiceLoaded(contigReads(t, 1<<14, 64), nil, LoadedOptions{
+			InterArrivalNs: 3,
+			MaxTxns:        8192,
+			WarmupTxns:     warmup,
+		})
+	}
+	warm := run(2048)
+	if warm.MeasuredTxns != 8192-2048 {
+		t.Errorf("measured %d txns, want %d", warm.MeasuredTxns, 8192-2048)
+	}
+	if warm.MeasuredSpanNs <= 0 || warm.MeasuredSpanNs >= warm.Seconds*1e9 {
+		t.Errorf("measured span %.1f ns must be positive and below the full run %.1f ns",
+			warm.MeasuredSpanNs, warm.Seconds*1e9)
+	}
+	// Occupancy over the measured span must agree with the steady state
+	// a warmup-free run reports, not be diluted by the excluded quarter.
+	cold := run(0)
+	ratio := warm.AvgOccupancy() / cold.AvgOccupancy()
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("warmup skews occupancy: %.3f vs %.3f (ratio %.2f)",
+			warm.AvgOccupancy(), cold.AvgOccupancy(), ratio)
+	}
+}

@@ -431,6 +431,155 @@ func (l *Limit) Next() (Request, bool) {
 	return r, ok
 }
 
+// ChaseIter is the loaded-latency probe's request generator: a
+// pointer-chase walk over an array, visiting pseudo-random elements in a
+// deterministic sequence. Each request models one hop of the chase —
+// the address of hop n+1 depends on the data returned by hop n, so a
+// memory model servicing the stream must serialize the hops (the dram
+// package's ServiceLoaded does, via its probe stream tag). That
+// serialization is what turns the request stream into a latency
+// measurement instead of a bandwidth one.
+//
+// The address sequence comes from a 64-bit LCG rather than from real
+// chain data: the simulator times addresses, not values, and the LCG
+// gives the scattered, cache- and row-buffer-hostile walk a properly
+// initialized chase array would.
+type ChaseIter struct {
+	base      uint64
+	elems     int
+	elemBytes uint32
+	stream    uint8
+
+	count   int
+	emitted int
+	state   uint64
+}
+
+// chase LCG constants (Knuth's MMIX).
+const (
+	chaseMul = 6364136223846793005
+	chaseInc = 1442695040888963407
+)
+
+// NewChaseIter builds a chase of count hops over an array of elems
+// elements at base, tagging every request with stream.
+func NewChaseIter(base uint64, elems int, elemBytes uint32, count int, stream uint8) (*ChaseIter, error) {
+	if elems <= 0 {
+		return nil, fmt.Errorf("mem: chase element count %d must be positive", elems)
+	}
+	if elemBytes == 0 {
+		return nil, fmt.Errorf("mem: chase element size must be positive")
+	}
+	if count < 0 {
+		count = 0
+	}
+	return &ChaseIter{
+		base:      base,
+		elems:     elems,
+		elemBytes: elemBytes,
+		stream:    stream,
+		count:     count,
+		state:     uint64(elems) ^ chaseInc,
+	}, nil
+}
+
+// Remaining returns the hops not yet emitted.
+func (c *ChaseIter) Remaining() int { return c.count - c.emitted }
+
+// Next emits the next hop of the chase.
+func (c *ChaseIter) Next() (Request, bool) {
+	if c.emitted >= c.count {
+		return Request{}, false
+	}
+	c.state = c.state*chaseMul + chaseInc
+	idx := int((c.state >> 33) % uint64(c.elems))
+	c.emitted++
+	return Request{
+		Addr:   c.base + uint64(idx)*uint64(c.elemBytes),
+		Size:   c.elemBytes,
+		Op:     Read,
+		Stream: c.stream,
+	}, true
+}
+
+// Mix emits requests from a read source and a write source in a fixed
+// ratio, deterministically (error diffusion, no RNG): readFrac of the
+// emitted requests are reads. It is the background-traffic generator of
+// the bandwidth–latency surface: the read/write axis of the surface is
+// exactly this ratio.
+//
+// Requests are scheduled in same-direction groups of group requests
+// (default 16), the way a write-buffering controller drains its queues:
+// strict per-request alternation would charge a bus turnaround on every
+// transaction, which no real memory system pays. The read share of each
+// group error-diffuses so the global ratio is exact over time. When one
+// side runs dry the other continues alone.
+type Mix struct {
+	reads, writes Source
+	readFrac      float64
+	group         int
+
+	acc       float64 // diffused read quota carried between groups
+	readLeft  int     // reads left in the current group
+	writeLeft int     // writes left in the current group
+}
+
+// DefaultMixGroup is the same-direction scheduling run length.
+const DefaultMixGroup = 16
+
+// NewMix builds a ratio mixer; readFrac is clamped to [0, 1] and
+// group <= 0 means DefaultMixGroup.
+func NewMix(reads, writes Source, readFrac float64, group int) *Mix {
+	if readFrac < 0 {
+		readFrac = 0
+	}
+	if readFrac > 1 {
+		readFrac = 1
+	}
+	if group <= 0 {
+		group = DefaultMixGroup
+	}
+	return &Mix{reads: reads, writes: writes, readFrac: readFrac, group: group}
+}
+
+// Remaining sums both sides, saturating instead of overflowing when a
+// side reports an effectively infinite count (a wrapping walk).
+func (m *Mix) Remaining() int {
+	r, w := m.reads.Remaining(), m.writes.Remaining()
+	if sum := r + w; sum >= r && sum >= w {
+		return sum
+	}
+	return math.MaxInt
+}
+
+// Next emits the next request of the scheduled direction.
+func (m *Mix) Next() (Request, bool) {
+	if m.readLeft == 0 && m.writeLeft == 0 {
+		// Plan the next group: diffuse the fractional read quota.
+		m.acc += m.readFrac * float64(m.group)
+		m.readLeft = int(m.acc)
+		if m.readLeft > m.group {
+			m.readLeft = m.group
+		}
+		m.acc -= float64(m.readLeft)
+		m.writeLeft = m.group - m.readLeft
+	}
+	if m.readLeft > 0 {
+		if r, ok := m.reads.Next(); ok {
+			m.readLeft--
+			return r, ok
+		}
+		m.readLeft = 0
+		return m.writes.Next()
+	}
+	if r, ok := m.writes.Next(); ok {
+		m.writeLeft--
+		return r, ok
+	}
+	m.writeLeft = 0
+	return m.reads.Next()
+}
+
 // TotalBytes drains a source, returning the transaction count and byte sum.
 // It is a test and sizing helper; draining a large source is O(elements).
 func TotalBytes(s Source) (n int, bytes uint64) {

@@ -430,3 +430,109 @@ func TestLimit(t *testing.T) {
 		t.Errorf("negative budget yielded %d", len(got))
 	}
 }
+
+func TestChaseIter(t *testing.T) {
+	ch, err := NewChaseIter(1<<20, 256, 64, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Remaining() != 100 {
+		t.Errorf("Remaining = %d, want 100", ch.Remaining())
+	}
+	got := collect(t, ch)
+	if len(got) != 100 {
+		t.Fatalf("chase yielded %d hops, want 100", len(got))
+	}
+	distinct := make(map[uint64]bool)
+	for _, r := range got {
+		if r.Op != Read {
+			t.Fatalf("chase emitted a %v", r.Op)
+		}
+		if r.Stream != 7 {
+			t.Fatalf("chase stream = %d, want 7", r.Stream)
+		}
+		if r.Size != 64 {
+			t.Fatalf("chase size = %d, want 64", r.Size)
+		}
+		if r.Addr < 1<<20 || r.Addr >= 1<<20+256*64 {
+			t.Fatalf("chase address %#x outside the array", r.Addr)
+		}
+		distinct[r.Addr] = true
+	}
+	// A pointer chase must scatter, not stream.
+	if len(distinct) < 50 {
+		t.Errorf("chase visited only %d distinct addresses in 100 hops", len(distinct))
+	}
+	// Deterministic: a fresh iterator replays the same walk.
+	ch2, _ := NewChaseIter(1<<20, 256, 64, 100, 7)
+	for i, r := range collect(t, ch2) {
+		if r != got[i] {
+			t.Fatalf("hop %d differs between identical chases", i)
+		}
+	}
+}
+
+func TestChaseIterErrors(t *testing.T) {
+	if _, err := NewChaseIter(0, 0, 64, 10, 0); err == nil {
+		t.Error("zero elems must error")
+	}
+	if _, err := NewChaseIter(0, 8, 0, 10, 0); err == nil {
+		t.Error("zero element size must error")
+	}
+	ch, err := NewChaseIter(0, 8, 4, -5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, ch); len(got) != 0 {
+		t.Errorf("negative count yielded %d hops", len(got))
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 2.0 / 3, 1} {
+		reads := mustIter(t, ContiguousPattern(), 0, 1000, 4, Read, 1)
+		writes := mustIter(t, ContiguousPattern(), 1<<31, 1000, 4, Write, 0)
+		m := NewMix(reads, writes, frac, 4)
+		nr, total := 0, 0
+		for total < 600 {
+			r, ok := m.Next()
+			if !ok {
+				t.Fatal("mix ran dry early")
+			}
+			total++
+			if r.Op == Read {
+				nr++
+			}
+		}
+		got := float64(nr) / float64(total)
+		if diff := got - frac; diff > 0.01 || diff < -0.01 {
+			t.Errorf("readFrac %.3f: emitted %.3f reads", frac, got)
+		}
+	}
+}
+
+func TestMixDrainsBothSides(t *testing.T) {
+	reads := mustIter(t, ContiguousPattern(), 0, 5, 4, Read, 1)
+	writes := mustIter(t, ContiguousPattern(), 1<<31, 5, 4, Write, 0)
+	m := NewMix(reads, writes, 0.9, 0) // reads exhaust first
+	if m.Remaining() != 10 {
+		t.Errorf("Remaining = %d, want 10", m.Remaining())
+	}
+	got := collect(t, m)
+	if len(got) != 10 {
+		t.Errorf("mix yielded %d, want 10", len(got))
+	}
+}
+
+// infiniteSource reports an effectively unbounded count.
+type infiniteSource struct{ Source }
+
+func (infiniteSource) Remaining() int { return int(^uint(0) >> 1) }
+
+func TestMixRemainingSaturates(t *testing.T) {
+	a := infiniteSource{mustIter(t, ContiguousPattern(), 0, 4, 4, Read, 1)}
+	b := infiniteSource{mustIter(t, ContiguousPattern(), 1<<31, 4, 4, Write, 0)}
+	if got := NewMix(a, b, 0.5, 0).Remaining(); got <= 0 {
+		t.Errorf("Remaining overflowed to %d", got)
+	}
+}

@@ -1,0 +1,489 @@
+// Package surface generates bandwidth–latency surfaces: the loaded-
+// latency characterization that completes a device's memory description
+// beyond MP-STREAM's peak-bandwidth numbers.
+//
+// The methodology (after "A Mess of Memory System Benchmarking,
+// Simulation and Application Profiling", arXiv:2405.10170) crosses three
+// axes:
+//
+//   - access pattern of the background traffic (contiguous, strided,
+//     column-major — the same mem.Pattern vocabulary as the benchmark);
+//   - read/write ratio of the background traffic;
+//   - offered injection rate, stepped up a ladder of fractions of the
+//     device's peak memory bandwidth.
+//
+// For every (pattern, ratio) pair the generator sweeps the rate ladder.
+// At each rung it drives the device's DRAM model (device.MemorySystem)
+// open-loop with background traffic at the offered rate while a serial
+// pointer-chase probe (kernel.Chase's request stream, mem.ChaseIter)
+// threads through it; the probe's mean round trip is the loaded
+// latency. The resulting curve of achieved bandwidth versus loaded
+// latency bends sharply where the memory system saturates; the knee —
+// the highest bandwidth still delivered at acceptable latency — is the
+// scalar the DSE layer can optimize instead of raw GB/s.
+//
+// Everything is deterministic: the chase walk is an LCG, the read/write
+// mix is error diffusion, and the DRAM model is single-threaded — equal
+// configurations reproduce equal surfaces, which is what lets the
+// service layer cache whole surfaces by request fingerprint.
+package surface
+
+import (
+	"fmt"
+	"math"
+
+	"mpstream/internal/device"
+	"mpstream/internal/report"
+	"mpstream/internal/sim/dram"
+	"mpstream/internal/sim/mem"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultArrayBytes = 32 << 20
+	DefaultWindowTxns = 16384
+	DefaultProbeHops  = 256
+	DefaultKneeFactor = 2.0
+)
+
+// DefaultRates is the injection ladder as fractions of the device's
+// peak memory bandwidth. It deliberately crosses 1.0: the territory
+// past saturation is where the latency blows up and the knee shows.
+func DefaultRates() []float64 { return []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.2} }
+
+// DefaultRWRatios is the read-fraction axis: all-read, 2:1 (triad- and
+// add-shaped) and 1:1 (copy-shaped) traffic.
+func DefaultRWRatios() []float64 { return []float64{1, 2.0 / 3, 0.5} }
+
+// DefaultPatterns is the background-pattern axis: a streaming walk and
+// a row-buffer-hostile strided walk.
+func DefaultPatterns() []mem.Pattern {
+	return []mem.Pattern{mem.ContiguousPattern(), mem.StridedPattern(16)}
+}
+
+// Config parameterizes one surface generation. The zero value measures
+// a sensible default surface; WithDefaults resolves it explicitly.
+type Config struct {
+	// Patterns is the background access-pattern axis; nil means
+	// DefaultPatterns.
+	Patterns []mem.Pattern `json:"patterns,omitempty"`
+	// RWRatios is the read-fraction axis (1 = all reads); nil means
+	// DefaultRWRatios.
+	RWRatios []float64 `json:"rw_ratios,omitempty"`
+	// Rates is the injection ladder, as fractions of the device's peak
+	// memory bandwidth; nil means DefaultRates.
+	Rates []float64 `json:"rates,omitempty"`
+	// ArrayBytes is the footprint of each traffic stream (read array,
+	// write array, chase array); 0 means DefaultArrayBytes. Keep it well
+	// beyond on-chip caches: the surface characterizes DRAM.
+	ArrayBytes int64 `json:"array_bytes,omitempty"`
+	// WindowTxns bounds the transactions simulated per ladder point;
+	// 0 means DefaultWindowTxns.
+	WindowTxns int `json:"window_txns,omitempty"`
+	// ProbeHops is the chase length of the idle-latency measurement;
+	// 0 means DefaultProbeHops.
+	ProbeHops int `json:"probe_hops,omitempty"`
+	// KneeFactor defines "acceptable latency": the knee is the highest-
+	// bandwidth point whose loaded latency stays within KneeFactor times
+	// the idle latency. 0 means DefaultKneeFactor.
+	KneeFactor float64 `json:"knee_factor,omitempty"`
+}
+
+// WithDefaults resolves zero fields, the canonical form the service
+// fingerprints.
+func (c Config) WithDefaults() Config {
+	if len(c.Patterns) == 0 {
+		c.Patterns = DefaultPatterns()
+	}
+	if len(c.RWRatios) == 0 {
+		c.RWRatios = DefaultRWRatios()
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = DefaultRates()
+	}
+	if c.ArrayBytes == 0 {
+		c.ArrayBytes = DefaultArrayBytes
+	}
+	if c.WindowTxns == 0 {
+		c.WindowTxns = DefaultWindowTxns
+	}
+	if c.ProbeHops == 0 {
+		c.ProbeHops = DefaultProbeHops
+	}
+	if c.KneeFactor == 0 {
+		c.KneeFactor = DefaultKneeFactor
+	}
+	return c
+}
+
+// Points returns the number of ladder points the surface will measure.
+func (c Config) Points() int {
+	c = c.WithDefaults()
+	return len(c.Patterns) * len(c.RWRatios) * len(c.Rates)
+}
+
+// Validate reports configuration errors (after defaulting).
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.ArrayBytes < 1<<10 {
+		return fmt.Errorf("surface: array bytes %d too small to exercise a memory system", c.ArrayBytes)
+	}
+	for _, r := range c.RWRatios {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("surface: read fraction %g out of [0,1]", r)
+		}
+	}
+	for _, f := range c.Rates {
+		if f <= 0 {
+			return fmt.Errorf("surface: injection rate fraction %g must be positive", f)
+		}
+	}
+	if c.WindowTxns < 64 {
+		return fmt.Errorf("surface: window of %d transactions too small to measure", c.WindowTxns)
+	}
+	if c.ProbeHops < 16 {
+		return fmt.Errorf("surface: %d probe hops too few to measure idle latency", c.ProbeHops)
+	}
+	if c.KneeFactor <= 1 {
+		return fmt.Errorf("surface: knee factor %g must exceed 1 (it multiplies the idle latency)", c.KneeFactor)
+	}
+	// The element count is device-dependent (the traffic granule is the
+	// DRAM burst size), so only granule-independent pattern properties
+	// are checked here; Generate re-validates shapes against the real
+	// burst before simulating anything.
+	for _, p := range c.Patterns {
+		switch p.Kind {
+		case mem.Contiguous, mem.ColMajor2D:
+		case mem.Strided:
+			if p.StrideElems < 1 {
+				return fmt.Errorf("surface: stride %d must be >= 1", p.StrideElems)
+			}
+		default:
+			return fmt.Errorf("surface: unknown pattern kind %d", p.Kind)
+		}
+	}
+	return nil
+}
+
+// Point is one rung of the injection ladder: offered load in, achieved
+// bandwidth and loaded latency out.
+type Point struct {
+	// Rate is the offered injection rate as a fraction of peak.
+	Rate float64 `json:"rate"`
+	// OfferedGBps is the offered background load in GB/s.
+	OfferedGBps float64 `json:"offered_gbps"`
+	// AchievedGBps is the serviced bandwidth (requested bytes over
+	// elapsed time, background and probe together).
+	AchievedGBps float64 `json:"achieved_gbps"`
+	// LatencyNs is the loaded latency: the probe chase's mean round trip.
+	LatencyNs float64 `json:"latency_ns"`
+	// MaxLatencyNs is the worst probe round trip in the window.
+	MaxLatencyNs float64 `json:"max_latency_ns"`
+	// RowHitRate and Occupancy expose the mechanism behind the curve:
+	// row-buffer locality of the mixed stream and the time-averaged
+	// number of in-flight transactions (Little's law).
+	RowHitRate float64 `json:"row_hit_rate"`
+	Occupancy  float64 `json:"occupancy"`
+}
+
+// Knee is the operating point a latency-aware consumer should run at:
+// the highest achieved bandwidth whose loaded latency stays within
+// KneeFactor times the idle latency.
+type Knee struct {
+	// Rate, GBps and LatencyNs identify the knee point.
+	Rate      float64 `json:"rate"`
+	GBps      float64 `json:"gbps"`
+	LatencyNs float64 `json:"latency_ns"`
+	// Saturated reports that even the lowest rung exceeded the latency
+	// bound, so the knee fell back to the lowest-latency point.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// Curve is the ladder for one (pattern, read-fraction) pair.
+type Curve struct {
+	Pattern mem.Pattern `json:"pattern"`
+	// ReadFrac is the background read fraction (1 = all reads).
+	ReadFrac float64 `json:"read_frac"`
+	// IdleLatencyNs is the unloaded chase round trip — the y-intercept
+	// of the curve and the baseline of the knee criterion. The chase is
+	// independent of the background pattern and ratio, so every curve
+	// of a surface shares one value.
+	IdleLatencyNs float64 `json:"idle_latency_ns"`
+	Points        []Point `json:"points"`
+	Knee          Knee    `json:"knee"`
+}
+
+// Surface is a full bandwidth–latency characterization of one device.
+type Surface struct {
+	Device device.Info `json:"device"`
+	Config Config      `json:"config"`
+	Curves []Curve     `json:"curves"`
+}
+
+// Generate measures the surface of dev, which must expose its memory
+// system (device.MemorySystem — every simulated target does).
+func Generate(dev device.Device, cfg Config) (*Surface, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ms, ok := dev.(device.MemorySystem)
+	if !ok {
+		return nil, fmt.Errorf("surface: target %q does not expose its memory system", dev.Info().ID)
+	}
+	model := ms.MemModel()
+	info := dev.Info()
+	peak := info.PeakMemGBps
+	if peak <= 0 {
+		peak = model.Config().PeakGBps()
+	}
+	// Validate shapes against the device's real traffic granule before
+	// simulating anything, so a mis-sized explicit 2D shape fails fast.
+	elems := int(cfg.ArrayBytes / int64(model.Config().BurstBytes))
+	for _, p := range cfg.Patterns {
+		if err := p.Validate(elems); err != nil {
+			return nil, fmt.Errorf("surface: on %s (%d-byte bursts): %w", info.ID, model.Config().BurstBytes, err)
+		}
+	}
+
+	// Idle latency: the chase alone, serialized hop by hop. The probe
+	// walk is independent of the background pattern and ratio, so one
+	// measurement serves every curve.
+	burst := model.Config().BurstBytes
+	idle := model.ServiceLoaded(nil, chase(elems, burst, cfg.ProbeHops), dram.LoadedOptions{})
+
+	s := &Surface{Device: info, Config: cfg}
+	for _, pat := range cfg.Patterns {
+		for _, frac := range cfg.RWRatios {
+			curve, err := generateCurve(model, cfg, pat, frac, peak, idle.ProbeAvgNs())
+			if err != nil {
+				return nil, err
+			}
+			s.Curves = append(s.Curves, curve)
+		}
+	}
+	return s, nil
+}
+
+// Stream-tag layout of the surface traffic. The write stream reuses the
+// benchmark's destination tag so per-stream DRAM placement (FPGA-style
+// InterleaveBytes == 0) banks it like a destination array.
+const (
+	writeStream = 0
+	readStream  = 1
+	probeStream = 3
+)
+
+// generateCurve measures one (pattern, read-fraction) ladder against
+// the shared idle latency.
+func generateCurve(model *dram.Model, cfg Config, pat mem.Pattern, readFrac, peakGBps, idleNs float64) (Curve, error) {
+	burst := model.Config().BurstBytes
+	elems := int(cfg.ArrayBytes / int64(burst))
+
+	curve := Curve{Pattern: pat, ReadFrac: readFrac, IdleLatencyNs: idleNs}
+
+	// Same-direction scheduling runs mirror the controller's own
+	// write-buffering depth, so the mixed stream pays turnarounds at the
+	// rate the closed-loop model does.
+	mixGroup := model.Config().BatchSize * model.Config().Channels
+
+	for _, rate := range cfg.Rates {
+		bg, err := background(pat, elems, burst, readFrac, mixGroup)
+		if err != nil {
+			return Curve{}, err
+		}
+		interNs := float64(burst) / (rate * peakGBps) // GB/s == B/ns
+		res := model.ServiceLoaded(bg, chase(elems, burst, cfg.WindowTxns), dram.LoadedOptions{
+			InterArrivalNs: interNs,
+			MaxTxns:        uint64(cfg.WindowTxns),
+			// Measure the steady state, not the cold ramp into it.
+			WarmupTxns: uint64(cfg.WindowTxns / 4),
+		})
+		lat, maxLat := res.ProbeAvgNs(), res.ProbeMaxNs
+		if res.ProbeTxns == 0 {
+			// The system was so congested that not one probe hop finished
+			// inside the measured window: the loaded latency is at least
+			// the window itself. Report that bound instead of a bogus 0.
+			lat = res.Seconds * 1e9
+			maxLat = lat
+		}
+		curve.Points = append(curve.Points, Point{
+			Rate:         rate,
+			OfferedGBps:  rate * peakGBps,
+			AchievedGBps: res.RequestedGBps(),
+			LatencyNs:    lat,
+			MaxLatencyNs: maxLat,
+			RowHitRate:   res.RowHitRate(),
+			Occupancy:    res.AvgOccupancy(),
+		})
+	}
+	curve.Knee = detectKnee(curve, cfg.KneeFactor)
+	return curve, nil
+}
+
+// chase builds the probe walk: hops covers both the idle measurement
+// and a whole loaded window (the probe chain never runs dry before the
+// window's transaction budget is spent).
+func chase(elems int, burst uint32, hops int) mem.Source {
+	// The chase array lives far from the traffic arrays (stream bases are
+	// 2 GiB apart, see device.StreamBases).
+	ch, err := mem.NewChaseIter(uint64(probeStream)<<31, elems, burst, hops, probeStream)
+	if err != nil {
+		// Unreachable: elems and burst were validated.
+		panic(err)
+	}
+	return ch
+}
+
+// background assembles the mixed read/write traffic for one curve.
+// Each direction's walk wraps around when it reaches the end of its
+// array, so the background can never run dry inside a measurement
+// window and dilute the loaded latency toward idle.
+func background(pat mem.Pattern, elems int, burst uint32, readFrac float64, mixGroup int) (mem.Source, error) {
+	reads, err := mem.NewIter(pat, uint64(readStream)<<31, elems, burst, mem.Read, readStream)
+	if err != nil {
+		return nil, err
+	}
+	if readFrac >= 1 {
+		return repeat{reads}, nil
+	}
+	writes, err := mem.NewIter(pat, uint64(writeStream)<<31, elems, burst, mem.Write, writeStream)
+	if err != nil {
+		return nil, err
+	}
+	if readFrac <= 0 {
+		return repeat{writes}, nil
+	}
+	return mem.NewMix(repeat{reads}, repeat{writes}, readFrac, mixGroup), nil
+}
+
+// repeat cycles a resettable walk forever; the measurement window
+// (LoadedOptions.MaxTxns) bounds the run instead.
+type repeat struct{ it *mem.Iter }
+
+// Remaining reports a window-dwarfing count (the walk never drains).
+func (r repeat) Remaining() int { return math.MaxInt }
+
+// Next emits the next request, rewinding at the end of the walk.
+func (r repeat) Next() (mem.Request, bool) {
+	req, ok := r.it.Next()
+	if !ok {
+		r.it.Reset()
+		req, ok = r.it.Next()
+	}
+	return req, ok
+}
+
+// detectKnee picks the highest-bandwidth point within the latency
+// budget, falling back to the lowest-latency point when the whole
+// ladder blew past it.
+func detectKnee(c Curve, factor float64) Knee {
+	budget := factor * c.IdleLatencyNs
+	best := -1
+	for i, p := range c.Points {
+		if p.LatencyNs > budget {
+			continue
+		}
+		if best < 0 || p.AchievedGBps > c.Points[best].AchievedGBps {
+			best = i
+		}
+	}
+	if best >= 0 {
+		p := c.Points[best]
+		return Knee{Rate: p.Rate, GBps: p.AchievedGBps, LatencyNs: p.LatencyNs}
+	}
+	// Saturated from the first rung: report the gentlest point.
+	for i, p := range c.Points {
+		if best < 0 || p.LatencyNs < c.Points[best].LatencyNs {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Knee{Saturated: true}
+	}
+	p := c.Points[best]
+	return Knee{Rate: p.Rate, GBps: p.AchievedGBps, LatencyNs: p.LatencyNs, Saturated: true}
+}
+
+// KneeGBps returns the knee bandwidth of curve i, or 0.
+func (s *Surface) KneeGBps(i int) float64 {
+	if i < 0 || i >= len(s.Curves) {
+		return 0
+	}
+	return s.Curves[i].Knee.GBps
+}
+
+// MinKneeGBps returns the most conservative knee over all curves — the
+// bandwidth the device sustains at acceptable latency under its least
+// favourable measured traffic. It is the scalar the DSE layer ranks by
+// under the "knee" objective.
+func (s *Surface) MinKneeGBps() float64 {
+	min := 0.0
+	for i, c := range s.Curves {
+		if i == 0 || c.Knee.GBps < min {
+			min = c.Knee.GBps
+		}
+	}
+	return min
+}
+
+// Table renders the surface as one table, the shared shape of the
+// mpsurf text/markdown/CSV output and of docs examples.
+func (s *Surface) Table() *report.Table {
+	tb := report.NewTable("pattern", "read frac", "rate", "offered GB/s",
+		"achieved GB/s", "latency ns", "max ns", "row hit", "knee")
+	for _, c := range s.Curves {
+		for _, p := range c.Points {
+			kneeMark := ""
+			if p.Rate == c.Knee.Rate {
+				kneeMark = "*"
+			}
+			tb.AddRowf(patternLabel(c.Pattern), c.ReadFrac, p.Rate, p.OfferedGBps,
+				p.AchievedGBps, p.LatencyNs, p.MaxLatencyNs, p.RowHitRate, kneeMark)
+		}
+	}
+	return tb
+}
+
+// KneeTable summarizes one row per curve.
+func (s *Surface) KneeTable() *report.Table {
+	tb := report.NewTable("pattern", "read frac", "idle ns", "knee rate",
+		"knee GB/s", "knee ns", "saturated")
+	for _, c := range s.Curves {
+		tb.AddRowf(patternLabel(c.Pattern), c.ReadFrac, c.IdleLatencyNs,
+			c.Knee.Rate, c.Knee.GBps, c.Knee.LatencyNs, fmt.Sprintf("%v", c.Knee.Saturated))
+	}
+	return tb
+}
+
+// Chart renders one curve as an ASCII bandwidth-versus-latency plot.
+func (c Curve) Chart() *report.Chart {
+	ch := &report.Chart{
+		Title:  fmt.Sprintf("loaded latency — %s, %.0f%% reads", patternLabel(c.Pattern), c.ReadFrac*100),
+		XLabel: "achieved GB/s",
+		YLabel: "latency ns",
+		LogY:   true,
+	}
+	x := make([]float64, len(c.Points))
+	y := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		x[i], y[i] = p.AchievedGBps, p.LatencyNs
+	}
+	ch.Add(report.Series{Name: "loaded", X: x, Y: y})
+	return ch
+}
+
+// patternLabel renders a pattern compactly ("contiguous", "strided:16").
+func patternLabel(p mem.Pattern) string {
+	switch p.Kind {
+	case mem.Strided:
+		return fmt.Sprintf("strided:%d", p.StrideElems)
+	case mem.ColMajor2D:
+		if p.Rows > 0 && p.Cols > 0 {
+			return fmt.Sprintf("colmajor2d:%dx%d", p.Rows, p.Cols)
+		}
+		return "colmajor2d"
+	default:
+		return p.Kind.String()
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"mpstream/internal/kernel"
 	"mpstream/internal/service"
 	"mpstream/internal/sim/mem"
+	"mpstream/internal/surface"
 )
 
 // Core benchmark types.
@@ -59,12 +60,14 @@ type (
 	Pattern = mem.Pattern
 )
 
-// The four STREAM operations.
+// The four STREAM operations, plus the pointer-chase latency probe of
+// the surface subsystem (not part of default benchmark runs).
 const (
 	Copy  = kernel.Copy
 	Scale = kernel.Scale
 	Add   = kernel.Add
 	Triad = kernel.Triad
+	Chase = kernel.Chase
 )
 
 // Element types.
@@ -154,6 +157,30 @@ func Optimize(dev Device, base Config, space Space, op Op, opts SearchOptions) (
 
 // SearchStrategies lists the registered optimizer strategy names.
 func SearchStrategies() []string { return search.Strategies() }
+
+// SearchObjectives lists the optimizer ranking metrics ("gbps" ranks by
+// raw sustained bandwidth, "knee" by the bandwidth–latency-surface
+// knee).
+func SearchObjectives() []string { return search.Objectives() }
+
+// Bandwidth–latency surface (loaded latency across patterns, read/write
+// ratios and an injection-rate ladder, with knee detection).
+type (
+	// SurfaceConfig parameterizes a surface measurement; the zero value
+	// measures a sensible default surface.
+	SurfaceConfig = surface.Config
+	// Surface is a device's full bandwidth–latency characterization.
+	Surface = surface.Surface
+	// SurfaceCurve is the ladder for one (pattern, read-fraction) pair.
+	SurfaceCurve = surface.Curve
+	// SurfaceKnee is the highest bandwidth at acceptable loaded latency.
+	SurfaceKnee = surface.Knee
+)
+
+// RunSurface measures a device's bandwidth–latency surface.
+func RunSurface(dev Device, cfg SurfaceConfig) (*Surface, error) {
+	return core.RunSurface(dev, cfg)
+}
 
 // Benchmark-as-a-service layer (cmd/mpserved): a job queue, bounded
 // worker pool and LRU result cache behind an HTTP JSON API.
