@@ -15,6 +15,7 @@
 package mpstream_test
 
 import (
+	"context"
 	"testing"
 
 	"mpstream"
@@ -31,11 +32,11 @@ import (
 
 // benchExperiment runs one figure reproduction per iteration and reports
 // its deviation from the paper.
-func benchExperiment(b *testing.B, run func() (*experiments.Experiment, error)) {
+func benchExperiment(b *testing.B, run experiments.Runner) {
 	b.Helper()
 	var last *experiments.Experiment
 	for i := 0; i < b.N; i++ {
-		e, err := run()
+		e, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
@@ -52,14 +55,22 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*target, *op, *strategy, *budget, *seed, *size, *ntimes,
+	// Ctrl-C cancels the search between evaluations; the partial result
+	// (best point so far, ranking, trace) still renders, tagged with a
+	// canceled note. Restoring the default handler on the first signal
+	// makes a second Ctrl-C kill the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
+	if err := run(ctx, *target, *op, *strategy, *budget, *seed, *size, *ntimes,
 		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *asJSON, *asCSV, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target, opName, strategy string, budget int, seed int64, size string, ntimes int,
+func run(ctx context.Context, target, opName, strategy string, budget int, seed int64, size string, ntimes int,
 	vecs, loops, unrolls, simds, cus, dtypes, objective string, asJSON, asCSV, trace bool) error {
 	if asJSON && asCSV {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
@@ -82,7 +93,7 @@ func run(target, opName, strategy string, budget int, seed int64, size string, n
 		return err
 	}
 
-	res, err := search.Run(dev, base, space, op, search.Options{
+	res, err := search.RunContext(ctx, dev, base, space, op, search.Options{
 		Strategy:  strategy,
 		Budget:    budget,
 		Seed:      seed,
@@ -90,6 +101,10 @@ func run(target, opName, strategy string, budget int, seed int64, size string, n
 	})
 	if err != nil {
 		return err
+	}
+	if res.Stopped != "" {
+		fmt.Fprintf(os.Stderr, "mpopt: %s — partial results after %d of %d evaluations\n",
+			res.Stopped, res.Evaluations, res.Budget)
 	}
 
 	switch {
@@ -178,6 +193,9 @@ func writeText(w *os.File, target string, op kernel.Op, res *search.Result, trac
 	fmt.Fprintf(w, "mpopt -- %s on %s, strategy=%s seed=%d\n", op, target, res.Strategy, res.Seed)
 	fmt.Fprintf(w, "space=%d points, budget=%d, simulated=%d (revisits deduplicated: %d), infeasible=%d\n",
 		res.SpaceSize, res.Budget, res.Evaluations, res.Revisits, res.Exploration.Infeasible)
+	if res.Stopped != "" {
+		fmt.Fprintf(w, "search %s — partial results\n", res.Stopped)
+	}
 	if res.Best == nil {
 		fmt.Fprintln(w, "no feasible configuration found")
 		return nil

@@ -14,6 +14,10 @@
 //	curl -s localhost:8774/v1/sweep -d '{"target":"aocl","op":"triad","space":{"vec_widths":[1,4,16]}}'
 //	curl -s localhost:8774/v1/optimize -d '{"target":"gpu","op":"copy","space":{"vec_widths":[1,4,16]},"objective":"knee"}'
 //	curl -s localhost:8774/v1/surface -d '{"target":"gpu"}'
+//	curl -s localhost:8774/v1/sweep -d '{"target":"cpu","space":{"vec_widths":[1,2,4]},"async":true,"timeout_ms":60000}'
+//	curl -s localhost:8774/v1/jobs?state=running
+//	curl -sN localhost:8774/v1/jobs/j000001/events
+//	curl -s -X DELETE localhost:8774/v1/jobs/j000001
 //	curl -s localhost:8774/v1/healthz
 package main
 
@@ -38,6 +42,7 @@ func main() {
 		queueDepth   = flag.Int("queue", 0, "job queue depth (0 = default)")
 		cacheEntries = flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
 		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep grid fan-out (0 = GOMAXPROCS divided across the worker pool)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "ceiling for per-job timeout_ms deadlines (0 = default 15m)")
 	)
 	flag.Parse()
 
@@ -46,6 +51,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		SweepWorkers: *sweepWorkers,
+		MaxTimeout:   *maxTimeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

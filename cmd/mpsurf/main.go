@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
@@ -45,14 +48,22 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *target, *patterns, *ratios, *rates, *size,
+	// Ctrl-C cancels the measurement between ladder rungs; the curves
+	// collected so far still render, tagged with a canceled note.
+	// Restoring the default handler on the first signal makes a second
+	// Ctrl-C kill the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
+	if err := run(ctx, os.Stdout, *target, *patterns, *ratios, *rates, *size,
 		*window, *probe, *kneeFactor, *markdown, *asCSV, *asJSON, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsurf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, target, patterns, ratios, rates, size string,
+func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size string,
 	window, probe int, kneeFactor float64, markdown, asCSV, asJSON, chart bool) error {
 	exclusive := 0
 	for _, f := range []bool{markdown, asCSV, asJSON} {
@@ -74,9 +85,12 @@ func run(w io.Writer, target, patterns, ratios, rates, size string,
 	if err != nil {
 		return err
 	}
-	s, err := core.RunSurface(dev, cfg)
+	s, err := core.RunSurfaceContext(ctx, dev, cfg)
 	if err != nil {
 		return err
+	}
+	if s.Stopped != "" {
+		fmt.Fprintf(os.Stderr, "mpsurf: %s — partial surface (%d curves)\n", s.Stopped, len(s.Curves))
 	}
 	switch {
 	case asJSON:

@@ -2,6 +2,10 @@
 // reproduction's ablation experiments) as text tables, ASCII charts,
 // paper-deviation summaries, or machine-readable JSON.
 //
+// Ctrl-C cancels the run gracefully: whatever points and experiments
+// were collected before the interrupt are still rendered, annotated
+// with a "canceled — partial results" note.
+//
 // Examples:
 //
 //	mpsweep -exp fig1a
@@ -13,12 +17,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"mpstream/internal/experiments"
+	"mpstream/internal/runstate"
 )
 
 func main() {
@@ -31,13 +39,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*exp, *all, *markdown, *asJSON, *asCSV); err != nil {
+	// Ctrl-C cancels the run between measurement units; partial results
+	// still render below. Restoring the default handler as soon as the
+	// first signal lands makes a second Ctrl-C kill the process outright
+	// — NotifyContext alone would keep swallowing signals until stop().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
+	if err := run(ctx, *exp, *all, *markdown, *asJSON, *asCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsweep:", err)
 		os.Exit(1)
 	}
+	if st := runstate.FromContext(ctx); st != "" {
+		fmt.Fprintf(os.Stderr, "mpsweep: %s — partial results rendered\n", st)
+	}
 }
 
-func run(exp string, all, markdown, asJSON, asCSV bool) error {
+func run(ctx context.Context, exp string, all, markdown, asJSON, asCSV bool) error {
 	if !all && exp == "" {
 		return fmt.Errorf("pass -exp <id> or -all (ids: %s)", ids())
 	}
@@ -67,8 +86,12 @@ func run(exp string, all, markdown, asJSON, asCSV bool) error {
 	if all {
 		var collected []*experiments.Experiment
 		for _, ent := range experiments.Registry() {
+			if ctx.Err() != nil {
+				// Canceled between experiments: render what we have.
+				break
+			}
 			fmt.Fprintf(os.Stderr, "running %s...\n", ent.ID)
-			e, err := ent.Run()
+			e, err := ent.Run(ctx)
 			if err != nil {
 				return fmt.Errorf("%s: %w", ent.ID, err)
 			}
@@ -85,11 +108,11 @@ func run(exp string, all, markdown, asJSON, asCSV bool) error {
 		}
 		return nil
 	}
-	run, err := experiments.ByID(exp)
+	runExp, err := experiments.ByID(exp)
 	if err != nil {
 		return err
 	}
-	e, err := run()
+	e, err := runExp(ctx)
 	if err != nil {
 		return err
 	}

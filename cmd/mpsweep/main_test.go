@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"io"
@@ -12,22 +13,22 @@ import (
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run("targets", false, false, false, false); err != nil {
+	if err := run(context.Background(), "targets", false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("targets", false, true, false, false); err != nil {
+	if err := run(context.Background(), "targets", false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", false, false, false, false); err == nil {
+	if err := run(context.Background(), "", false, false, false, false); err == nil {
 		t.Error("missing -exp/-all must error")
 	}
-	if err := run("bogus", false, false, false, false); err == nil {
+	if err := run(context.Background(), "bogus", false, false, false, false); err == nil {
 		t.Error("unknown experiment must error")
 	}
-	if err := run("targets", false, true, true, false); err == nil {
+	if err := run(context.Background(), "targets", false, true, true, false); err == nil {
 		t.Error("-markdown with -json must error")
 	}
 }
@@ -58,7 +59,7 @@ func captureStdout(t *testing.T, f func() error) string {
 }
 
 func TestRunJSONSeries(t *testing.T) {
-	out := captureStdout(t, func() error { return run("dtype", false, false, true, false) })
+	out := captureStdout(t, func() error { return run(context.Background(), "dtype", false, false, true, false) })
 	var e struct {
 		ID     string `json:"id"`
 		Series []struct {
@@ -80,7 +81,7 @@ func TestRunJSONSeries(t *testing.T) {
 }
 
 func TestRunJSONTable(t *testing.T) {
-	out := captureStdout(t, func() error { return run("targets", false, false, true, false) })
+	out := captureStdout(t, func() error { return run(context.Background(), "targets", false, false, true, false) })
 	var e struct {
 		Extra struct {
 			Headers []string   `json:"headers"`
@@ -107,7 +108,7 @@ func TestIDsListsAll(t *testing.T) {
 // TestRunCSVRoundTrip: -csv output parses as CSV and reproduces the
 // experiment's table cell for cell.
 func TestRunCSVRoundTrip(t *testing.T) {
-	out := captureStdout(t, func() error { return run("targets", false, false, false, true) })
+	out := captureStdout(t, func() error { return run(context.Background(), "targets", false, false, false, true) })
 	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
 	if err != nil {
 		t.Fatalf("emitted CSV does not parse: %v\n%s", err, out)
@@ -116,7 +117,7 @@ func TestRunCSVRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := runExp()
+	e, err := runExp(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,10 +150,10 @@ func TestRunCSVRoundTrip(t *testing.T) {
 }
 
 func TestRunCSVExclusive(t *testing.T) {
-	if err := run("targets", false, false, true, true); err == nil {
+	if err := run(context.Background(), "targets", false, false, true, true); err == nil {
 		t.Error("-csv with -json must error")
 	}
-	if err := run("targets", false, true, false, true); err == nil {
+	if err := run(context.Background(), "targets", false, true, false, true); err == nil {
 		t.Error("-csv with -markdown must error")
 	}
 }

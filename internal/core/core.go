@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -173,27 +174,40 @@ func (r *Result) Kernel(op kernel.Op) *KernelResult {
 // state first; warm-cache effects across the NTIMES repetitions are part
 // of the measurement, exactly as on hardware.
 func Run(dev device.Device, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), dev, cfg)
+}
+
+// RunContext is Run under a context: cancellation is checked between
+// kernels and between repetitions, and a canceled or deadline-expired
+// run returns the context's error (a single run is one evaluation unit
+// — its partial timings are not a usable result, so partial-result
+// semantics live in the multi-point layers above: dse, search,
+// surface, service).
+func RunContext(ctx context.Context, dev device.Device, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	dev.Reset()
 
-	ctx := cl.CreateContext(dev)
-	ctx.Functional = cfg.Verify
-	queue := ctx.CreateCommandQueue()
-	prog := ctx.CreateProgram()
+	clctx := cl.CreateContext(dev)
+	clctx.Functional = cfg.Verify
+	queue := clctx.CreateCommandQueue()
+	prog := clctx.CreateProgram()
 
 	elems := int(cfg.ArrayBytes / int64(cfg.Type.Bytes()))
-	a, err := ctx.CreateBuffer(cfg.Type, elems)
+	a, err := clctx.CreateBuffer(cfg.Type, elems)
 	if err != nil {
 		return nil, err
 	}
-	b, err := ctx.CreateBuffer(cfg.Type, elems)
+	b, err := clctx.CreateBuffer(cfg.Type, elems)
 	if err != nil {
 		return nil, err
 	}
-	cbuf, err := ctx.CreateBuffer(cfg.Type, elems)
+	cbuf, err := clctx.CreateBuffer(cfg.Type, elems)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +222,9 @@ func Run(dev device.Device, cfg Config) (*Result, error) {
 
 	res := &Result{Device: dev.Info(), Config: cfg}
 	for _, op := range cfg.Ops {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec := cfg.kernelFor(op, dev.Info().OptimalLoop)
 		k, err := prog.BuildKernel(spec)
 		if err != nil {
@@ -233,6 +250,9 @@ func Run(dev device.Device, cfg Config) (*Result, error) {
 			BytesMoved: op.BytesMoved(cfg.ArrayBytes),
 		}
 		for iter := 0; iter < cfg.NTimes; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			start := queue.Now()
 			if cfg.HostIO {
 				if _, err := queue.EnqueueWriteBuffer(b, hostB); err != nil {
@@ -285,12 +305,25 @@ func Run(dev device.Device, cfg Config) (*Result, error) {
 // Run (cold state, validated configuration). The device must expose its
 // memory system (device.MemorySystem); every simulated target does.
 func RunSurface(dev device.Device, cfg surface.Config) (*surface.Surface, error) {
+	return RunSurfaceWith(context.Background(), dev, cfg, nil)
+}
+
+// RunSurfaceContext is RunSurface under a context: the injection-rate
+// ladder stops between rungs when ctx ends and the partial surface is
+// returned with its Stopped tag set (see surface.GenerateWith).
+func RunSurfaceContext(ctx context.Context, dev device.Device, cfg surface.Config) (*surface.Surface, error) {
+	return RunSurfaceWith(ctx, dev, cfg, nil)
+}
+
+// RunSurfaceWith is RunSurfaceContext with a per-rung observer — the
+// hook the service layer uses to stream surface job events.
+func RunSurfaceWith(ctx context.Context, dev device.Device, cfg surface.Config, observe surface.Observer) (*surface.Surface, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	dev.Reset()
-	return surface.Generate(dev, cfg)
+	return surface.GenerateWith(ctx, dev, cfg, observe)
 }
 
 // SurfaceProbe derives the small single-curve surface configuration the

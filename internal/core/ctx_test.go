@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mpstream/internal/device/targets"
+	"mpstream/internal/kernel"
+)
+
+// TestRunContextPreCanceled: a canceled context stops the run before
+// any kernel executes and surfaces the context error.
+func TestRunContextPreCanceled(t *testing.T) {
+	dev, err := targets.ByID("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.ArrayBytes = 1 << 16
+	res, err := RunContext(ctx, dev, cfg)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestRunContextExpiredDeadline surfaces DeadlineExceeded.
+func TestRunContextExpiredDeadline(t *testing.T) {
+	dev, err := targets.ByID("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.ArrayBytes = 1 << 16
+	if _, err := RunContext(ctx, dev, cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextMatchesRun: under a live context the result is
+// byte-identical to the context-free path.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ops = []kernel.Op{kernel.Triad}
+	cfg.ArrayBytes = 1 << 16
+
+	devA, _ := targets.ByID("gpu")
+	devB, _ := targets.ByID("gpu")
+	want, err := Run(devA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), devB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kernels[0].GBps != want.Kernels[0].GBps {
+		t.Errorf("RunContext bandwidth %g != Run %g", got.Kernels[0].GBps, want.Kernels[0].GBps)
+	}
+}

@@ -31,6 +31,27 @@ type Point struct {
 	Err error
 }
 
+// Evaluated reports whether the point was actually evaluated: a
+// canceled parallel evaluation (EvalParallelContext) leaves unclaimed
+// grid slots as zero Points, and partial-result consumers filter on
+// this before ranking.
+func (p Point) Evaluated() bool {
+	return p.Label != "" || p.Result != nil || p.Err != nil
+}
+
+// EvaluatedPoints filters pts down to the points actually evaluated,
+// preserving order — the partial-sweep view a canceled evaluation
+// leaves behind.
+func EvaluatedPoints(pts []Point) []Point {
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.Evaluated() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // GBps returns the bandwidth for op, or 0 when unavailable.
 func (p Point) GBps(op kernel.Op) float64 {
 	if p.Result == nil {

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
 )
 
 // DeviceFactory produces a fresh device instance. Parallel evaluation
@@ -28,9 +30,25 @@ type DeviceFactory func() (device.Device, error)
 // failure from infeasible designs should wrap newDev and inspect its
 // error, as the service layer does.
 func EvalParallel(newDev DeviceFactory, cfgs []core.Config, labels []string, workers int) []Point {
+	pts, _ := EvalParallelContext(context.Background(), newDev, cfgs, labels, workers, nil)
+	return pts
+}
+
+// EvalParallelContext is EvalParallel with the cross-cutting execution
+// concerns injected. ctx cancels the evaluation between points: no new
+// point starts after ctx ends, points already in flight finish, and the
+// returned stop tag (runstate.Canceled or runstate.Deadline, "" for a
+// complete run) marks the result as partial. Unevaluated grid slots are
+// left as zero Points — filter with Point.Evaluated. onPoint — when
+// non-nil — sees every finished point as it lands; it is called
+// concurrently from the worker goroutines and must be safe for that.
+func EvalParallelContext(ctx context.Context, newDev DeviceFactory, cfgs []core.Config, labels []string, workers int, onPoint func(i int, p Point)) ([]Point, string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pts := make([]Point, len(cfgs))
 	if len(cfgs) == 0 {
-		return pts
+		return pts, runstate.FromContext(ctx)
 	}
 	label := func(i int) string {
 		if labels != nil {
@@ -65,6 +83,11 @@ func EvalParallel(newDev DeviceFactory, cfgs []core.Config, labels []string, wor
 			defer wg.Done()
 			var dev device.Device
 			for i := range idx {
+				// Claimed but not yet started: a canceled run leaves the
+				// point as an unevaluated hole rather than half-truth.
+				if ctx.Err() != nil {
+					continue
+				}
 				if dev == nil {
 					// Retry the factory per claimed point so a transient
 					// failure marks as few points as possible; persistent
@@ -74,19 +97,30 @@ func EvalParallel(newDev DeviceFactory, cfgs []core.Config, labels []string, wor
 					if dev, err = newDev(); err != nil {
 						dev = nil
 						pts[i] = Point{Label: label(i), Config: cfgs[i], Err: err}
+						if onPoint != nil {
+							onPoint(i, pts[i])
+						}
 						continue
 					}
 				}
 				pts[i] = evalOne(dev, i)
+				if onPoint != nil {
+					onPoint(i, pts[i])
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := range cfgs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return pts
+	return pts, runstate.FromContext(ctx)
 }
 
 // ExploreParallel is Explore with the grid fanned out over GOMAXPROCS
@@ -97,6 +131,19 @@ func EvalParallel(newDev DeviceFactory, cfgs []core.Config, labels []string, wor
 func ExploreParallel(newDev DeviceFactory, base core.Config, space Space, op kernel.Op) Exploration {
 	base.Ops = []kernel.Op{op}
 	return Rank(EvalParallel(newDev, space.Configs(base), nil, 0), op)
+}
+
+// ExploreParallelContext is ExploreParallel under a context: a canceled
+// or deadline-expired exploration ranks only the points evaluated
+// before the stop and reports the canonical stop tag alongside
+// (runstate.Canceled or runstate.Deadline, "" when complete).
+func ExploreParallelContext(ctx context.Context, newDev DeviceFactory, base core.Config, space Space, op kernel.Op) (Exploration, string) {
+	base.Ops = []kernel.Op{op}
+	pts, stopped := EvalParallelContext(ctx, newDev, space.Configs(base), nil, 0, nil)
+	if stopped != "" {
+		pts = EvaluatedPoints(pts)
+	}
+	return Rank(pts, op), stopped
 }
 
 // SweepSizesParallel is SweepSizes fanned out over goroutines; points

@@ -1,0 +1,150 @@
+package search_test
+
+import (
+	"context"
+	"testing"
+
+	"mpstream/internal/core"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
+	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
+)
+
+func ctxBase() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ArrayBytes = 1 << 16
+	cfg.NTimes = 1
+	return cfg
+}
+
+// TestRunContextCancelMidSearch: canceling between evaluations stops
+// the search at the next step and the partial result keeps the best
+// point, ranking and trace of everything evaluated so far.
+func TestRunContextCancelMidSearch(t *testing.T) {
+	dev, err := targets.ByID("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evals := 0
+	eval := func(cfg core.Config, label, _ string) dse.Point {
+		evals++
+		if evals == 3 {
+			cancel()
+		}
+		res, err := core.Run(dev, cfg)
+		return dse.Point{Label: label, Config: cfg, Result: res, Err: err}
+	}
+	fp := func(cfg core.Config) string { return cfg.Fingerprint("cpu") }
+	space := dse.Space{VecWidths: []int{1, 2, 4, 8, 16}}
+	var observed []string
+	res, err := search.RunWithHooks(eval, fp, ctxBase(), space, kernel.Copy,
+		search.Options{Strategy: "exhaustive"},
+		search.Hooks{Context: ctx, Observe: func(p dse.Point) { observed = append(observed, p.Label) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != runstate.Canceled {
+		t.Fatalf("stopped = %q, want %q", res.Stopped, runstate.Canceled)
+	}
+	if res.Evaluations != 3 {
+		t.Errorf("evaluations = %d, want 3 (cancel lands before step 4)", res.Evaluations)
+	}
+	if res.Best == nil || res.BestGBps <= 0 {
+		t.Errorf("partial search lost its best: %+v", res.Best)
+	}
+	if len(res.Trace) != res.Evaluations || len(res.Exploration.Ranked) != res.Evaluations {
+		t.Errorf("trace %d / ranked %d, want both %d", len(res.Trace), len(res.Exploration.Ranked), res.Evaluations)
+	}
+	if len(observed) != res.Evaluations {
+		t.Errorf("observer saw %d evaluations, want %d", len(observed), res.Evaluations)
+	}
+	for i, te := range res.Trace {
+		if te.Label != observed[i] {
+			t.Errorf("observe order diverged at %d: %q vs %q", i, te.Label, observed[i])
+		}
+	}
+}
+
+// TestRunContextDeadline: an already-expired deadline stops the search
+// before its first evaluation and tags the result "deadline".
+func TestRunContextDeadline(t *testing.T) {
+	dev, err := targets.ByID("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	res, err := search.RunContext(ctx, dev, ctxBase(), dse.Space{VecWidths: []int{1, 2, 4}},
+		kernel.Copy, search.Options{Strategy: "exhaustive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != runstate.Deadline {
+		t.Fatalf("stopped = %q, want %q", res.Stopped, runstate.Deadline)
+	}
+	if res.Evaluations != 0 || res.Best != nil {
+		t.Errorf("expired search still evaluated: %+v", res)
+	}
+}
+
+// TestRunContextStopErrorNotRecorded: an evaluation the context
+// interrupted mid-flight (its error wraps context.Canceled) is not
+// recorded as an infeasible point and does not bill the budget.
+func TestRunContextStopErrorNotRecorded(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evals := 0
+	eval := func(cfg core.Config, label, _ string) dse.Point {
+		evals++
+		if evals == 2 {
+			// Simulate core.RunContext observing the cancel mid-run.
+			cancel()
+			return dse.Point{Label: label, Config: cfg, Err: ctx.Err()}
+		}
+		return dse.Point{Label: label, Config: cfg, Result: &core.Result{Config: cfg}}
+	}
+	fp := func(cfg core.Config) string { return cfg.Fingerprint("cpu") }
+	res, err := search.RunWithHooks(eval, fp, ctxBase(), dse.Space{VecWidths: []int{1, 2, 4, 8}},
+		kernel.Copy, search.Options{Strategy: "exhaustive"}, search.Hooks{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != runstate.Canceled {
+		t.Fatalf("stopped = %q", res.Stopped)
+	}
+	if res.Evaluations != 1 {
+		t.Errorf("evaluations = %d, want 1 (the interrupted one is discarded)", res.Evaluations)
+	}
+	if res.Exploration.Infeasible != 0 {
+		t.Errorf("interrupted evaluation recorded as infeasible: %+v", res.Exploration)
+	}
+}
+
+// TestRunContextCompleteUntagged: a search that finishes before its
+// context ends carries no stop tag and matches the context-free run.
+func TestRunContextCompleteUntagged(t *testing.T) {
+	dev, err := targets.ByID("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := dse.Space{VecWidths: []int{1, 2, 4}}
+	got, err := search.RunContext(context.Background(), dev, ctxBase(), space, kernel.Copy, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stopped != "" {
+		t.Errorf("completed search tagged %q", got.Stopped)
+	}
+	dev2, _ := targets.ByID("cpu")
+	want, err := search.Run(dev2, ctxBase(), space, kernel.Copy, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestGBps != want.BestGBps || got.Evaluations != want.Evaluations {
+		t.Errorf("RunContext diverged from Run: %+v vs %+v", got, want)
+	}
+}

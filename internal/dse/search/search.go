@@ -28,6 +28,7 @@
 package search
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -36,6 +37,7 @@ import (
 	"mpstream/internal/device"
 	"mpstream/internal/dse"
 	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
 )
 
 // Evaluator evaluates one configuration into a Point. The engine calls
@@ -108,6 +110,12 @@ type TraceEntry struct {
 // Result is the outcome of one search run.
 type Result struct {
 	Strategy string `json:"strategy"`
+	// Stopped is the canonical partial-result tag (runstate.Canceled or
+	// runstate.Deadline) when the search's context ended before the
+	// strategy finished; empty for a complete search. A stopped result
+	// still carries everything evaluated before the stop — trace,
+	// ranking, Pareto front and the incumbent best.
+	Stopped string `json:"stopped,omitempty"`
 	// Objective is the canonical ranking metric ("" = raw bandwidth,
 	// "knee" = surface-knee bandwidth).
 	Objective string `json:"objective,omitempty"`
@@ -143,13 +151,15 @@ type Result struct {
 // layer up (concurrent jobs in the service, not concurrent evaluations
 // within one search).
 type Engine struct {
-	space dse.Space
-	base  core.Config
-	op    kernel.Op
-	eval  Evaluator
-	fp    func(core.Config) string
-	score func(dse.Point) float64
-	rng   *rand.Rand
+	space   dse.Space
+	base    core.Config
+	op      kernel.Op
+	eval    Evaluator
+	fp      func(core.Config) string
+	score   func(dse.Point) float64
+	rng     *rand.Rand
+	ctx     context.Context // cancels the search between evaluations
+	observe func(dse.Point) // non-nil: sees every unique evaluation
 
 	dims   []int
 	size   int
@@ -159,6 +169,7 @@ type Engine struct {
 	points   []dse.Point    // unique evaluations, in execution order
 	trace    []TraceEntry
 	revisits int
+	stopped  string // runstate tag once the context ends the search
 	bestIdx  int
 	bestGBps float64
 }
@@ -184,9 +195,20 @@ func (e *Engine) Unique() int { return len(e.points) }
 // Exhausted reports whether the budget is spent.
 func (e *Engine) Exhausted() bool { return len(e.points) >= e.budget }
 
+// Stopped reports whether the search's context has ended it, latching
+// the canonical stop tag (runstate.Canceled or runstate.Deadline) for
+// the Result. The Engine is single-goroutine, so the lazy latch is
+// safe.
+func (e *Engine) Stopped() bool {
+	if e.stopped == "" {
+		e.stopped = runstate.FromContext(e.ctx)
+	}
+	return e.stopped != ""
+}
+
 // Done reports whether searching further is pointless: the budget is
-// spent or every grid point has been evaluated.
-func (e *Engine) Done() bool { return e.Exhausted() || len(e.points) >= e.size }
+// spent, every grid point has been evaluated, or the context ended.
+func (e *Engine) Done() bool { return e.Exhausted() || len(e.points) >= e.size || e.Stopped() }
 
 // Rand returns the seeded RNG stochastic strategies must draw from —
 // and nothing else, or reproducibility breaks.
@@ -247,7 +269,22 @@ func (e *Engine) evalConfig(cfg core.Config) (dse.Point, bool) {
 	if e.Exhausted() {
 		return dse.Point{}, false
 	}
+	// The context is checked only before simulating something new:
+	// memoized revisits above stay free even after a cancel, and an
+	// evaluation in flight finishes — one evaluation unit is the
+	// cancellation granularity.
+	if st := runstate.FromContext(e.ctx); st != "" {
+		e.stopped = st
+		return dse.Point{}, false
+	}
 	p := e.eval(cfg, dse.ConfigLabel(cfg), key)
+	// An evaluation the context interrupted mid-flight is not an
+	// infeasible design point: stop the search without recording it,
+	// billing the budget, or polluting the trace.
+	if st := runstate.FromErr(p.Err); st != "" {
+		e.stopped = st
+		return dse.Point{}, false
+	}
 	i := len(e.points)
 	e.seen[key] = i
 	e.points = append(e.points, p)
@@ -262,6 +299,9 @@ func (e *Engine) evalConfig(cfg core.Config) (dse.Point, bool) {
 		Feasible: p.Err == nil,
 		Best:     improved,
 	})
+	if e.observe != nil {
+		e.observe(p)
+	}
 	return p, true
 }
 
@@ -272,9 +312,19 @@ func (e *Engine) evalConfig(cfg core.Config) (dse.Point, bool) {
 // feasible evaluation additionally measures its loaded-latency surface
 // (WithKneeObjective).
 func Run(dev device.Device, base core.Config, space dse.Space, op kernel.Op, opts Options) (*Result, error) {
+	return RunContext(context.Background(), dev, base, space, op, opts)
+}
+
+// RunContext is Run under a context: the search stops between
+// evaluations when ctx ends and returns the partial Result tagged via
+// Result.Stopped — best-so-far, ranking and trace intact.
+func RunContext(ctx context.Context, dev device.Device, base core.Config, space dse.Space, op kernel.Op, opts Options) (*Result, error) {
 	target := dev.Info().ID
 	eval := func(cfg core.Config, label, _ string) dse.Point {
-		res, err := core.Run(dev, cfg)
+		// Thread the context into the run itself so a cancel lands within
+		// one kernel repetition, not one whole evaluation; the engine
+		// discards the interrupted point instead of recording it.
+		res, err := core.RunContext(ctx, dev, cfg)
 		return dse.Point{Label: label, Config: cfg, Result: res, Err: err}
 	}
 	obj, err := ParseObjective(opts.Objective)
@@ -285,7 +335,7 @@ func Run(dev device.Device, base core.Config, space dse.Space, op kernel.Op, opt
 		eval = WithKneeObjective(dev, eval)
 	}
 	fp := func(cfg core.Config) string { return cfg.Fingerprint(target) }
-	return RunWith(eval, fp, base, space, op, opts)
+	return RunWithHooks(eval, fp, base, space, op, opts, Hooks{Context: ctx})
 }
 
 // WithKneeObjective wraps an evaluator so every feasible point also
@@ -330,6 +380,18 @@ func WithKneeObjective(dev device.Device, eval Evaluator) Evaluator {
 	}
 }
 
+// Hooks carries the cross-cutting execution concerns of one search —
+// everything that shapes how the search runs without changing what it
+// computes. The zero value runs to completion unobserved.
+type Hooks struct {
+	// Context ends the search between evaluations; nil means Background.
+	// A stopped search returns its partial Result with Stopped set.
+	Context context.Context
+	// Observe — when non-nil — is called after every unique evaluation,
+	// in execution order, from the searching goroutine.
+	Observe func(dse.Point)
+}
+
 // RunWith is Run with the evaluation and dedup key injected — the hook
 // the service layer uses to put its LRU result cache in front of the
 // simulator. fingerprint must map canonically-equal configurations to
@@ -339,6 +401,12 @@ func WithKneeObjective(dev device.Device, eval Evaluator) Evaluator {
 // mirroring dse.Explore, so exhaustive results are comparable
 // point-for-point.
 func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Config, space dse.Space, op kernel.Op, opts Options) (*Result, error) {
+	return RunWithHooks(eval, fingerprint, base, space, op, opts, Hooks{})
+}
+
+// RunWithHooks is RunWith with a context and an evaluation observer
+// attached (see Hooks).
+func RunWithHooks(eval Evaluator, fingerprint func(core.Config) string, base core.Config, space dse.Space, op kernel.Op, opts Options, h Hooks) (*Result, error) {
 	strat, err := Lookup(opts.Strategy)
 	if err != nil {
 		return nil, err
@@ -369,6 +437,8 @@ func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Con
 		fp:      fingerprint,
 		score:   score,
 		rng:     rand.New(rand.NewSource(opts.Seed)),
+		ctx:     h.Context,
+		observe: h.Observe,
 		dims:    space.Dims(),
 		size:    size,
 		budget:  budget,
@@ -379,6 +449,7 @@ func RunWith(eval Evaluator, fingerprint func(core.Config) string, base core.Con
 
 	res := &Result{
 		Strategy:    strat.Name(),
+		Stopped:     e.stopped,
 		Objective:   obj,
 		Budget:      budget,
 		Seed:        opts.Seed,

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"mpstream/internal/kernel"
 	"mpstream/internal/paperdata"
 	"mpstream/internal/report"
+	"mpstream/internal/runstate"
 	"mpstream/internal/sim/mem"
 )
 
@@ -72,6 +74,51 @@ type Experiment struct {
 // sweeps run timing-only (results up to this size are verified).
 const verifyLimit = 64 << 20
 
+// stopNote is the annotation a partially collected experiment carries
+// when its context ended mid-run.
+func stopNote(ctx context.Context) string {
+	return runstate.FromContext(ctx) + " — partial results"
+}
+
+// stopped reports whether ctx ended the experiment early, annotating e
+// with the canonical stop note when it did. Every experiment checks it
+// between measurement units (devices, sizes, routes) and returns the
+// partial experiment — not an error — so a Ctrl-C'd mpsweep still
+// renders what was collected.
+func stopped(ctx context.Context, e *Experiment) bool {
+	if runstate.FromContext(ctx) == "" {
+		return false
+	}
+	annotate(ctx, e)
+	return true
+}
+
+// annotate appends the canonical stop note exactly once.
+func annotate(ctx context.Context, e *Experiment) {
+	note := stopNote(ctx)
+	for _, n := range e.Notes {
+		if n == note {
+			return
+		}
+	}
+	e.Notes = append(e.Notes, note)
+}
+
+// annotated wraps a runner so a stop that lands during an experiment's
+// final measurement unit — after the last per-unit stopped() check —
+// still tags the returned experiment. Without this, a truncated last
+// series would be indistinguishable from a complete run in JSON output.
+func annotated(r Runner) Runner {
+	return func(ctx context.Context) (*Experiment, error) {
+		e, err := r(ctx)
+		if err != nil || e == nil || runstate.FromContext(ctx) == "" {
+			return e, err
+		}
+		annotate(ctx, e)
+		return e, nil
+	}
+}
+
 func baseConfig(arrayBytes int64) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Ops = []kernel.Op{kernel.Copy}
@@ -100,10 +147,14 @@ func pointsToGBps(pts []dse.Point, op kernel.Op) ([]float64, error) {
 	return out, nil
 }
 
-// sweepSizesSeries measures one target's copy bandwidth across sizes.
-func sweepSizesSeries(dev device.Device, sizes []int64, pattern mem.Pattern) ([]float64, error) {
+// sweepSizesSeries measures one target's copy bandwidth across sizes,
+// returning the prefix collected so far when ctx ends mid-sweep.
+func sweepSizesSeries(ctx context.Context, dev device.Device, sizes []int64, pattern mem.Pattern) ([]float64, error) {
 	var out []float64
 	for _, s := range sizes {
+		if ctx.Err() != nil {
+			return out, nil
+		}
 		cfg := baseConfig(s)
 		cfg.Pattern = pattern
 		pts := dse.SweepSizes(dev, cfg, []int64{s})
@@ -118,7 +169,7 @@ func sweepSizesSeries(dev device.Device, sizes []int64, pattern mem.Pattern) ([]
 
 // Fig1a reproduces Figure 1(a): copy bandwidth vs array size on all four
 // targets (contiguous, vec 1, optimal loop management).
-func Fig1a() (*Experiment, error) {
+func Fig1a(ctx context.Context) (*Experiment, error) {
 	sizes := paperdata.Fig1Sizes()
 	e := &Experiment{
 		ID:     "fig1a",
@@ -126,8 +177,11 @@ func Fig1a() (*Experiment, error) {
 		XLabel: "array size (MB)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
-		g, err := sweepSizesSeries(dev, sizes, mem.ContiguousPattern())
+		g, err := sweepSizesSeries(ctx, dev, sizes, mem.ContiguousPattern())
 		if err != nil {
 			return nil, fmt.Errorf("fig1a %s: %w", id, err)
 		}
@@ -137,7 +191,7 @@ func Fig1a() (*Experiment, error) {
 }
 
 // Fig1b reproduces Figure 1(b): copy bandwidth vs vector width at 4 MB.
-func Fig1b() (*Experiment, error) {
+func Fig1b(ctx context.Context) (*Experiment, error) {
 	widths := paperdata.VecWidths()
 	x := make([]float64, len(widths))
 	for i, w := range widths {
@@ -149,6 +203,9 @@ func Fig1b() (*Experiment, error) {
 		XLabel: "vector width (words)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		pts := dse.SweepVecWidths(dev, baseConfig(4<<20), widths)
 		g, err := pointsToGBps(pts, kernel.Copy)
@@ -162,7 +219,7 @@ func Fig1b() (*Experiment, error) {
 
 // Fig2 reproduces Figure 2: contiguous vs column-major strided copy over
 // sizes up to 1 GB (64 MB for the FPGA targets, as in the figure).
-func Fig2() (*Experiment, error) {
+func Fig2(ctx context.Context) (*Experiment, error) {
 	all := paperdata.Fig2Sizes()
 	e := &Experiment{
 		ID:     "fig2",
@@ -173,6 +230,9 @@ func Fig2() (*Experiment, error) {
 		},
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		sizes := all
 		if dev.Info().Kind == device.FPGA {
@@ -186,7 +246,7 @@ func Fig2() (*Experiment, error) {
 			{"contig", mem.ContiguousPattern(), paperdata.Fig2Contig[id]},
 			{"strided", mem.ColMajorPattern(), paperdata.Fig2Strided[id]},
 		} {
-			g, err := sweepSizesSeries(dev, sizes, pat.pattern)
+			g, err := sweepSizesSeries(ctx, dev, sizes, pat.pattern)
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s-%s: %w", id, pat.suffix, err)
 			}
@@ -201,13 +261,16 @@ func Fig2() (*Experiment, error) {
 // Fig3 reproduces Figure 3: loop management on all targets at 4 MB. The
 // paper's bars are unlabeled; Paper data is nil and the orderings are
 // recorded in paperdata.Fig3Order.
-func Fig3() (*Experiment, error) {
+func Fig3(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "fig3",
 		Title:  "Figure 3: loop management, 4 MB copy (GB/s; paper reports KB/s bars)",
 		XLabel: "loop mode (1=ndrange 2=flat 3=nested)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		pts := dse.SweepLoopModes(dev, baseConfig(4<<20))
 		g, err := pointsToGBps(pts, kernel.Copy)
@@ -221,13 +284,16 @@ func Fig3() (*Experiment, error) {
 
 // Fig4a reproduces Figure 4(a): all four STREAM kernels on all targets at
 // 4 MB.
-func Fig4a() (*Experiment, error) {
+func Fig4a(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "fig4a",
 		Title:  "Figure 4(a): all four kernels, 4 MB (GB/s; paper reports KB/s bars)",
 		XLabel: "kernel (1=copy 2=scale 3=add 4=triad)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		cfg := baseConfig(4 << 20)
 		cfg.Ops = kernel.Ops()
@@ -245,7 +311,7 @@ func Fig4a() (*Experiment, error) {
 }
 
 // Fig4b reproduces Figure 4(b): the three AOCL optimization routes.
-func Fig4b() (*Experiment, error) {
+func Fig4b(ctx context.Context) (*Experiment, error) {
 	dev, err := targets.ByID("aocl")
 	if err != nil {
 		return nil, err
@@ -256,37 +322,39 @@ func Fig4b() (*Experiment, error) {
 		x[i] = float64(n)
 	}
 	base := baseConfig(4 << 20)
+	e := &Experiment{
+		ID:     "fig4b",
+		Title:  "Figure 4(b): AOCL optimization routes at 4 MB (GB/s)",
+		XLabel: "N (vector width / SIMD work-items / compute units)",
+		Notes:  []string{"paper's SIMD/CU values are read off the log-scale plot (approximate)"},
+	}
 
 	vecCfg := base
 	vecCfg.OptimalLoop = false
 	vecCfg.Loop = kernel.FlatLoop
-	vec, err := pointsToGBps(dse.SweepVecWidths(dev, vecCfg, ns), kernel.Copy)
-	if err != nil {
-		return nil, fmt.Errorf("fig4b vector: %w", err)
+	for _, route := range []struct {
+		name  string
+		sweep func() []dse.Point
+	}{
+		{"vector", func() []dse.Point { return dse.SweepVecWidths(dev, vecCfg, ns) }},
+		{"simd", func() []dse.Point { return dse.SweepSIMD(dev, base, ns) }},
+		{"cu", func() []dse.Point { return dse.SweepCU(dev, base, ns) }},
+	} {
+		if stopped(ctx, e) {
+			return e, nil
+		}
+		g, err := pointsToGBps(route.sweep(), kernel.Copy)
+		if err != nil {
+			return nil, fmt.Errorf("fig4b %s: %w", route.name, err)
+		}
+		e.Series = append(e.Series, Series{Name: route.name, X: x, GBps: g, Paper: paperdata.Fig4b[route.name]})
 	}
-	simd, err := pointsToGBps(dse.SweepSIMD(dev, base, ns), kernel.Copy)
-	if err != nil {
-		return nil, fmt.Errorf("fig4b simd: %w", err)
-	}
-	cu, err := pointsToGBps(dse.SweepCU(dev, base, ns), kernel.Copy)
-	if err != nil {
-		return nil, fmt.Errorf("fig4b cu: %w", err)
-	}
-	return &Experiment{
-		ID:     "fig4b",
-		Title:  "Figure 4(b): AOCL optimization routes at 4 MB (GB/s)",
-		XLabel: "N (vector width / SIMD work-items / compute units)",
-		Series: []Series{
-			{Name: "vector", X: x, GBps: vec, Paper: paperdata.Fig4b["vector"]},
-			{Name: "simd", X: x, GBps: simd, Paper: paperdata.Fig4b["simd"]},
-			{Name: "cu", X: x, GBps: cu, Paper: paperdata.Fig4b["cu"]},
-		},
-		Notes: []string{"paper's SIMD/CU values are read off the log-scale plot (approximate)"},
-	}, nil
+	return e, nil
 }
 
-// Targets reproduces the Section IV device table.
-func Targets() (*Experiment, error) {
+// Targets reproduces the Section IV device table. It performs no
+// simulation, so the context is not consulted.
+func Targets(_ context.Context) (*Experiment, error) {
 	tb := report.NewTable("target", "description", "kind", "peak GB/s (paper)", "memory", "optimal loop")
 	for _, dev := range targets.All() {
 		info := dev.Info()
@@ -303,7 +371,7 @@ func Targets() (*Experiment, error) {
 
 // PCIe measures the host<->device stream mode (EXP-X1): effective copy
 // bandwidth when sources and destination live on the host.
-func PCIe() (*Experiment, error) {
+func PCIe(ctx context.Context) (*Experiment, error) {
 	sizes := []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20}
 	e := &Experiment{
 		ID:     "pcie",
@@ -311,9 +379,15 @@ func PCIe() (*Experiment, error) {
 		XLabel: "array size (MB)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		var g []float64
 		for _, s := range sizes {
+			if ctx.Err() != nil {
+				break
+			}
 			cfg := baseConfig(s)
 			cfg.HostIO = true
 			res, err := core.Run(dev, cfg)
@@ -332,14 +406,19 @@ func PCIe() (*Experiment, error) {
 // Resources reproduces the Section IV resource observation (EXP-X2): the
 // FPGA footprint of vectorization vs num_simd_work_items vs
 // num_compute_units at equal nominal parallelism.
-func Resources() (*Experiment, error) {
+func Resources(ctx context.Context) (*Experiment, error) {
 	dev, err := targets.ByID("aocl")
 	if err != nil {
 		return nil, err
 	}
 	tb := report.NewTable("route", "N", "logic (ALM)", "registers", "BRAM", "DSP", "fmax MHz", "util %")
 	part := fabric.StratixVD5
+	var notes []string
 	for _, n := range paperdata.Fig4bN() {
+		if runstate.FromContext(ctx) != "" {
+			notes = append(notes, stopNote(ctx))
+			break
+		}
 		for _, route := range []string{"vector", "simd", "cu"} {
 			k := kernel.Kernel{Op: kernel.Copy, Type: kernel.Int32, VecWidth: 1, Loop: kernel.NDRange}
 			switch route {
@@ -367,14 +446,14 @@ func Resources() (*Experiment, error) {
 		ID:    "resources",
 		Title: "EXP-X2: AOCL resource usage by optimization route",
 		Extra: tb,
-		Notes: []string{
+		Notes: append([]string{
 			"the paper: AOCL-specific optimizations take up more FPGA resources than native vectorization",
-		},
+		}, notes...),
 	}, nil
 }
 
 // Unroll sweeps the loop unroll factor on the FPGA targets (EXP-X3).
-func Unroll() (*Experiment, error) {
+func Unroll(ctx context.Context) (*Experiment, error) {
 	factors := []int{1, 2, 4, 8, 16}
 	x := make([]float64, len(factors))
 	for i, u := range factors {
@@ -386,6 +465,9 @@ func Unroll() (*Experiment, error) {
 		XLabel: "unroll factor",
 	}
 	for _, id := range []string{"aocl", "sdaccel"} {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		dev, err := targets.ByID(id)
 		if err != nil {
 			return nil, err
@@ -405,7 +487,7 @@ func Unroll() (*Experiment, error) {
 // Preshape quantifies the paper's pre-shaping observation (EXP-X4): when
 // data is re-read k times, re-arranging it once on the host so accesses
 // become contiguous beats repeating strided accesses.
-func Preshape() (*Experiment, error) {
+func Preshape(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "preshape",
 		Title:  "EXP-X4: strided vs pre-shaped access, 16 MB copy, k reuses (effective GB/s)",
@@ -413,6 +495,9 @@ func Preshape() (*Experiment, error) {
 	}
 	ks := []float64{1, 2, 4, 8, 16}
 	for _, id := range []string{"cpu", "gpu"} {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		dev, err := targets.ByID(id)
 		if err != nil {
 			return nil, err
@@ -449,13 +534,16 @@ func Preshape() (*Experiment, error) {
 }
 
 // Dtype compares int and double elements across targets (EXP-X5).
-func Dtype() (*Experiment, error) {
+func Dtype(ctx context.Context) (*Experiment, error) {
 	e := &Experiment{
 		ID:     "dtype",
 		Title:  "EXP-X5: data type, 4 MB copy (GB/s)",
 		XLabel: "type (1=int 2=double)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		g, err := pointsToGBps(dse.SweepTypes(dev, baseConfig(4<<20)), kernel.Copy)
 		if err != nil {
@@ -468,9 +556,14 @@ func Dtype() (*Experiment, error) {
 
 // Efficiency is EXP-X7, the paper's future-work item: energy efficiency
 // of the four targets at their tuned copy configurations.
-func Efficiency() (*Experiment, error) {
+func Efficiency(ctx context.Context) (*Experiment, error) {
 	tb := report.NewTable("target", "config", "copy GB/s", "watts", "MB/J")
+	var notes []string
 	for _, dev := range targets.All() {
+		if runstate.FromContext(ctx) != "" {
+			notes = append(notes, stopNote(ctx))
+			break
+		}
 		info := dev.Info()
 		cfg := baseConfig(16 << 20)
 		label := "vec1"
@@ -489,17 +582,17 @@ func Efficiency() (*Experiment, error) {
 		ID:    "efficiency",
 		Title: "EXP-X7: energy efficiency at tuned copy configurations",
 		Extra: tb,
-		Notes: []string{
+		Notes: append([]string{
 			"the paper's future-work conjecture: tuned FPGAs beat the CPU on MB/J;",
 			"the GDDR5 GPU still leads on pure bandwidth-per-watt for streaming",
-		},
+		}, notes...),
 	}, nil
 }
 
 // HMC is EXP-X8, the paper's closing remark: a Hybrid Memory Cube board
 // "can change the picture considerably". It sweeps vector width on the
 // DDR3 board and on an HMC variant of the same fabric.
-func HMC() (*Experiment, error) {
+func HMC(ctx context.Context) (*Experiment, error) {
 	ns := paperdata.VecWidths()
 	x := make([]float64, len(ns))
 	for i, n := range ns {
@@ -521,6 +614,9 @@ func HMC() (*Experiment, error) {
 		{"aocl-ddr3", aocl.New()},
 		{"aocl-hmc", aocl.NewWithConfig(aocl.HMCConfig())},
 	} {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		g, err := pointsToGBps(dse.SweepVecWidths(variant.dev, cfg, ns), kernel.Copy)
 		if err != nil {
 			return nil, fmt.Errorf("hmc %s: %w", variant.name, err)
@@ -537,7 +633,7 @@ func HMC() (*Experiment, error) {
 // "[Stride2]"; this sweep makes the fixed-stride interpretation runnable
 // alongside the column-major one and shows the cache-line/burst
 // granularity staircase.
-func StrideSweep() (*Experiment, error) {
+func StrideSweep(ctx context.Context) (*Experiment, error) {
 	strides := []int{1, 2, 4, 8, 16, 32}
 	x := make([]float64, len(strides))
 	for i, s := range strides {
@@ -549,9 +645,15 @@ func StrideSweep() (*Experiment, error) {
 		XLabel: "element stride (words)",
 	}
 	for _, dev := range targets.All() {
+		if stopped(ctx, e) {
+			return e, nil
+		}
 		id := dev.Info().ID
 		var g []float64
 		for _, s := range strides {
+			if ctx.Err() != nil {
+				break
+			}
 			cfg := baseConfig(4 << 20)
 			cfg.Pattern = mem.StridedPattern(s)
 			res, err := core.Run(dev, cfg)
@@ -567,35 +669,42 @@ func StrideSweep() (*Experiment, error) {
 	return e, nil
 }
 
+// Runner regenerates one experiment under a context: a canceled or
+// deadline-expired context returns the partially collected experiment
+// (annotated with a canonical stop note), not an error.
+type Runner func(context.Context) (*Experiment, error)
+
 // Registry maps experiment ids to their runners, in presentation order.
 func Registry() []struct {
 	ID  string
-	Run func() (*Experiment, error)
+	Run Runner
 } {
 	return []struct {
 		ID  string
-		Run func() (*Experiment, error)
+		Run Runner
 	}{
+		// targets is not wrapped: it performs no simulation and completes
+		// whole even under a canceled context, so a stop note would lie.
 		{"targets", Targets},
-		{"fig1a", Fig1a},
-		{"fig1b", Fig1b},
-		{"fig2", Fig2},
-		{"fig3", Fig3},
-		{"fig4a", Fig4a},
-		{"fig4b", Fig4b},
-		{"pcie", PCIe},
-		{"resources", Resources},
-		{"unroll", Unroll},
-		{"preshape", Preshape},
-		{"dtype", Dtype},
-		{"efficiency", Efficiency},
-		{"hmc", HMC},
-		{"stride", StrideSweep},
+		{"fig1a", annotated(Fig1a)},
+		{"fig1b", annotated(Fig1b)},
+		{"fig2", annotated(Fig2)},
+		{"fig3", annotated(Fig3)},
+		{"fig4a", annotated(Fig4a)},
+		{"fig4b", annotated(Fig4b)},
+		{"pcie", annotated(PCIe)},
+		{"resources", annotated(Resources)},
+		{"unroll", annotated(Unroll)},
+		{"preshape", annotated(Preshape)},
+		{"dtype", annotated(Dtype)},
+		{"efficiency", annotated(Efficiency)},
+		{"hmc", annotated(HMC)},
+		{"stride", annotated(StrideSweep)},
 	}
 }
 
 // ByID returns the runner for one experiment id.
-func ByID(id string) (func() (*Experiment, error), error) {
+func ByID(id string) (Runner, error) {
 	for _, ent := range Registry() {
 		if ent.ID == id {
 			return ent.Run, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestWorstFactor(t *testing.T) {
 // Fig1b is the cheapest full-figure experiment: use it to check series
 // structure, rendering and paper agreement end to end.
 func TestFig1bEndToEnd(t *testing.T) {
-	e, err := Fig1b()
+	e, err := Fig1b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFig1bEndToEnd(t *testing.T) {
 }
 
 func TestFig3Orderings(t *testing.T) {
-	e, err := Fig3()
+	e, err := Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFig3Orderings(t *testing.T) {
 }
 
 func TestFig4aMemoryBound(t *testing.T) {
-	e, err := Fig4a()
+	e, err := Fig4a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig4aMemoryBound(t *testing.T) {
 }
 
 func TestFig4bShape(t *testing.T) {
-	e, err := Fig4b()
+	e, err := Fig4b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFig4bShape(t *testing.T) {
 }
 
 func TestTargetsTable(t *testing.T) {
-	e, err := Targets()
+	e, err := Targets(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTargetsTable(t *testing.T) {
 }
 
 func TestPCIeBounded(t *testing.T) {
-	e, err := PCIe()
+	e, err := PCIe(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestPCIeBounded(t *testing.T) {
 }
 
 func TestResourcesTable(t *testing.T) {
-	e, err := Resources()
+	e, err := Resources(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestResourcesTable(t *testing.T) {
 }
 
 func TestPreshapeCrossover(t *testing.T) {
-	e, err := Preshape()
+	e, err := Preshape(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestPreshapeCrossover(t *testing.T) {
 }
 
 func TestDtype(t *testing.T) {
-	e, err := Dtype()
+	e, err := Dtype(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestDtype(t *testing.T) {
 }
 
 func TestUnrollHelps(t *testing.T) {
-	e, err := Unroll()
+	e, err := Unroll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestUnrollHelps(t *testing.T) {
 }
 
 func TestEfficiency(t *testing.T) {
-	e, err := Efficiency()
+	e, err := Efficiency(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestEfficiency(t *testing.T) {
 }
 
 func TestHMCChangesThePicture(t *testing.T) {
-	e, err := HMC()
+	e, err := HMC(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestHMCChangesThePicture(t *testing.T) {
 }
 
 func TestStrideSweep(t *testing.T) {
-	e, err := StrideSweep()
+	e, err := StrideSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+// Package progress is the lock-free in-flight progress accounting of
+// the execution pipeline. Every executor (run, sweep, optimize,
+// surface) maintains one Tracker per job: evaluation units done versus
+// total, the best bandwidth observed so far, and a short phase label.
+// Snapshots are cheap and consistent enough for telemetry — readers
+// (job JSON, the NDJSON event stream) never block writers.
+package progress
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Tracker accumulates progress atomically. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Tracker struct {
+	done  atomic.Int64
+	total atomic.Int64
+	// best holds math.Float64bits of the highest bandwidth observed;
+	// monotonic via CAS.
+	best  atomic.Uint64
+	phase atomic.Pointer[string]
+}
+
+// SetTotal sets the number of evaluation units the job will perform.
+func (t *Tracker) SetTotal(n int) { t.total.Store(int64(n)) }
+
+// SetPhase labels what the executor is currently doing.
+func (t *Tracker) SetPhase(p string) { t.phase.Store(&p) }
+
+// Step records n more completed evaluation units.
+func (t *Tracker) Step(n int) { t.done.Add(int64(n)) }
+
+// Observe folds one measured bandwidth into the best-so-far maximum.
+// Non-positive and NaN observations are ignored.
+func (t *Tracker) Observe(gbps float64) {
+	if !(gbps > 0) { // also rejects NaN
+		return
+	}
+	for {
+		old := t.best.Load()
+		if math.Float64frombits(old) >= gbps {
+			return
+		}
+		if t.best.CompareAndSwap(old, math.Float64bits(gbps)) {
+			return
+		}
+	}
+}
+
+// Snapshot is the externally visible progress state, the shape job
+// JSON and progress events embed.
+type Snapshot struct {
+	// Done and Total count evaluation units: grid points for a sweep,
+	// unique simulations for an optimize, ladder rungs for a surface,
+	// one unit for a plain run.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// BestGBps is the highest bandwidth observed so far (0 before any
+	// feasible measurement).
+	BestGBps float64 `json:"best_gbps,omitempty"`
+	// Phase labels the executor's current stage.
+	Phase string `json:"phase,omitempty"`
+}
+
+// Snapshot returns a consistent-enough copy of the current state.
+func (t *Tracker) Snapshot() Snapshot {
+	s := Snapshot{
+		Done:     int(t.done.Load()),
+		Total:    int(t.total.Load()),
+		BestGBps: math.Float64frombits(t.best.Load()),
+	}
+	if p := t.phase.Load(); p != nil {
+		s.Phase = *p
+	}
+	return s
+}

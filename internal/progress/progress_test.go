@@ -1,0 +1,59 @@
+package progress_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mpstream/internal/progress"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	var tr progress.Tracker
+	if s := tr.Snapshot(); s.Done != 0 || s.Total != 0 || s.BestGBps != 0 || s.Phase != "" {
+		t.Fatalf("zero tracker snapshot = %+v", s)
+	}
+	tr.SetTotal(10)
+	tr.SetPhase("sweep")
+	tr.Step(3)
+	tr.Observe(4.5)
+	tr.Observe(2.0) // lower: ignored
+	s := tr.Snapshot()
+	if s.Done != 3 || s.Total != 10 || s.BestGBps != 4.5 || s.Phase != "sweep" {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestObserveRejectsGarbage(t *testing.T) {
+	var tr progress.Tracker
+	tr.Observe(0)
+	tr.Observe(-1)
+	tr.Observe(math.NaN())
+	if s := tr.Snapshot(); s.BestGBps != 0 {
+		t.Errorf("best = %g after garbage observations", s.BestGBps)
+	}
+}
+
+// TestConcurrent exercises the tracker under parallel writers and a
+// reader; run with -race.
+func TestConcurrent(t *testing.T) {
+	var tr progress.Tracker
+	tr.SetTotal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				tr.Step(1)
+				tr.Observe(float64(w*8 + i + 1))
+				_ = tr.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if s.Done != 64 || s.BestGBps != 64 {
+		t.Errorf("final snapshot = %+v", s)
+	}
+}

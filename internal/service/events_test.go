@@ -1,0 +1,268 @@
+package service_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpstream/internal/device"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+	"mpstream/internal/service"
+)
+
+// readEvents consumes the NDJSON stream until a result event (or the
+// stream ends), returning every decoded event.
+func readEvents(t *testing.T, resp *http.Response) []service.Event {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []service.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev service.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		events = append(events, ev)
+		if ev.Type == service.EventResult {
+			break
+		}
+	}
+	return events
+}
+
+// TestJobEventsStream: a sweep's event stream delivers state, point and
+// progress events live while the job runs and ends with the terminal
+// result event. Run with -race.
+func TestJobEventsStream(t *testing.T) {
+	gate := make(chan struct{})
+	e := newEnv(t, service.Options{
+		Workers:      1,
+		SweepWorkers: 1,
+		NewDevice: func(id string) (device.Device, error) {
+			d, err := targets.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			return gatedDevice{Device: d, gate: gate}, nil
+		},
+	})
+	base := smallConfig()
+	op := kernel.Copy
+	req := service.SweepRequest{Target: "cpu", Base: &base, Op: &op, Async: true,
+		Space: dse.Space{VecWidths: []int{1, 2, 4}}}
+	_, data := e.post(t, "/v1/sweep", req)
+	job := decodeJob(t, data)
+
+	// Subscribe while the job is gated, then let it run.
+	resp, err := http.Get(e.ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	close(gate)
+	events := readEvents(t, resp)
+
+	byType := map[string]int{}
+	var lastSeq uint64
+	for _, ev := range events {
+		byType[ev.Type]++
+		if ev.Job != job.ID {
+			t.Errorf("event for job %q on %q's stream", ev.Job, job.ID)
+		}
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq %d not increasing past %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	if byType[service.EventState] < 1 {
+		t.Errorf("no state event: %v", byType)
+	}
+	if byType[service.EventPoint] != 3 || byType[service.EventProgress] != 3 {
+		t.Errorf("point/progress events = %v, want 3 each", byType)
+	}
+	if byType[service.EventResult] != 1 {
+		t.Fatalf("result events = %d, want exactly 1", byType[service.EventResult])
+	}
+	last := events[len(events)-1]
+	if last.Type != service.EventResult || last.Result == nil ||
+		last.Result.Status != service.StatusDone || last.Result.Sweep == nil {
+		t.Errorf("terminal event = %+v", last)
+	}
+
+	// A late subscriber to the finished job replays history and ends
+	// with the result event too.
+	resp, err = http.Get(e.ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readEvents(t, resp)
+	if len(replay) == 0 || replay[len(replay)-1].Type != service.EventResult {
+		t.Errorf("replayed stream does not end in a result event (%d events)", len(replay))
+	}
+
+	resp, err = http.Get(e.ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events status %d", resp.StatusCode)
+	}
+}
+
+// TestJobEventsBeforeCancel is the acceptance path: a canceled job's
+// stream carried live progress before the cancel and terminates with a
+// canceled result event.
+func TestJobEventsBeforeCancel(t *testing.T) {
+	gate := make(chan struct{})
+	seen := &atomic.Int64{}
+	e := newEnv(t, service.Options{
+		Workers:      1,
+		SweepWorkers: 1,
+		CacheEntries: -1,
+		NewDevice: func(id string) (device.Device, error) {
+			d, err := targets.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			return gateAfterDevice{Device: d, seen: seen, n: 2, gate: gate}, nil
+		},
+	})
+	base := smallConfig()
+	op := kernel.Copy
+	req := service.SweepRequest{Target: "cpu", Base: &base, Op: &op, Async: true,
+		Space: dse.Space{VecWidths: []int{1, 2, 4, 8, 16}}}
+	_, data := e.post(t, "/v1/sweep", req)
+	job := decodeJob(t, data)
+
+	resp, err := http.Get(e.ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Points 0 and 1 complete; point 2 blocks. Cancel, then unblock.
+	deadline := time.Now().Add(10 * time.Second)
+	for seen.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never reached its third point")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.cancelJob(t, job.ID)
+	close(gate)
+
+	events := readEvents(t, resp)
+	progressBeforeEnd := 0
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type == service.EventProgress {
+			progressBeforeEnd++
+		}
+	}
+	if progressBeforeEnd < 2 {
+		t.Errorf("only %d progress events streamed before the terminal event, want >= 2", progressBeforeEnd)
+	}
+	last := events[len(events)-1]
+	if last.Type != service.EventResult || last.State != service.StatusCanceled {
+		t.Fatalf("terminal event = %+v, want canceled result", last)
+	}
+	if last.Result == nil || last.Result.Sweep == nil || len(last.Result.Sweep.Ranked) == 0 {
+		t.Errorf("canceled result event lost the partial sweep")
+	}
+}
+
+// TestJobsFilters: GET /v1/jobs honors ?state= and ?limit= and keeps
+// stable submit-time order.
+func TestJobsFilters(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	var ids []string
+	for _, vec := range []int{1, 2, 4} {
+		cfg := smallConfig()
+		cfg.VecWidth = vec
+		_, data := e.post(t, "/v1/run", service.RunRequest{Target: "cpu", Config: &cfg})
+		job := decodeJob(t, data)
+		if job.Status != service.StatusDone {
+			t.Fatalf("job = %+v", job)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	var jl service.JobsResponse
+	_, data := e.get(t, "/v1/jobs?state=done")
+	if err := json.Unmarshal(data, &jl); err != nil {
+		t.Fatal(err)
+	}
+	if len(jl.Jobs) != 3 {
+		t.Fatalf("state=done returned %d jobs", len(jl.Jobs))
+	}
+	for i, v := range jl.Jobs {
+		if v.ID != ids[i] {
+			t.Errorf("job %d = %s, want submit order %s", i, v.ID, ids[i])
+		}
+	}
+
+	_, data = e.get(t, "/v1/jobs?limit=2")
+	if err := json.Unmarshal(data, &jl); err != nil {
+		t.Fatal(err)
+	}
+	if len(jl.Jobs) != 2 || jl.Jobs[0].ID != ids[1] || jl.Jobs[1].ID != ids[2] {
+		t.Errorf("limit=2 = %v, want the two most recent in submit order", jobIDs(jl.Jobs))
+	}
+
+	_, data = e.get(t, "/v1/jobs?state=canceled")
+	if err := json.Unmarshal(data, &jl); err != nil {
+		t.Fatal(err)
+	}
+	if len(jl.Jobs) != 0 {
+		t.Errorf("state=canceled returned %d jobs", len(jl.Jobs))
+	}
+
+	resp, _ := e.get(t, "/v1/jobs?state=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus state status %d", resp.StatusCode)
+	}
+	resp, _ = e.get(t, "/v1/jobs?limit=-3")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative limit status %d", resp.StatusCode)
+	}
+	resp, _ = e.get(t, "/v1/jobs?limit=x")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk limit status %d", resp.StatusCode)
+	}
+}
+
+func jobIDs(vs []service.View) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID
+	}
+	return out
+}
+
+// TestProgressInJobJSON: a finished run's view carries its final
+// progress snapshot.
+func TestProgressInJobJSON(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	cfg := smallConfig()
+	_, data := e.post(t, "/v1/run", service.RunRequest{Target: "cpu", Config: &cfg})
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone {
+		t.Fatalf("job = %+v", job)
+	}
+	if job.Progress == nil || job.Progress.Done != 1 || job.Progress.Total != 1 {
+		t.Fatalf("progress = %+v", job.Progress)
+	}
+	if job.Progress.BestGBps <= 0 || job.Progress.Phase != "run" {
+		t.Errorf("progress detail = %+v", job.Progress)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"time"
 
 	"mpstream/internal/core"
 	"mpstream/internal/device"
@@ -24,16 +27,22 @@ type RunRequest struct {
 	// Async returns 202 with a job id immediately instead of waiting for
 	// the result; poll GET /v1/jobs/{id}.
 	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds the job's execution once it starts running,
+	// clamped to the server's maximum; 0 means none. An expired deadline
+	// lands the job in canceled with stop_reason "deadline", carrying
+	// whatever partial results the executor collected.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SweepRequest is the POST /v1/sweep body. A nil base starts from the
 // default configuration; op defaults to copy.
 type SweepRequest struct {
-	Target string       `json:"target"`
-	Base   *core.Config `json:"base,omitempty"`
-	Space  dse.Space    `json:"space"`
-	Op     *kernel.Op   `json:"op,omitempty"`
-	Async  bool         `json:"async,omitempty"`
+	Target    string       `json:"target"`
+	Base      *core.Config `json:"base,omitempty"`
+	Space     dse.Space    `json:"space"`
+	Op        *kernel.Op   `json:"op,omitempty"`
+	Async     bool         `json:"async,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
 }
 
 // OptimizeRequest is the POST /v1/optimize body. A nil base starts
@@ -51,14 +60,16 @@ type OptimizeRequest struct {
 	Seed      int64        `json:"seed,omitempty"`
 	Objective string       `json:"objective,omitempty"`
 	Async     bool         `json:"async,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
 }
 
 // SurfaceRequest is the POST /v1/surface body. A nil config measures
 // the default bandwidth–latency surface (surface.Config zero value).
 type SurfaceRequest struct {
-	Target string          `json:"target"`
-	Config *surface.Config `json:"config,omitempty"`
-	Async  bool            `json:"async,omitempty"`
+	Target    string          `json:"target"`
+	Config    *surface.Config `json:"config,omitempty"`
+	Async     bool            `json:"async,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
 // JobResponse wraps every job-bearing response body.
@@ -106,15 +117,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/run        run one configuration (sync, or async with "async": true)
-//	POST /v1/sweep      explore a parameter grid exhaustively
-//	POST /v1/optimize   search a parameter grid with a budgeted strategy
-//	POST /v1/surface    measure a bandwidth–latency surface
-//	GET  /v1/jobs       list all jobs
-//	GET  /v1/jobs/{id}  poll one job
-//	GET  /v1/targets    list benchmark targets
-//	GET  /v1/version    build info, registered targets, strategies, objectives
-//	GET  /v1/healthz    liveness, queue and cache telemetry
+//	POST   /v1/run              run one configuration (sync, or async with "async": true)
+//	POST   /v1/sweep            explore a parameter grid exhaustively
+//	POST   /v1/optimize         search a parameter grid with a budgeted strategy
+//	POST   /v1/surface          measure a bandwidth–latency surface
+//	GET    /v1/jobs             list jobs (?state=, ?limit=), stable submit-time order
+//	GET    /v1/jobs/{id}        poll one job (live progress snapshot included)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events stream NDJSON progress/point/result events
+//	GET    /v1/targets          list benchmark targets
+//	GET    /v1/version          build info, registered targets, strategies, objectives
+//	GET    /v1/healthz          liveness, queue and cache telemetry
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -123,6 +136,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/surface", s.handleSurface)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -176,12 +191,30 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	j, err := s.SubmitRun(req.Target, cfg)
+	j, err := s.SubmitRun(req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
+}
+
+// msToDuration converts a request's timeout_ms field; negative values
+// pass through negative so submit-time validation rejects them, and
+// values beyond the representable Duration range saturate (the
+// server-side clamp then shortens them to MaxTimeout) instead of
+// overflowing into an arbitrary small deadline.
+func msToDuration(ms int64) time.Duration {
+	const maxMS = math.MaxInt64 / int64(time.Millisecond)
+	if ms > maxMS {
+		ms = maxMS
+	}
+	if ms < -maxMS {
+		// Saturate negative overflow too, so a huge negative stays
+		// negative and is rejected instead of wrapping positive.
+		ms = -maxMS
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -198,7 +231,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Op != nil {
 		op = *req.Op
 	}
-	j, err := s.SubmitSweep(req.Target, base, req.Space, op)
+	j, err := s.SubmitSweep(req.Target, base, req.Space, op, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -221,7 +254,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		op = *req.Op
 	}
 	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed, Objective: req.Objective}
-	j, err := s.SubmitOptimize(req.Target, base, req.Space, op, opts)
+	j, err := s.SubmitOptimize(req.Target, base, req.Space, op, opts, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -239,7 +272,7 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	j, err := s.SubmitSurface(req.Target, cfg)
+	j, err := s.SubmitSurface(req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -303,8 +336,123 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JobResponse{Job: j.Snapshot()})
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.snapshots()})
+// handleCancelJob is DELETE /v1/jobs/{id}: cancel a queued or running
+// job. The call is idempotent — canceling a finished job is a no-op —
+// and always answers with the job's current view, so the client sees
+// whether the cancel landed (queued jobs flip to canceled immediately;
+// running ones within one evaluation unit).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.CancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{Job: j.Snapshot()})
+}
+
+// handleJobs is GET /v1/jobs: every job in stable submit-time order,
+// optionally filtered with ?state= (queued|running|done|failed|canceled)
+// and bounded with ?limit=N (the N most recent matching jobs, still
+// oldest first).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := Status(q.Get("state"))
+	if state != "" {
+		known := false
+		for _, st := range Statuses() {
+			if state == st {
+				known = true
+				break
+			}
+		}
+		if !known {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown state %q (want one of %v)", state, Statuses()))
+			return
+		}
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q (want a non-negative integer)", ls))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.snapshots(state, limit)})
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: an NDJSON stream of the
+// job's state/point/progress events, ending with a result event when
+// the job reaches a terminal state. Subscribing to a finished job
+// replays its retained history and the final result. The stream is
+// telemetry: a slow reader loses intermediate events (visible as seq
+// gaps) but always gets the terminal result.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+
+	backlog, ch := j.Subscribe()
+	defer j.Unsubscribe(ch)
+	emitted := uint64(0)
+	// emit writes one event; done is true when the stream must end —
+	// either the write failed or the terminal result event went out.
+	emit := func(ev Event) (done bool) {
+		if err := enc.Encode(ev); err != nil {
+			return true
+		}
+		if ev.Seq > emitted {
+			emitted = ev.Seq
+		}
+		flush()
+		return ev.Type == EventResult
+	}
+	for _, ev := range backlog {
+		if emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if emit(ev) {
+				return
+			}
+		case <-j.Done():
+			// Drain whatever the publisher got in before Done closed, then
+			// make sure the terminal view went out even if the result event
+			// was dropped or raced the subscription.
+			for {
+				select {
+				case ev := <-ch:
+					if emit(ev) {
+						return
+					}
+				default:
+					final := j.Snapshot()
+					emit(Event{Seq: emitted + 1, Job: final.ID, Time: final.Finished,
+						Type: EventResult, State: final.Status, Result: &final})
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {

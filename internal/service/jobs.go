@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,8 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/progress"
+	"mpstream/internal/runstate"
 	"mpstream/internal/surface"
 )
 
@@ -24,16 +27,25 @@ const (
 	KindSurface  Kind = "surface"  // a bandwidth–latency surface on one target
 )
 
-// Status is the job lifecycle state.
+// Status is the job lifecycle state. The machine is
+// queued → running → done|failed|canceled; a queued job may go straight
+// to canceled (or to failed, on shutdown) without ever running.
 type Status string
 
 // Job states, in lifecycle order.
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
 )
+
+// Statuses lists every job state, in lifecycle order — the whitelist
+// the ?state= jobs filter validates against.
+func Statuses() []Status {
+	return []Status{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCanceled}
+}
 
 // View is the externally visible snapshot of a job — the JSON shape
 // /v1/jobs/{id} serves and run/sweep responses embed.
@@ -45,6 +57,16 @@ type View struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
 	Finished time.Time `json:"finished,omitzero"`
+	// TimeoutMS echoes the per-job deadline the submitter asked for
+	// (after the server-side clamp); 0 means none.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Progress is the live done/total evaluation-unit snapshot while the
+	// job runs, and the final snapshot once it finishes.
+	Progress *progress.Snapshot `json:"progress,omitempty"`
+	// StopReason is the canonical partial-result state
+	// (runstate.Canceled or runstate.Deadline) of a canceled job; empty
+	// for done and failed jobs.
+	StopReason string `json:"stop_reason,omitempty"`
 	// Cached reports that the result was served from the LRU cache
 	// without re-running the simulator.
 	Cached bool `json:"cached,omitempty"`
@@ -57,12 +79,16 @@ type View struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Result carries a finished run job's measurement.
 	Result *core.Result `json:"result,omitempty"`
-	// Sweep carries a finished sweep job's ranked exploration.
+	// Sweep carries a finished sweep job's ranked exploration — for a
+	// canceled sweep, the ranking of the points evaluated before the
+	// stop.
 	Sweep *dse.Exploration `json:"sweep,omitempty"`
-	// Optimize carries a finished optimize job's search outcome.
+	// Optimize carries a finished optimize job's search outcome — for a
+	// canceled or deadline-expired search, the partial result with the
+	// best point found so far.
 	Optimize *search.Result `json:"optimize,omitempty"`
 	// Surface carries a finished surface job's bandwidth–latency
-	// characterization.
+	// characterization — partial (Stopped tagged) for a canceled one.
 	Surface *surface.Surface `json:"surface,omitempty"`
 	Error   string           `json:"error,omitempty"`
 }
@@ -86,25 +112,64 @@ type Job struct {
 	// surface parameters (defaults resolved at submit time)
 	scfg surface.Config
 
+	// timeout is the per-job execution deadline, applied when the job
+	// starts running; 0 means none. Immutable after submit.
+	timeout time.Duration
+
+	// ctx is canceled when the job is canceled (baseCancel) or its
+	// deadline expires (the start()-installed timer). Executors read it
+	// through the value start() returns; the field itself is guarded by
+	// mu. baseCancel is immutable after add and safe to call anytime.
+	ctx         context.Context
+	baseCancel  context.CancelFunc
+	timerCancel context.CancelFunc // non-nil once start() armed a deadline
+
+	// prog is the executor-maintained progress tracker; its atomic
+	// snapshot rides along in every View.
+	prog progress.Tracker
+
+	// events is the bounded publish/subscribe log behind
+	// GET /v1/jobs/{id}/events.
+	events eventLog
+
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
 }
 
-// Snapshot returns a copy of the job's visible state.
+// Snapshot returns a copy of the job's visible state, with the live
+// progress snapshot attached.
 func (j *Job) Snapshot() View {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.view
+	v := j.view
+	j.mu.Unlock()
+	ps := j.prog.Snapshot()
+	v.Progress = &ps
+	return v
 }
 
 // Done returns a channel closed when the job finishes (or fails).
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// Context returns the job's cancellation context: canceled when the job
+// is canceled via Cancel/DELETE or its deadline expires.
+func (j *Job) Context() context.Context {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ctx
+}
+
+// Progress returns the live progress snapshot.
+func (j *Job) Progress() progress.Snapshot { return j.prog.Snapshot() }
+
 // terminal reports whether the job has reached a final state.
 func (j *Job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.view.Status == StatusDone || j.view.Status == StatusFailed
+	return isTerminal(j.view.Status)
+}
+
+func isTerminal(s Status) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
 }
 
 // ID returns the job's identifier.
@@ -114,20 +179,55 @@ func (j *Job) ID() string {
 	return j.view.ID
 }
 
-// start transitions the job to running.
-func (j *Job) start() {
+// start transitions the job to running and arms its deadline, returning
+// the context the executor must run under. ok is false when the job is
+// already terminal (canceled while queued) and must not execute.
+func (j *Job) start() (context.Context, bool) {
 	j.mu.Lock()
+	if isTerminal(j.view.Status) {
+		j.mu.Unlock()
+		return nil, false
+	}
 	j.view.Status = StatusRunning
 	j.view.Started = time.Now().UTC()
+	if j.timeout > 0 {
+		j.ctx, j.timerCancel = context.WithTimeout(j.ctx, j.timeout)
+	}
+	ctx := j.ctx
 	j.mu.Unlock()
+	j.publish(Event{Type: EventState, State: StatusRunning})
+	return ctx, true
+}
+
+// cancelRequest asks the job to stop. A queued job lands in canceled
+// immediately; a running one observes its context at the next
+// evaluation-unit boundary; a terminal one is untouched (the request is
+// idempotent). The returned status is the state observed at request
+// time.
+func (j *Job) cancelRequest() Status {
+	j.mu.Lock()
+	st := j.view.Status
+	j.mu.Unlock()
+	// Always cancel the context: a running executor stops at its next
+	// check, and canceling an already-terminal job's context is a no-op.
+	j.baseCancel()
+	if st == StatusQueued {
+		// The worker that later pops this job sees the terminal state and
+		// skips it. If the worker won the race and just started, finish is
+		// idempotent and the canceled context ends the run anyway.
+		j.finish(StatusCanceled, func(v *View) { v.StopReason = runstate.Canceled })
+	}
+	return st
 }
 
 // finish records a terminal state and wakes waiters. mutate runs under
 // the job lock to fill result fields. Idempotent: only the first call
-// takes effect, so a panic-recovery path can finish defensively.
+// takes effect, so a panic-recovery path can finish defensively. The
+// final snapshot is published as a result event before Done closes, so
+// event subscribers always observe the terminal state.
 func (j *Job) finish(status Status, mutate func(v *View)) {
 	j.mu.Lock()
-	if j.view.Status == StatusDone || j.view.Status == StatusFailed {
+	if isTerminal(j.view.Status) {
 		j.mu.Unlock()
 		return
 	}
@@ -136,8 +236,35 @@ func (j *Job) finish(status Status, mutate func(v *View)) {
 	if mutate != nil {
 		mutate(&j.view)
 	}
+	timerCancel := j.timerCancel
 	j.mu.Unlock()
+	// Release the context resources: the deadline timer (if armed) and
+	// the base cancellation.
+	if timerCancel != nil {
+		timerCancel()
+	}
+	j.baseCancel()
+	final := j.Snapshot()
+	j.publish(Event{Type: EventResult, State: status, Result: &final})
 	close(j.done)
+}
+
+// finishStopped lands the job in canceled carrying whatever partial
+// payload mutate attaches, tagging the canonical stop reason read from
+// the (ended) job context; reason overrides when non-empty.
+func (j *Job) finishStopped(reason string, mutate func(v *View)) {
+	if reason == "" {
+		reason = runstate.FromContext(j.Context())
+	}
+	if reason == "" {
+		reason = runstate.Canceled
+	}
+	j.finish(StatusCanceled, func(v *View) {
+		v.StopReason = reason
+		if mutate != nil {
+			mutate(v)
+		}
+	})
 }
 
 // jobStore indexes jobs by id, bounded to maxRetained entries: the
@@ -157,22 +284,29 @@ func newJobStore(maxRetained int) *jobStore {
 }
 
 // add registers a new job of the given kind and returns it with an
-// assigned id in queued state.
-func (s *jobStore) add(kind Kind, target string) *Job {
+// assigned id in queued state. timeout is the per-job deadline, armed
+// when the job starts running.
+func (s *jobStore) add(kind Kind, target string, timeout time.Duration) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		view: View{
-			ID:      fmt.Sprintf("j%06d", s.seq),
-			Kind:    kind,
-			Status:  StatusQueued,
-			Target:  target,
-			Created: time.Now().UTC(),
+			ID:        fmt.Sprintf("j%06d", s.seq),
+			Kind:      kind,
+			Status:    StatusQueued,
+			Target:    target,
+			Created:   time.Now().UTC(),
+			TimeoutMS: timeout.Milliseconds(),
 		},
-		seq:  s.seq,
-		done: make(chan struct{}),
+		seq:        s.seq,
+		timeout:    timeout,
+		ctx:        ctx,
+		baseCancel: cancel,
+		done:       make(chan struct{}),
 	}
+	j.events.job = j.view.ID
 	s.jobs[j.view.ID] = j
 	s.order = append(s.order, j.view.ID)
 	s.evictLocked()
@@ -223,9 +357,12 @@ func (s *jobStore) remove(id string) {
 	}
 }
 
-// snapshots returns all job views, oldest first (by submission order,
-// not lexical id — ids wrap their fixed width past a million jobs).
-func (s *jobStore) snapshots() []View {
+// snapshots returns job views in stable submit-time order (by
+// submission sequence, not lexical id — ids wrap their fixed width past
+// a million jobs), optionally filtered to one state, optionally limited
+// to the most recent limit entries (still oldest first). state "" and
+// limit <= 0 disable the respective filter.
+func (s *jobStore) snapshots(state Status, limit int) []View {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -233,9 +370,16 @@ func (s *jobStore) snapshots() []View {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	views := make([]View, len(jobs))
-	for i, j := range jobs {
-		views[i] = j.Snapshot()
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.Snapshot()
+		if state != "" && v.Status != state {
+			continue
+		}
+		views = append(views, v)
+	}
+	if limit > 0 && len(views) > limit {
+		views = views[len(views)-limit:]
 	}
 	return views
 }
@@ -248,7 +392,7 @@ func (s *jobStore) counts() map[Status]int {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-	out := make(map[Status]int, 4)
+	out := make(map[Status]int, 5)
 	for _, j := range jobs {
 		j.mu.Lock()
 		out[j.view.Status]++

@@ -27,6 +27,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -43,6 +44,8 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
+	"mpstream/internal/sim/mem"
 	"mpstream/internal/surface"
 )
 
@@ -73,6 +76,10 @@ const (
 	// DefaultMaxSurfaceWindowTxns bounds the transactions simulated per
 	// ladder point.
 	DefaultMaxSurfaceWindowTxns = 1 << 20
+	// DefaultMaxTimeout is the ceiling a request's timeout_ms is clamped
+	// to: per-job deadlines exist to stop hopeless work early, not to
+	// extend it indefinitely.
+	DefaultMaxTimeout = 15 * time.Minute
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
@@ -118,6 +125,10 @@ type Options struct {
 	// MaxSurfacePoints rejects surface requests whose ladder exceeds
 	// it; <= 0 means DefaultMaxSurfacePoints.
 	MaxSurfacePoints int
+	// MaxTimeout clamps per-job deadlines (the requests' timeout_ms
+	// field): a requested deadline beyond it is silently shortened to
+	// it. <= 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
 	// NewDevice resolves a target id to a fresh device instance; nil
 	// means targets.ByID. Tests inject counting or blocking factories
 	// here.
@@ -162,6 +173,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSurfacePoints <= 0 {
 		o.MaxSurfacePoints = DefaultMaxSurfacePoints
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = DefaultMaxTimeout
 	}
 	if o.NewDevice == nil {
 		o.NewDevice = targets.ByID
@@ -254,9 +268,47 @@ func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
 // Job looks up a job by id.
 func (s *Server) Job(id string) (*Job, bool) { return s.jobs.get(id) }
 
+// Jobs lists job views in stable submit-time order, optionally filtered
+// to one state ("" = all) and limited to the most recent limit entries
+// (<= 0 = all).
+func (s *Server) Jobs(state Status, limit int) []View { return s.jobs.snapshots(state, limit) }
+
+// CancelJob requests cancellation of a job. A queued job lands in
+// canceled immediately; a running one stops at its next evaluation-unit
+// boundary (point, search step, ladder rung) and lands in canceled
+// carrying its partial results; a terminal job is untouched — the call
+// is idempotent. ok is false for an unknown id.
+func (s *Server) CancelJob(id string) (*Job, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancelRequest()
+	return j, true
+}
+
+// clampTimeout validates a requested per-job deadline against the
+// server ceiling: negatives are rejected, 0 means none, anything above
+// MaxTimeout is clamped down to it.
+func (s *Server) clampTimeout(timeout time.Duration) (time.Duration, error) {
+	if timeout < 0 {
+		return 0, fmt.Errorf("service: timeout %v must be >= 0 (0 means none)", timeout)
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	return timeout, nil
+}
+
 // SubmitRun validates and enqueues one configuration on one target.
-func (s *Server) SubmitRun(target string, cfg core.Config) (*Job, error) {
+// timeout bounds the job's execution once it starts running (clamped to
+// Options.MaxTimeout; 0 means none).
+func (s *Server) SubmitRun(target string, cfg core.Config, timeout time.Duration) (*Job, error) {
 	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	timeout, err = s.clampTimeout(timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +319,7 @@ func (s *Server) SubmitRun(target string, cfg core.Config) (*Job, error) {
 	if err := s.checkLimits(info, cfg); err != nil {
 		return nil, err
 	}
-	j := s.jobs.add(KindRun, target)
+	j := s.jobs.add(KindRun, target, timeout)
 	j.mu.Lock()
 	j.cfg = cfg
 	j.view.Fingerprint = cfg.Fingerprint(target)
@@ -279,8 +331,14 @@ func (s *Server) SubmitRun(target string, cfg core.Config) (*Job, error) {
 }
 
 // SubmitSweep validates and enqueues a parameter grid on one target.
-func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, op kernel.Op) (*Job, error) {
+// timeout bounds the job's execution once it starts running (clamped to
+// Options.MaxTimeout; 0 means none).
+func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, op kernel.Op, timeout time.Duration) (*Job, error) {
 	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	timeout, err = s.clampTimeout(timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +355,7 @@ func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, o
 	if n := space.Size(); n > s.opts.MaxSweepPoints {
 		return nil, fmt.Errorf("service: sweep grid has %d points, limit %d", n, s.opts.MaxSweepPoints)
 	}
-	j := s.jobs.add(KindSweep, target)
+	j := s.jobs.add(KindSweep, target, timeout)
 	j.mu.Lock()
 	j.base, j.space, j.op = base, space, op
 	j.mu.Unlock()
@@ -312,8 +370,12 @@ func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, o
 // itself may be arbitrarily large — adaptive strategies exist exactly
 // so the whole grid need not be simulated — but the effective
 // evaluation budget is bounded by MaxOptimizeBudget.
-func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options) (*Job, error) {
+func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options, timeout time.Duration) (*Job, error) {
 	info, err := s.checkTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	timeout, err = s.clampTimeout(timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +414,7 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 		return nil, fmt.Errorf("service: optimize budget %d exceeds limit %d (pass an explicit budget)",
 			opts.Budget, s.opts.MaxOptimizeBudget)
 	}
-	j := s.jobs.add(KindOptimize, target)
+	j := s.jobs.add(KindOptimize, target, timeout)
 	j.mu.Lock()
 	j.base, j.space, j.op, j.sopts = base, space, op, opts
 	j.view.Fingerprint = optimizeFingerprint(target, base, space, op, opts)
@@ -367,8 +429,12 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 // measurement on one target. The configuration is canonicalized
 // (defaults resolved) before fingerprinting so equivalent spellings
 // share one cache entry.
-func (s *Server) SubmitSurface(target string, cfg surface.Config) (*Job, error) {
+func (s *Server) SubmitSurface(target string, cfg surface.Config, timeout time.Duration) (*Job, error) {
 	if _, err := s.checkTarget(target); err != nil {
+		return nil, err
+	}
+	timeout, err := s.clampTimeout(timeout)
+	if err != nil {
 		return nil, err
 	}
 	cfg = cfg.WithDefaults()
@@ -389,7 +455,7 @@ func (s *Server) SubmitSurface(target string, cfg surface.Config) (*Job, error) 
 		return nil, fmt.Errorf("service: surface probe of %d hops exceeds limit %d",
 			cfg.ProbeHops, DefaultMaxSurfaceWindowTxns)
 	}
-	j := s.jobs.add(KindSurface, target)
+	j := s.jobs.add(KindSurface, target, timeout)
 	j.mu.Lock()
 	j.scfg = cfg
 	j.view.Fingerprint = surfaceFingerprint(target, cfg)
@@ -511,9 +577,11 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one job to a terminal state. A panic in the simulator
-// (or a hostile configuration that slipped past validation) fails the
-// job instead of killing the whole server.
+// execute runs one job to a terminal state under the job's context
+// (canceled by DELETE /v1/jobs/{id}, expired by its timeout_ms
+// deadline). A panic in the simulator (or a hostile configuration that
+// slipped past validation) fails the job instead of killing the whole
+// server.
 func (s *Server) execute(j *Job) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -522,16 +590,20 @@ func (s *Server) execute(j *Job) {
 			})
 		}
 	}()
-	j.start()
+	ctx, ok := j.start()
+	if !ok {
+		// Canceled while queued: already terminal, nothing to run.
+		return
+	}
 	switch j.Snapshot().Kind {
 	case KindRun:
-		s.executeRun(j)
+		s.executeRun(ctx, j)
 	case KindSweep:
-		s.executeSweep(j)
+		s.executeSweep(ctx, j)
 	case KindOptimize:
-		s.executeOptimize(j)
+		s.executeOptimize(ctx, j)
 	case KindSurface:
-		s.executeSurface(j)
+		s.executeSurface(ctx, j)
 	default:
 		j.finish(StatusFailed, func(v *View) { v.Error = fmt.Sprintf("unknown job kind %q", v.Kind) })
 	}
@@ -568,13 +640,47 @@ func (s *Server) releaseFlight(fp string, ch chan struct{}) {
 	close(ch)
 }
 
+// awaitFlight blocks a single-flight follower until its leader finishes
+// or the follower's own job is canceled. false means the follower must
+// stop: detaching a follower never touches the leader, which keeps
+// simulating for everyone else. Conversely, a canceled *leader*
+// releases its flight without caching, so one woken follower finds the
+// cache still cold, claims the flight, and takes over — followers are
+// never wedged behind a dead leader.
+func awaitFlight(ctx context.Context, ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// maxKernelGBps is the best bandwidth across a run's kernels, the
+// scalar a run job feeds its progress tracker.
+func maxKernelGBps(res *core.Result) float64 {
+	best := 0.0
+	for _, kr := range res.Kernels {
+		if kr.GBps > best {
+			best = kr.GBps
+		}
+	}
+	return best
+}
+
 // executeRun serves a run job from the cache when possible, otherwise
 // simulates and populates the cache. Concurrent identical runs are
 // deduplicated: one leader simulates, followers wait and then read the
-// cache (if the leader failed, the next follower takes over).
-func (s *Server) executeRun(j *Job) {
+// cache (if the leader failed — or was canceled — the next follower
+// takes over).
+func (s *Server) executeRun(ctx context.Context, j *Job) {
 	snap := j.Snapshot()
+	j.prog.SetTotal(1)
+	j.prog.SetPhase("run")
 	finishCached := func(res *core.Result) {
+		j.prog.Step(1)
+		j.prog.Observe(maxKernelGBps(res))
+		j.publishPoint(PointEvent{Label: dse.ConfigLabel(j.cfg), GBps: maxKernelGBps(res), Feasible: true, Cached: true})
 		j.finish(StatusDone, func(v *View) {
 			v.Cached = true
 			v.Result = rehome(res, j.cfg)
@@ -590,7 +696,10 @@ func (s *Server) executeRun(j *Job) {
 			}
 			leader, ch := s.claimFlight(snap.Fingerprint)
 			if !leader {
-				<-ch
+				if !awaitFlight(ctx, ch) {
+					j.finishStopped("", nil)
+					return
+				}
 				continue
 			}
 			// The previous leader may have filled the cache between our
@@ -610,23 +719,36 @@ func (s *Server) executeRun(j *Job) {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
 	}
-	res, err := core.Run(dev, j.cfg)
+	res, err := core.RunContext(ctx, dev, j.cfg)
 	if err != nil {
+		// A canceled or deadline-expired run lands in canceled — a single
+		// run is one evaluation unit, so there is no partial payload.
+		if st := runstate.FromErr(err); st != "" {
+			j.finishStopped(st, nil)
+			return
+		}
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
 	}
 	s.cache.put(snap.Fingerprint, res)
+	j.prog.Step(1)
+	j.prog.Observe(maxKernelGBps(res))
+	j.publishPoint(PointEvent{Label: dse.ConfigLabel(j.cfg), GBps: maxKernelGBps(res), Feasible: true})
 	j.finish(StatusDone, func(v *View) { v.Result = res })
 }
 
 // executeSweep evaluates a grid with per-point cache integration: points
 // already in the result cache are reused, the misses fan out over
-// dse.EvalParallel, and fresh feasible results are inserted back so
-// later runs and sweeps hit. The assembled ranking is byte-identical to
-// dse.Explore over the same grid.
-func (s *Server) executeSweep(j *Job) {
+// dse.EvalParallelContext, and fresh feasible results are inserted back
+// so later runs and sweeps hit. The assembled ranking is byte-identical
+// to dse.Explore over the same grid. A canceled or deadline-expired
+// sweep ranks the points evaluated before the stop and lands in
+// canceled.
+func (s *Server) executeSweep(ctx context.Context, j *Job) {
 	snap := j.Snapshot()
 	cfgs := j.space.Configs(j.base)
+	j.prog.SetTotal(len(cfgs))
+	j.prog.SetPhase("sweep")
 
 	pts := make([]dse.Point, len(cfgs))
 	fps := make([]string, len(cfgs))
@@ -642,6 +764,9 @@ func (s *Server) executeSweep(j *Job) {
 			if res, ok := s.cache.get(fps[i]); ok {
 				pts[i] = dse.Point{Label: dse.ConfigLabel(cfg), Config: cfg, Result: rehome(res, cfg)}
 				cachedPoints++
+				j.prog.Step(1)
+				j.prog.Observe(pts[i].GBps(j.op))
+				j.publishPoint(PointEvent{Label: pts[i].Label, GBps: pts[i].GBps(j.op), Feasible: true, Cached: true})
 				continue
 			}
 		}
@@ -650,7 +775,8 @@ func (s *Server) executeSweep(j *Job) {
 		missIdx = append(missIdx, i)
 	}
 
-	if len(missCfgs) > 0 {
+	stopped := runstate.FromContext(ctx)
+	if len(missCfgs) > 0 && stopped == "" {
 		// A factory failure is an infrastructure error, not an infeasible
 		// design point: record it and fail the whole job instead of
 		// reporting a successful sweep full of phantom infeasibles.
@@ -662,10 +788,24 @@ func (s *Server) executeSweep(j *Job) {
 			}
 			return dev, err
 		}
-		fresh := dse.EvalParallel(factory, missCfgs, missLabels, s.opts.SweepWorkers)
+		// onPoint runs concurrently on the sweep workers; tracker and
+		// event log are safe for that.
+		onPoint := func(_ int, p dse.Point) {
+			j.prog.Step(1)
+			g := p.GBps(j.op)
+			j.prog.Observe(g)
+			pe := PointEvent{Label: p.Label, GBps: g, Feasible: p.Err == nil}
+			if p.Err != nil {
+				pe.Error = p.Err.Error()
+			}
+			j.publishPoint(pe)
+		}
+		var fresh []dse.Point
+		fresh, stopped = dse.EvalParallelContext(ctx, factory, missCfgs, missLabels, s.opts.SweepWorkers, onPoint)
 		if errp := factoryErr.Load(); errp != nil {
-			// EvalParallel marks the claimed point whenever the factory
-			// fails, so a recorded error always means unevaluated points.
+			// EvalParallelContext marks the claimed point whenever the
+			// factory fails, so a recorded error always means unevaluated
+			// points.
 			err := *errp
 			j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 			return
@@ -673,12 +813,22 @@ func (s *Server) executeSweep(j *Job) {
 		for k, p := range fresh {
 			i := missIdx[k]
 			pts[i] = p
-			if p.Err == nil {
+			// Unevaluated holes (canceled before the point was claimed)
+			// must not poison the cache with nil results.
+			if p.Evaluated() && p.Err == nil {
 				s.cache.put(fps[i], p.Result)
 			}
 		}
 	}
 
+	if stopped != "" {
+		ex := dse.Rank(dse.EvaluatedPoints(pts), j.op)
+		j.finishStopped(stopped, func(v *View) {
+			v.Sweep = &ex
+			v.CachedPoints = cachedPoints
+		})
+		return
+	}
 	ex := dse.Rank(pts, j.op)
 	j.finish(StatusDone, func(v *View) {
 		v.Sweep = &ex
@@ -694,9 +844,17 @@ func (s *Server) executeSweep(j *Job) {
 // leader searches. Below that, every unique evaluation shares the
 // per-point run-result cache with /v1/run and /v1/sweep, so an
 // optimizer walks for free over territory any earlier job explored.
-func (s *Server) executeOptimize(j *Job) {
+func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 	snap := j.Snapshot()
+	j.prog.SetTotal(j.sopts.Budget)
+	j.prog.SetPhase("search:" + j.sopts.Strategy)
 	finishCached := func(res *search.Result) {
+		// A completed strategy may legitimately stop below its budget
+		// (attempt caps in nearly-explored spaces); reconcile the total so
+		// a done job always reads done == total.
+		j.prog.SetTotal(res.Evaluations)
+		j.prog.Step(res.Evaluations)
+		j.prog.Observe(res.BestGBps)
 		j.finish(StatusDone, func(v *View) {
 			v.Cached = true
 			v.Optimize = res
@@ -710,7 +868,10 @@ func (s *Server) executeOptimize(j *Job) {
 			}
 			leader, ch := s.claimFlight(snap.Fingerprint)
 			if !leader {
-				<-ch
+				if !awaitFlight(ctx, ch) {
+					j.finishStopped("", nil)
+					return
+				}
 				continue
 			}
 			if res, ok := s.optCache.get(snap.Fingerprint); ok {
@@ -729,16 +890,21 @@ func (s *Server) executeOptimize(j *Job) {
 	}
 	// The search is sequential on one device (strategies are adaptive:
 	// the next evaluation depends on the last), so unlike sweeps there
-	// is no grid fan-out; parallelism comes from concurrent jobs.
+	// is no grid fan-out; parallelism comes from concurrent jobs. The
+	// engine calls eval and then the Observe hook synchronously from one
+	// goroutine, so lastCached needs no lock.
 	cachedPoints := 0
+	lastCached := false
 	eval := func(cfg core.Config, label, fp string) dse.Point {
+		lastCached = false
 		if s.cache.enabled() {
 			if res, ok := s.cache.get(fp); ok {
 				cachedPoints++
+				lastCached = true
 				return dse.Point{Label: label, Config: cfg, Result: rehome(res, cfg)}
 			}
 		}
-		res, err := core.Run(dev, cfg)
+		res, err := core.RunContext(ctx, dev, cfg)
 		if err != nil {
 			return dse.Point{Label: label, Config: cfg, Err: err}
 		}
@@ -754,15 +920,40 @@ func (s *Server) executeOptimize(j *Job) {
 		// absorbs repeated requests.
 		searchEval = search.WithKneeObjective(dev, searchEval)
 	}
-	res, err := search.RunWith(searchEval, func(c core.Config) string { return c.Fingerprint(snap.Target) },
-		j.base, j.space, j.op, j.sopts)
+	hooks := search.Hooks{
+		Context: ctx,
+		Observe: func(p dse.Point) {
+			j.prog.Step(1)
+			g := p.GBps(j.op)
+			j.prog.Observe(g)
+			pe := PointEvent{Label: p.Label, GBps: g, Feasible: p.Err == nil, Cached: lastCached}
+			if p.Err != nil {
+				pe.Error = p.Err.Error()
+			}
+			j.publishPoint(pe)
+		},
+	}
+	res, err := search.RunWithHooks(searchEval, func(c core.Config) string { return c.Fingerprint(snap.Target) },
+		j.base, j.space, j.op, j.sopts, hooks)
 	if err != nil {
 		// Unreachable in practice: strategy and budget were validated at
 		// submit time.
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
 	}
+	if res.Stopped != "" {
+		// A stopped search still reports the best point found so far,
+		// but the partial result must not prime the whole-search cache.
+		j.finishStopped(res.Stopped, func(v *View) {
+			v.Optimize = res
+			v.CachedPoints = cachedPoints
+		})
+		return
+	}
 	s.optCache.put(snap.Fingerprint, res)
+	// Same reconciliation as the cached path: a strategy that finished
+	// under budget still reports a complete done == total.
+	j.prog.SetTotal(res.Evaluations)
 	j.finish(StatusDone, func(v *View) {
 		v.Optimize = res
 		v.CachedPoints = cachedPoints
@@ -774,9 +965,19 @@ func (s *Server) executeOptimize(j *Job) {
 // surface requests (same target and canonical configuration — the
 // generator is deterministic) are served from the surface LRU, and
 // concurrent identical requests measure once.
-func (s *Server) executeSurface(j *Job) {
+func (s *Server) executeSurface(ctx context.Context, j *Job) {
 	snap := j.Snapshot()
+	j.prog.SetTotal(j.scfg.Points())
+	j.prog.SetPhase("surface")
 	finishCached := func(res *surface.Surface) {
+		j.prog.Step(len(res.Curves) * len(res.Config.Rates))
+		// Mirror the fresh path's per-rung observations so a cache hit
+		// reports the same best_gbps as the measurement that primed it.
+		for _, c := range res.Curves {
+			for _, p := range c.Points {
+				j.prog.Observe(p.AchievedGBps)
+			}
+		}
 		j.finish(StatusDone, func(v *View) {
 			v.Cached = true
 			v.Surface = res
@@ -790,7 +991,10 @@ func (s *Server) executeSurface(j *Job) {
 			}
 			leader, ch := s.claimFlight(snap.Fingerprint)
 			if !leader {
-				<-ch
+				if !awaitFlight(ctx, ch) {
+					j.finishStopped("", nil)
+					return
+				}
 				continue
 			}
 			if res, ok := s.surfCache.get(snap.Fingerprint); ok {
@@ -807,9 +1011,25 @@ func (s *Server) executeSurface(j *Job) {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
 	}
-	res, err := core.RunSurface(dev, j.scfg)
+	// The observer runs on the measuring goroutine, once per ladder rung.
+	observe := func(pat mem.Pattern, readFrac float64, p surface.Point) {
+		j.prog.Step(1)
+		j.prog.Observe(p.AchievedGBps)
+		j.publishPoint(PointEvent{
+			Label:     fmt.Sprintf("%s/r%.2g@%.2g", surface.PatternLabel(pat), readFrac, p.Rate),
+			GBps:      p.AchievedGBps,
+			Feasible:  true,
+			LatencyNs: p.LatencyNs,
+		})
+	}
+	res, err := core.RunSurfaceWith(ctx, dev, j.scfg, observe)
 	if err != nil {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return
+	}
+	if res.Stopped != "" {
+		// Partial ladders must not prime the whole-surface cache.
+		j.finishStopped(res.Stopped, func(v *View) { v.Surface = res })
 		return
 	}
 	s.surfCache.put(snap.Fingerprint, res)

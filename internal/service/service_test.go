@@ -233,7 +233,7 @@ func (e *testEnv) pollJob(t *testing.T, id string) service.View {
 			t.Fatalf("poll status %d: %s", resp.StatusCode, data)
 		}
 		job := decodeJob(t, data)
-		if job.Status == service.StatusDone || job.Status == service.StatusFailed {
+		if job.Status == service.StatusDone || job.Status == service.StatusFailed || job.Status == service.StatusCanceled {
 			return job
 		}
 		if time.Now().After(deadline) {
@@ -697,7 +697,7 @@ func TestQueueFull(t *testing.T) {
 	// The library surface must not hand back a job that will never run.
 	cfgD := cfg
 	cfgD.VecWidth = 8
-	if j, err := e.srv.SubmitRun("cpu", cfgD); err == nil || j != nil {
+	if j, err := e.srv.SubmitRun("cpu", cfgD, 0); err == nil || j != nil {
 		t.Errorf("overflow SubmitRun = (%v, %v), want (nil, ErrQueueFull)", j, err)
 	}
 
@@ -770,7 +770,7 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 	for i, vec := range []int{1, 2, 4} {
 		cfg := smallConfig()
 		cfg.VecWidth = vec
-		j, err := srv.SubmitRun("cpu", cfg)
+		j, err := srv.SubmitRun("cpu", cfg, 0)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -897,7 +897,7 @@ func TestConcurrentIdenticalRunsSingleFlight(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	srv := service.New(service.Options{Workers: 1})
 	srv.Close()
-	j, err := srv.SubmitRun("cpu", smallConfig())
+	j, err := srv.SubmitRun("cpu", smallConfig(), 0)
 	if j != nil || !errors.Is(err, service.ErrClosed) {
 		t.Errorf("SubmitRun after Close = (%v, %v), want (nil, ErrClosed)", j, err)
 	}

@@ -29,11 +29,13 @@
 package surface
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mpstream/internal/device"
 	"mpstream/internal/report"
+	"mpstream/internal/runstate"
 	"mpstream/internal/sim/dram"
 	"mpstream/internal/sim/mem"
 )
@@ -218,11 +220,33 @@ type Surface struct {
 	Device device.Info `json:"device"`
 	Config Config      `json:"config"`
 	Curves []Curve     `json:"curves"`
+	// Stopped is the canonical partial-result tag (runstate.Canceled or
+	// runstate.Deadline) when the generating context ended before the
+	// full ladder was measured; empty for a complete surface. A stopped
+	// surface carries every rung measured before the stop, with knees
+	// detected over the measured points only.
+	Stopped string `json:"stopped,omitempty"`
 }
+
+// Observer is notified after each measured injection-ladder rung — the
+// hook the service layer uses to stream per-point job events. It is
+// called from the generating goroutine, in measurement order.
+type Observer func(pat mem.Pattern, readFrac float64, p Point)
 
 // Generate measures the surface of dev, which must expose its memory
 // system (device.MemorySystem — every simulated target does).
 func Generate(dev device.Device, cfg Config) (*Surface, error) {
+	return GenerateWith(context.Background(), dev, cfg, nil)
+}
+
+// GenerateWith is Generate with the cross-cutting execution concerns
+// injected: ctx cancels the measurement between ladder rungs (the
+// partial surface collected so far is returned, tagged via Stopped),
+// and observe — when non-nil — sees every rung as it lands.
+func GenerateWith(ctx context.Context, dev device.Device, cfg Config, observe Observer) (*Surface, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -255,11 +279,19 @@ func Generate(dev device.Device, cfg Config) (*Surface, error) {
 	s := &Surface{Device: info, Config: cfg}
 	for _, pat := range cfg.Patterns {
 		for _, frac := range cfg.RWRatios {
-			curve, err := generateCurve(model, cfg, pat, frac, peak, idle.ProbeAvgNs())
+			curve, err := generateCurve(ctx, model, cfg, pat, frac, peak, idle.ProbeAvgNs(), observe)
 			if err != nil {
 				return nil, err
 			}
-			s.Curves = append(s.Curves, curve)
+			// A curve the cancellation cut before its first rung carries no
+			// information; drop it rather than report a bogus zero knee.
+			if len(curve.Points) > 0 {
+				s.Curves = append(s.Curves, curve)
+			}
+			if st := runstate.FromContext(ctx); st != "" {
+				s.Stopped = st
+				return s, nil
+			}
 		}
 	}
 	return s, nil
@@ -275,8 +307,9 @@ const (
 )
 
 // generateCurve measures one (pattern, read-fraction) ladder against
-// the shared idle latency.
-func generateCurve(model *dram.Model, cfg Config, pat mem.Pattern, readFrac, peakGBps, idleNs float64) (Curve, error) {
+// the shared idle latency, stopping between rungs when ctx ends (the
+// caller inspects ctx to tag the partial surface).
+func generateCurve(ctx context.Context, model *dram.Model, cfg Config, pat mem.Pattern, readFrac, peakGBps, idleNs float64, observe Observer) (Curve, error) {
 	burst := model.Config().BurstBytes
 	elems := int(cfg.ArrayBytes / int64(burst))
 
@@ -288,6 +321,9 @@ func generateCurve(model *dram.Model, cfg Config, pat mem.Pattern, readFrac, pea
 	mixGroup := model.Config().BatchSize * model.Config().Channels
 
 	for _, rate := range cfg.Rates {
+		if ctx.Err() != nil {
+			break
+		}
 		bg, err := background(pat, elems, burst, readFrac, mixGroup)
 		if err != nil {
 			return Curve{}, err
@@ -307,7 +343,7 @@ func generateCurve(model *dram.Model, cfg Config, pat mem.Pattern, readFrac, pea
 			lat = res.Seconds * 1e9
 			maxLat = lat
 		}
-		curve.Points = append(curve.Points, Point{
+		p := Point{
 			Rate:         rate,
 			OfferedGBps:  rate * peakGBps,
 			AchievedGBps: res.RequestedGBps(),
@@ -315,7 +351,11 @@ func generateCurve(model *dram.Model, cfg Config, pat mem.Pattern, readFrac, pea
 			MaxLatencyNs: maxLat,
 			RowHitRate:   res.RowHitRate(),
 			Occupancy:    res.AvgOccupancy(),
-		})
+		}
+		curve.Points = append(curve.Points, p)
+		if observe != nil {
+			observe(pat, readFrac, p)
+		}
 	}
 	curve.Knee = detectKnee(curve, cfg.KneeFactor)
 	return curve, nil
@@ -472,6 +512,10 @@ func (c Curve) Chart() *report.Chart {
 	ch.Add(report.Series{Name: "loaded", X: x, Y: y})
 	return ch
 }
+
+// PatternLabel renders a pattern compactly ("contiguous", "strided:16")
+// — the label vocabulary tables, charts and job events share.
+func PatternLabel(p mem.Pattern) string { return patternLabel(p) }
 
 // patternLabel renders a pattern compactly ("contiguous", "strided:16").
 func patternLabel(p mem.Pattern) string {

@@ -17,6 +17,8 @@
 package mpstream
 
 import (
+	"context"
+
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/device/targets"
@@ -25,6 +27,7 @@ import (
 	"mpstream/internal/experiments"
 	"mpstream/internal/hoststream"
 	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
 	"mpstream/internal/service"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/surface"
@@ -91,6 +94,21 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Run executes a configuration on a device.
 func Run(dev Device, cfg Config) (*Result, error) { return core.Run(dev, cfg) }
 
+// RunContext is Run under a context: cancellation is checked between
+// kernels and repetitions, and a canceled or deadline-expired run
+// returns the context's error.
+func RunContext(ctx context.Context, dev Device, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, dev, cfg)
+}
+
+// Canonical partial-result states: multi-point operations stopped by a
+// context tag what they collected with one of these (see the Stopped
+// fields of SearchResult and Surface).
+const (
+	StopCanceled = runstate.Canceled
+	StopDeadline = runstate.Deadline
+)
+
 // Targets returns fresh instances of the paper's four devices in figure
 // order: aocl, sdaccel, cpu, gpu.
 func Targets() []Device { return targets.All() }
@@ -155,6 +173,13 @@ func Optimize(dev Device, base Config, space Space, op Op, opts SearchOptions) (
 	return search.Run(dev, base, space, op, opts)
 }
 
+// OptimizeContext is Optimize under a context: the search stops between
+// evaluations when ctx ends and returns its partial result — best point
+// so far, ranking and trace — tagged via SearchResult.Stopped.
+func OptimizeContext(ctx context.Context, dev Device, base Config, space Space, op Op, opts SearchOptions) (*SearchResult, error) {
+	return search.RunContext(ctx, dev, base, space, op, opts)
+}
+
 // SearchStrategies lists the registered optimizer strategy names.
 func SearchStrategies() []string { return search.Strategies() }
 
@@ -182,6 +207,13 @@ func RunSurface(dev Device, cfg SurfaceConfig) (*Surface, error) {
 	return core.RunSurface(dev, cfg)
 }
 
+// RunSurfaceContext is RunSurface under a context: the injection-rate
+// ladder stops between rungs when ctx ends and the partial surface is
+// returned tagged via Surface.Stopped.
+func RunSurfaceContext(ctx context.Context, dev Device, cfg SurfaceConfig) (*Surface, error) {
+	return core.RunSurfaceContext(ctx, dev, cfg)
+}
+
 // Benchmark-as-a-service layer (cmd/mpserved): a job queue, bounded
 // worker pool and LRU result cache behind an HTTP JSON API.
 type (
@@ -205,11 +237,18 @@ type Experiment = experiments.Experiment
 // RunExperiment regenerates one figure/table by id (fig1a, fig1b, fig2,
 // fig3, fig4a, fig4b, targets, pcie, resources, unroll, preshape, dtype).
 func RunExperiment(id string) (*Experiment, error) {
+	return RunExperimentContext(context.Background(), id)
+}
+
+// RunExperimentContext is RunExperiment under a context: a canceled or
+// deadline-expired run returns the partially collected experiment,
+// annotated with a canonical stop note, not an error.
+func RunExperimentContext(ctx context.Context, id string) (*Experiment, error) {
 	run, err := experiments.ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return run()
+	return run(ctx)
 }
 
 // Host STREAM baseline (real measurement on the machine running this

@@ -114,7 +114,7 @@ func TestFacadeService(t *testing.T) {
 	cfg := mpstream.DefaultConfig()
 	cfg.ArrayBytes = 1 << 16
 	cfg.Ops = []mpstream.Op{mpstream.Copy}
-	job, err := svc.SubmitRun("cpu", cfg)
+	job, err := svc.SubmitRun("cpu", cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFacadeService(t *testing.T) {
 		t.Fatalf("service run failed: %+v", v)
 	}
 	// Second submission of the same work is served from the cache.
-	job2, err := svc.SubmitRun("cpu", cfg)
+	job2, err := svc.SubmitRun("cpu", cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

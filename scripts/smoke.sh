@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the context-aware service: start mpserved,
+# submit an async sweep, read at least one NDJSON event from the live
+# event stream, cancel the job, and assert it lands in "canceled" with
+# partial results. Run from the repository root; requires curl.
+set -euo pipefail
+
+ADDR=127.0.0.1:8774
+BASE="http://$ADDR/v1"
+BIN=$(mktemp -d)/mpserved
+LOG=$(mktemp)
+EVENTS=$(mktemp)
+
+go build -o "$BIN" ./cmd/mpserved
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+SERVED=$!
+cleanup() {
+  kill "$SERVED" 2>/dev/null || true
+  wait "$SERVED" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Wait for the server to come up.
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if [ "$i" = 100 ]; then echo "mpserved never became healthy"; cat "$LOG"; exit 1; fi
+  sleep 0.1
+done
+echo "smoke: mpserved healthy"
+
+# Submit a deliberately heavy async sweep (40 points x 16 MB x 5
+# repetitions) so the cancel lands mid-grid.
+JOB=$(curl -sf "$BASE/sweep" -d '{
+  "target": "cpu", "op": "copy", "async": true, "timeout_ms": 600000,
+  "base": {"array_bytes": 16777216, "ntimes": 5, "verify": false,
+           "optimal_loop": true, "type": "int", "vec_width": 1,
+           "pattern": {"kind": "contiguous"}},
+  "space": {"vec_widths": [1,2,4,8,16], "unrolls": [1,2,4,8],
+            "types": ["int","double"]}
+}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+echo "smoke: submitted job $JOB"
+
+# Stream events in the background; require at least one NDJSON line.
+curl -sN --max-time 30 "$BASE/jobs/$JOB/events" >"$EVENTS" &
+CURL=$!
+for i in $(seq 1 100); do
+  if [ -s "$EVENTS" ]; then break; fi
+  if [ "$i" = 100 ]; then echo "no events streamed"; cat "$LOG"; exit 1; fi
+  sleep 0.1
+done
+head -1 "$EVENTS" | python3 -c '
+import json, sys
+ev = json.loads(sys.stdin.readline())
+assert ev["type"] in ("state", "point", "progress", "result"), ev
+print("smoke: first event:", ev["type"], "seq", ev["seq"])
+'
+
+# Cancel the job and wait for the canceled terminal state.
+curl -sf -X DELETE "$BASE/jobs/$JOB" >/dev/null
+echo "smoke: cancel requested"
+STATE=""
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/jobs/$JOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["status"])')
+  case "$STATE" in done|failed|canceled) break ;; esac
+  sleep 0.1
+done
+if [ "$STATE" != canceled ]; then
+  echo "job ended in '$STATE', want 'canceled'"
+  curl -s "$BASE/jobs/$JOB"
+  exit 1
+fi
+
+# The canceled view carries a stop reason and a progress snapshot.
+curl -sf "$BASE/jobs/$JOB" | python3 -c '
+import json, sys
+j = json.load(sys.stdin)["job"]
+assert j["status"] == "canceled", j["status"]
+assert j["stop_reason"] == "canceled", j.get("stop_reason")
+p = j["progress"]
+assert p["total"] == 40 and p["done"] < 40, p
+print("smoke: canceled after", p["done"], "of", p["total"], "points")
+'
+
+wait "$CURL" 2>/dev/null || true
+# The stream must have carried events before the cancel.
+LINES=$(wc -l <"$EVENTS")
+if [ "$LINES" -lt 1 ]; then echo "event stream empty"; exit 1; fi
+echo "smoke: $LINES events streamed"
+echo "smoke: OK"
