@@ -12,6 +12,7 @@
 //	mpopt -target aocl -strategy exhaustive -trace
 //	mpopt -target gpu -objective knee -vec 1,4,16
 //	mpopt -target aocl -strategy exhaustive -csv > ranking.csv
+//	mpopt -server http://127.0.0.1:8774 -target cpu -strategy anneal -budget 32
 package main
 
 import (
@@ -21,10 +22,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
+	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
 	"mpstream/internal/dse"
@@ -49,6 +50,7 @@ func main() {
 		cus       = flag.String("cus", "", "num_compute_units axis (empty omits)")
 		dtypes    = flag.String("types", "int,double", "data-type axis (empty omits)")
 		objective = flag.String("objective", "", "ranking metric: gbps (default) or knee (surface-knee bandwidth)")
+		server    = flag.String("server", "", "submit against a running mpserved (or fleet coordinator) at this base URL instead of searching locally")
 		asJSON    = flag.Bool("json", false, "emit the full search result as JSON")
 		asCSV     = flag.Bool("csv", false, "emit the ranked points as CSV")
 		trace     = flag.Bool("trace", false, "print the evaluation trace")
@@ -64,20 +66,16 @@ func main() {
 	go func() { <-ctx.Done(); stop() }()
 
 	if err := run(ctx, *target, *op, *strategy, *budget, *seed, *size, *ntimes,
-		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *asJSON, *asCSV, *trace); err != nil {
+		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *server, *asJSON, *asCSV, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpopt:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, target, opName, strategy string, budget int, seed int64, size string, ntimes int,
-	vecs, loops, unrolls, simds, cus, dtypes, objective string, asJSON, asCSV, trace bool) error {
+	vecs, loops, unrolls, simds, cus, dtypes, objective, server string, asJSON, asCSV, trace bool) error {
 	if asJSON && asCSV {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
-	}
-	dev, err := targets.ByID(target)
-	if err != nil {
-		return err
 	}
 	op, err := kernel.ParseOp(opName)
 	if err != nil {
@@ -88,19 +86,43 @@ func run(ctx context.Context, target, opName, strategy string, budget int, seed 
 	if base.ArrayBytes, err = report.ParseBytes(size); err != nil {
 		return err
 	}
-	space, err := parseSpace(vecs, loops, unrolls, simds, cus, dtypes)
+	space, err := dse.ParseSpace(vecs, loops, unrolls, simds, cus, dtypes)
 	if err != nil {
 		return err
 	}
 
-	res, err := search.RunContext(ctx, dev, base, space, op, search.Options{
-		Strategy:  strategy,
-		Budget:    budget,
-		Seed:      seed,
-		Objective: objective,
-	})
-	if err != nil {
-		return err
+	var res *search.Result
+	if server != "" {
+		// Remote mode: the server (a standalone mpserved or a fleet
+		// coordinator farming evaluations out to its workers) runs the
+		// search; Ctrl-C cancels the job server-side and renders the
+		// partial result it hands back.
+		opts := search.Options{Strategy: strategy, Budget: budget, Seed: seed, Objective: objective}
+		view, err := submitRemote(ctx, server, target, base, space, op, opts)
+		if err != nil {
+			return err
+		}
+		if view.Status == "failed" {
+			return fmt.Errorf("server: %s", view.Error)
+		}
+		if view.Optimize == nil {
+			return fmt.Errorf("server returned no optimize result (job %s %s)", view.ID, view.Status)
+		}
+		res = view.Optimize
+	} else {
+		dev, err := targets.ByID(target)
+		if err != nil {
+			return err
+		}
+		res, err = search.RunContext(ctx, dev, base, space, op, search.Options{
+			Strategy:  strategy,
+			Budget:    budget,
+			Seed:      seed,
+			Objective: objective,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	if res.Stopped != "" {
 		fmt.Fprintf(os.Stderr, "mpopt: %s — partial results after %d of %d evaluations\n",
@@ -115,7 +137,25 @@ func run(ctx context.Context, target, opName, strategy string, budget int, seed 
 	case asCSV:
 		return rankingTable(op, res).WriteCSV(os.Stdout)
 	}
-	return writeText(os.Stdout, dev.Info().ID, op, res, trace)
+	return writeText(os.Stdout, target, op, res, trace)
+}
+
+// submitRemote posts the search as an async /v1/optimize job and waits
+// on its event stream.
+func submitRemote(ctx context.Context, server, target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options) (cluster.JobView, error) {
+	client := cluster.NewClient()
+	req := cluster.OptimizeRequest{
+		Target:    target,
+		Base:      &base,
+		Space:     space,
+		Op:        &op,
+		Strategy:  opts.Strategy,
+		Budget:    opts.Budget,
+		Seed:      opts.Seed,
+		Objective: opts.Objective,
+		Async:     true,
+	}
+	return client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/optimize", req, nil)
 }
 
 // rankingTable renders the ranked exploration, one row per feasible
@@ -126,65 +166,6 @@ func rankingTable(op kernel.Op, res *search.Result) *report.Table {
 		tb.AddRowf(i+1, p.Label, p.GBps(op), p.KneeGBps)
 	}
 	return tb
-}
-
-// parseSpace assembles the search grid from the per-axis flag values.
-func parseSpace(vecs, loops, unrolls, simds, cus, dtypes string) (dse.Space, error) {
-	var s dse.Space
-	var err error
-	if s.VecWidths, err = parseInts("vec", vecs); err != nil {
-		return s, err
-	}
-	if s.Unrolls, err = parseInts("unrolls", unrolls); err != nil {
-		return s, err
-	}
-	if s.SIMDs, err = parseInts("simds", simds); err != nil {
-		return s, err
-	}
-	if s.CUs, err = parseInts("cus", cus); err != nil {
-		return s, err
-	}
-	for _, f := range splitList(loops) {
-		lm, err := kernel.ParseLoopMode(f)
-		if err != nil {
-			return s, err
-		}
-		s.Loops = append(s.Loops, lm)
-	}
-	for _, f := range splitList(dtypes) {
-		dt, err := kernel.ParseDataType(f)
-		if err != nil {
-			return s, err
-		}
-		s.Types = append(s.Types, dt)
-	}
-	return s, nil
-}
-
-func splitList(s string) []string {
-	if strings.TrimSpace(s) == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	out := make([]string, 0, len(parts))
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func parseInts(axis, s string) ([]int, error) {
-	var out []int
-	for _, f := range splitList(s) {
-		n, err := strconv.Atoi(f)
-		if err != nil {
-			return nil, fmt.Errorf("bad -%s value %q", axis, f)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }
 
 // writeText renders the human-readable report: the summary line, the

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"mpstream/internal/service"
+)
+
+// TestRunServerMode: -server submits the search to a live service and
+// renders the identical (deterministic) result a local search
+// produces.
+func TestRunServerMode(t *testing.T) {
+	srv := service.New(service.Options{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	args := func(server string) func() error {
+		return func() error {
+			return run(context.Background(), "cpu", "copy", "exhaustive", 0, 0, "64KB", 2,
+				"1,2,4", "", "", "", "", "int", "", server, true, false, false)
+		}
+	}
+	local := captureStdout(t, args(""))
+	remote := captureStdout(t, args(ts.URL))
+
+	var a, b map[string]any
+	if err := json.Unmarshal([]byte(local), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(remote), &b); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := json.Marshal(a)
+	lb, _ := json.Marshal(b)
+	if string(la) != string(lb) {
+		t.Errorf("-server result diverges from local:\n local %s\nremote %s", la, lb)
+	}
+}
+
+// TestRunServerModeErrors: server-side failures surface as CLI errors.
+func TestRunServerModeErrors(t *testing.T) {
+	srv := service.New(service.Options{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	err := run(context.Background(), "tpu", "copy", "exhaustive", 0, 0, "64KB", 2,
+		"1", "", "", "", "", "int", "", ts.URL, false, false, false)
+	if err == nil {
+		t.Error("unknown target accepted through -server")
+	}
+}

@@ -5,16 +5,28 @@
 // answered from the cache, and concurrently submitted identical
 // requests are simulated only once.
 //
+// Fleet mode scales the service out: a coordinator (-coordinator, or
+// any server given -peers) shards sweep grids and surface ladders
+// across registered workers, retries shards lost to dead workers, and
+// merges the results — byte-identical to a single node. A worker is
+// just another mpserved pointed at the coordinator with
+// -worker -join; it registers its targets and capacity, heartbeats,
+// and executes shard jobs through its ordinary /v1/* endpoints.
+//
 // Examples:
 //
 //	mpserved -addr :8774
+//	mpserved -version
+//	mpserved -addr :8774 -coordinator
+//	mpserved -addr :8775 -worker -join http://127.0.0.1:8774
+//	mpserved -addr :8774 -peers http://10.0.0.7:8774,http://10.0.0.8:8774
 //	curl -s localhost:8774/v1/targets
 //	curl -s localhost:8774/v1/version
-//	curl -s localhost:8774/v1/run -d '{"target":"aocl","config":{"array_bytes":4194304,"vec_width":16,"optimal_loop":true,"verify":true}}'
-//	curl -s localhost:8774/v1/sweep -d '{"target":"aocl","op":"triad","space":{"vec_widths":[1,4,16]}}'
-//	curl -s localhost:8774/v1/optimize -d '{"target":"gpu","op":"copy","space":{"vec_widths":[1,4,16]},"objective":"knee"}'
-//	curl -s localhost:8774/v1/surface -d '{"target":"gpu"}'
-//	curl -s localhost:8774/v1/sweep -d '{"target":"cpu","space":{"vec_widths":[1,2,4]},"async":true,"timeout_ms":60000}'
+//	curl -s localhost:8774/v1/cluster/workers
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/run -d '{"target":"aocl","config":{"array_bytes":4194304,"vec_width":16,"optimal_loop":true,"verify":true}}'
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/sweep -d '{"target":"aocl","op":"triad","space":{"vec_widths":[1,4,16]}}'
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/optimize -d '{"target":"gpu","op":"copy","space":{"vec_widths":[1,4,16]},"objective":"knee"}'
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/surface -d '{"target":"gpu"}'
 //	curl -s localhost:8774/v1/jobs?state=running
 //	curl -sN localhost:8774/v1/jobs/j000001/events
 //	curl -s -X DELETE localhost:8774/v1/jobs/j000001
@@ -23,15 +35,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"mpstream/internal/cluster"
+	"mpstream/internal/device/targets"
 	"mpstream/internal/service"
 )
 
@@ -43,8 +60,30 @@ func main() {
 		cacheEntries = flag.Int("cache", 0, "result cache entries (0 = default, negative disables)")
 		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep grid fan-out (0 = GOMAXPROCS divided across the worker pool)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "ceiling for per-job timeout_ms deadlines (0 = default 15m)")
+		version      = flag.Bool("version", false, "print build and capability info (the GET /v1/version body) and exit")
+
+		coordinator = flag.Bool("coordinator", false, "accept worker registrations and shard sweeps/surfaces across the fleet")
+		peers       = flag.String("peers", "", "comma-separated static worker base URLs to probe and shard onto (implies -coordinator)")
+		worker      = flag.Bool("worker", false, "join a coordinator as a fleet worker (requires -join)")
+		join        = flag.String("join", "", "coordinator base URL to register with, e.g. http://10.0.0.1:8774")
+		advertise   = flag.String("advertise", "", "base URL other nodes reach this server at (default: derived from -addr)")
+		workerID    = flag.String("worker-id", "", "stable fleet identity (default: the advertised address)")
 	)
 	flag.Parse()
+
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.Version(nil)); err != nil {
+			fmt.Fprintln(os.Stderr, "mpserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *worker && *join == "" {
+		fmt.Fprintln(os.Stderr, "mpserved: -worker requires -join <coordinator URL>")
+		os.Exit(1)
+	}
 
 	opts := service.Options{
 		Workers:      *workers,
@@ -61,20 +100,107 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mpserved: listening on %s\n", ln.Addr())
 
+	fleet := fleetConfig{
+		coordinator: *coordinator || *peers != "",
+		peers:       splitPeers(*peers),
+		worker:      *worker,
+		join:        strings.TrimRight(*join, "/"),
+		advertise:   *advertise,
+		workerID:    *workerID,
+		capacity:    *workers,
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := serve(ln, opts, stop); err != nil {
+	if err := serve(ln, opts, fleet, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "mpserved:", err)
 		os.Exit(1)
 	}
 }
 
+// fleetConfig carries the cluster-mode flags into serve.
+type fleetConfig struct {
+	coordinator bool
+	peers       []string
+	worker      bool
+	join        string
+	advertise   string
+	workerID    string
+	capacity    int
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// advertiseURL derives the base URL other fleet nodes reach this
+// server at when -advertise is not given: the listener's port behind
+// the -addr host, falling back to 127.0.0.1 for wildcard binds (a
+// single-host fleet; multi-host fleets pass -advertise).
+func advertiseURL(explicit string, ln net.Listener) string {
+	if explicit != "" {
+		return strings.TrimRight(explicit, "/")
+	}
+	host := "127.0.0.1"
+	port := ""
+	if ta, ok := ln.Addr().(*net.TCPAddr); ok {
+		port = fmt.Sprintf("%d", ta.Port)
+		if ip := ta.IP; ip != nil && !ip.IsUnspecified() {
+			host = ip.String()
+			if ip.To4() == nil {
+				host = "[" + host + "]"
+			}
+		}
+	}
+	return "http://" + host + ":" + port
+}
+
 // serve runs the service on ln until a signal arrives on stop or the
 // listener fails, then shuts down gracefully: in-flight HTTP requests
 // get 10 seconds to drain and running jobs finish.
-func serve(ln net.Listener, opts service.Options, stop <-chan os.Signal) error {
+func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan os.Signal) error {
+	if fleet.coordinator {
+		coord := cluster.New(cluster.Options{})
+		defer coord.Close()
+		coord.WatchPeers(fleet.peers)
+		opts.Cluster = coord
+		fmt.Fprintf(os.Stderr, "mpserved: coordinating (static peers: %d)\n", len(fleet.peers))
+	}
+
 	svc := service.New(opts)
 	defer svc.Close()
+
+	if fleet.worker {
+		self := cluster.WorkerInfo{
+			ID:       fleet.workerID,
+			Addr:     advertiseURL(fleet.advertise, ln),
+			Capacity: fleet.capacity,
+		}
+		if self.ID == "" {
+			self.ID = self.Addr
+		}
+		if self.Capacity <= 0 {
+			self.Capacity = runtime.GOMAXPROCS(0)
+		}
+		for _, dev := range targets.All() {
+			self.Targets = append(self.Targets, dev.Info().ID)
+		}
+		joinCtx, joinCancel := context.WithCancel(context.Background())
+		defer joinCancel()
+		go cluster.Join(joinCtx, cluster.JoinOptions{
+			Coordinator: fleet.join,
+			Self:        self,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "mpserved: "+format+"\n", args...)
+			},
+		})
+	}
 
 	httpSrv := &http.Server{
 		Handler: svc.Handler(),

@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -23,7 +25,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	stop := make(chan os.Signal, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, service.Options{Workers: 2}, stop) }()
+	go func() { done <- serve(ln, service.Options{Workers: 2}, fleetConfig{}, stop) }()
 	base := "http://" + ln.Addr().String()
 
 	resp, err := http.Get(base + "/v1/healthz")
@@ -62,5 +64,177 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("serve did not shut down")
+	}
+}
+
+// startNode boots one mpserved node (serve() on an ephemeral port) and
+// returns its base URL and a shutdown func.
+func startNode(t *testing.T, opts service.Options, fleet fleetConfig) (base string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, opts, fleet, stop) }()
+	var once sync.Once
+	shutdown = func() {
+		once.Do(func() {
+			stop <- syscall.SIGTERM
+			select {
+			case <-done:
+			case <-time.After(15 * time.Second):
+				t.Error("node did not shut down")
+			}
+		})
+	}
+	return "http://" + ln.Addr().String(), shutdown
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetEndToEnd boots a coordinator and two joining workers over
+// real TCP, waits for registration, runs a sharded sweep through the
+// coordinator, and checks it matches the same sweep on a lone worker.
+func TestFleetEndToEnd(t *testing.T) {
+	coordBase, stopCoord := startNode(t, service.Options{Workers: 2}, fleetConfig{coordinator: true})
+	defer stopCoord()
+	worker := func() func() {
+		_, stop := startNode(t, service.Options{Workers: 2}, fleetConfig{
+			worker:   true,
+			join:     coordBase,
+			capacity: 2,
+		})
+		return stop
+	}
+	stopW1 := worker()
+	defer stopW1()
+	stopW2 := worker()
+	defer stopW2()
+
+	// Wait until both workers registered and count as alive.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var h struct {
+			Cluster *struct {
+				WorkersAlive int `json:"workers_alive"`
+			} `json:"cluster"`
+		}
+		getJSON(t, coordBase+"/v1/healthz", &h)
+		if h.Cluster != nil && h.Cluster.WorkersAlive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached 2 alive workers (have %+v)", h.Cluster)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	sweep := `{"target":"cpu","op":"copy","base":{"ops":["copy"],"array_bytes":65536,"vec_width":1,"optimal_loop":true,"ntimes":2,"scalar":3,"verify":true,"pattern":{"kind":"contiguous"}},"space":{"vec_widths":[1,2,4,8],"unrolls":[1,2]}}`
+	post := func(base string) service.View {
+		resp, err := http.Post(base+"/v1/sweep", "application/json", strings.NewReader(sweep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep on %s: %d %s", base, resp.StatusCode, body)
+		}
+		var jr service.JobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Job.Status != service.StatusDone || jr.Job.Sweep == nil {
+			t.Fatalf("sweep job on %s = %+v", base, jr.Job)
+		}
+		return jr.Job
+	}
+
+	fleetJob := post(coordBase)
+	soloBase, stopSolo := startNode(t, service.Options{Workers: 2}, fleetConfig{})
+	defer stopSolo()
+	soloJob := post(soloBase)
+
+	got, _ := json.Marshal(fleetJob.Sweep)
+	want, _ := json.Marshal(soloJob.Sweep)
+	if string(got) != string(want) {
+		t.Fatalf("fleet sweep diverges from solo sweep:\n got %s\nwant %s", got, want)
+	}
+
+	// The registry saw both workers take work.
+	var wr struct {
+		Workers []struct {
+			ID         string `json:"id"`
+			ShardsDone uint64 `json:"shards_done"`
+		} `json:"workers"`
+	}
+	getJSON(t, coordBase+"/v1/cluster/workers", &wr)
+	if len(wr.Workers) != 2 {
+		t.Fatalf("registry has %d workers, want 2", len(wr.Workers))
+	}
+	var shards uint64
+	for _, w := range wr.Workers {
+		shards += w.ShardsDone
+	}
+	if shards == 0 {
+		t.Error("no shards recorded against the fleet")
+	}
+}
+
+// TestAdvertiseURL pins the derivation of the worker's advertised base
+// URL from its listener.
+func TestAdvertiseURL(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	port := ln.Addr().(*net.TCPAddr).Port
+	if got, want := advertiseURL("", ln), fmt.Sprintf("http://127.0.0.1:%d", port); got != want {
+		t.Errorf("advertiseURL = %q, want %q", got, want)
+	}
+	if got := advertiseURL("http://10.0.0.9:9999/", ln); got != "http://10.0.0.9:9999" {
+		t.Errorf("explicit advertiseURL = %q", got)
+	}
+
+	wild, err := net.Listen("tcp", ":0")
+	if err != nil {
+		t.Skip("wildcard bind unavailable:", err)
+	}
+	defer wild.Close()
+	wildPort := wild.Addr().(*net.TCPAddr).Port
+	if got, want := advertiseURL("", wild), fmt.Sprintf("http://127.0.0.1:%d", wildPort); got != want {
+		t.Errorf("wildcard advertiseURL = %q, want %q", got, want)
+	}
+}
+
+// TestVersionMatchesEndpoint: the -version flag and GET /v1/version
+// report the same content.
+func TestVersionMatchesEndpoint(t *testing.T) {
+	base, stop := startNode(t, service.Options{Workers: 1}, fleetConfig{})
+	defer stop()
+	var fromHTTP service.VersionResponse
+	getJSON(t, base+"/v1/version", &fromHTTP)
+	fromFlag := service.Version(nil)
+	a, _ := json.Marshal(fromFlag)
+	b, _ := json.Marshal(fromHTTP)
+	if string(a) != string(b) {
+		t.Errorf("-version diverges from GET /v1/version:\n flag %s\n http %s", a, b)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"syscall"
 
+	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
 	"mpstream/internal/report"
@@ -41,6 +42,7 @@ func main() {
 		window     = flag.Int("window", 0, "transactions simulated per ladder point (0 = default)")
 		probe      = flag.Int("probe", 0, "chase hops of the idle-latency measurement (0 = default)")
 		kneeFactor = flag.Float64("knee-factor", 0, "acceptable-latency multiple of idle (0 = default)")
+		server     = flag.String("server", "", "submit against a running mpserved (or fleet coordinator) at this base URL instead of measuring locally")
 		markdown   = flag.Bool("markdown", false, "emit Markdown tables instead of text")
 		asCSV      = flag.Bool("csv", false, "emit the ladder as CSV")
 		asJSON     = flag.Bool("json", false, "emit the full surface as JSON")
@@ -57,14 +59,14 @@ func main() {
 	go func() { <-ctx.Done(); stop() }()
 
 	if err := run(ctx, os.Stdout, *target, *patterns, *ratios, *rates, *size,
-		*window, *probe, *kneeFactor, *markdown, *asCSV, *asJSON, *chart); err != nil {
+		*window, *probe, *kneeFactor, *server, *markdown, *asCSV, *asJSON, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsurf:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size string,
-	window, probe int, kneeFactor float64, markdown, asCSV, asJSON, chart bool) error {
+	window, probe int, kneeFactor float64, server string, markdown, asCSV, asJSON, chart bool) error {
 	exclusive := 0
 	for _, f := range []bool{markdown, asCSV, asJSON} {
 		if f {
@@ -77,17 +79,36 @@ func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size
 	if chart && exclusive > 0 {
 		return fmt.Errorf("-chart only applies to the text output")
 	}
-	dev, err := targets.ByID(target)
-	if err != nil {
-		return err
-	}
 	cfg, err := buildConfig(patterns, ratios, rates, size, window, probe, kneeFactor)
 	if err != nil {
 		return err
 	}
-	s, err := core.RunSurfaceContext(ctx, dev, cfg)
-	if err != nil {
-		return err
+	var s *surface.Surface
+	if server != "" {
+		// Remote mode: the server (or fleet, curve-sharded across its
+		// workers) measures; Ctrl-C cancels the job server-side and the
+		// partial surface it hands back still renders.
+		client := cluster.NewClient()
+		req := cluster.SurfaceRequest{Target: target, Config: &cfg, Async: true}
+		view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/surface", req, nil)
+		if err != nil {
+			return err
+		}
+		if view.Status == "failed" {
+			return fmt.Errorf("server: %s", view.Error)
+		}
+		if view.Surface == nil {
+			return fmt.Errorf("server returned no surface (job %s %s)", view.ID, view.Status)
+		}
+		s = view.Surface
+	} else {
+		dev, err := targets.ByID(target)
+		if err != nil {
+			return err
+		}
+		if s, err = core.RunSurfaceContext(ctx, dev, cfg); err != nil {
+			return err
+		}
 	}
 	if s.Stopped != "" {
 		fmt.Fprintf(os.Stderr, "mpsurf: %s — partial surface (%d curves)\n", s.Stopped, len(s.Curves))

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mpstream/internal/service"
+)
+
+// TestRunServerMode: -server submits the surface to a live service;
+// the rendered ladder matches a local measurement of the same
+// (deterministic) configuration.
+func TestRunServerMode(t *testing.T) {
+	srv := service.New(service.Options{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	render := func(server string) string {
+		var sb strings.Builder
+		if err := run(context.Background(), &sb, "gpu", "contiguous", "1", "0.25,0.9", "4MB",
+			1024, 64, 0, server, false, true, false, false); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	local := render("")
+	remote := render(ts.URL)
+	if local != remote {
+		t.Errorf("-server surface diverges from local:\n local %s\nremote %s", local, remote)
+	}
+
+	// Server-side rejections surface as errors.
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "tpu", "", "", "", "",
+		0, 0, 0, ts.URL, false, false, false, false); err == nil {
+		t.Error("unknown target accepted through -server")
+	}
+}

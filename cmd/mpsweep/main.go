@@ -14,6 +14,13 @@
 //	mpsweep -all -markdown > results.md
 //	mpsweep -exp fig2 -json | jq '.series[].gbps'
 //	mpsweep -exp targets -csv > targets.csv
+//
+// With -server, mpsweep instead submits a grid sweep against a running
+// mpserved — on a fleet coordinator the grid is sharded across the
+// registered workers and the merged ranking comes back byte-identical
+// to a single-node sweep:
+//
+//	mpsweep -server http://127.0.0.1:8774 -target cpu -op triad -vec 1,2,4,8 -types int,double
 package main
 
 import (
@@ -21,11 +28,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"mpstream/internal/cluster"
+	"mpstream/internal/core"
+	"mpstream/internal/dse"
 	"mpstream/internal/experiments"
+	"mpstream/internal/kernel"
+	"mpstream/internal/report"
 	"mpstream/internal/runstate"
 )
 
@@ -36,6 +50,18 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown instead of text")
 		asJSON   = flag.Bool("json", false, "emit JSON instead of text (-all yields a JSON array)")
 		asCSV    = flag.Bool("csv", false, "emit each experiment's table as CSV")
+
+		server  = flag.String("server", "", "submit a grid sweep against a running mpserved (or fleet coordinator) at this base URL")
+		target  = flag.String("target", "cpu", "sweep target device (with -server): aocl|sdaccel|cpu|gpu")
+		op      = flag.String("op", "triad", "sweep kernel (with -server): copy|scale|add|triad")
+		size    = flag.String("size", "4MB", "per-array size for the sweep base (with -server)")
+		ntimes  = flag.Int("ntimes", core.DefaultNTimes, "repetitions per point (with -server)")
+		vecs    = flag.String("vec", "1,2,4,8,16", "vector-width axis (with -server; empty omits)")
+		loops   = flag.String("loops", "", "loop-mode axis (with -server; empty omits)")
+		unrolls = flag.String("unrolls", "", "unroll-factor axis (with -server; empty omits)")
+		simds   = flag.String("simds", "", "num_simd_work_items axis (with -server; empty omits)")
+		cus     = flag.String("cus", "", "num_compute_units axis (with -server; empty omits)")
+		dtypes  = flag.String("types", "int,double", "data-type axis (with -server; empty omits)")
 	)
 	flag.Parse()
 
@@ -47,13 +73,90 @@ func main() {
 	defer stop()
 	go func() { <-ctx.Done(); stop() }()
 
-	if err := run(ctx, *exp, *all, *markdown, *asJSON, *asCSV); err != nil {
+	var err error
+	if *server != "" {
+		err = runServer(ctx, os.Stdout, *server, *target, *op, *size, *ntimes,
+			*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *markdown, *asJSON, *asCSV)
+	} else {
+		err = run(ctx, *exp, *all, *markdown, *asJSON, *asCSV)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsweep:", err)
 		os.Exit(1)
 	}
 	if st := runstate.FromContext(ctx); st != "" {
 		fmt.Fprintf(os.Stderr, "mpsweep: %s — partial results rendered\n", st)
 	}
+}
+
+// runServer submits a grid sweep to a server (or fleet) and renders
+// the ranked exploration it returns. Ctrl-C cancels the job
+// server-side; the partial ranking still renders.
+func runServer(ctx context.Context, w io.Writer, server, target, opName, size string, ntimes int,
+	vecs, loops, unrolls, simds, cus, dtypes string, markdown, asJSON, asCSV bool) error {
+	exclusive := 0
+	for _, f := range []bool{markdown, asJSON, asCSV} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		return fmt.Errorf("-markdown, -json and -csv are mutually exclusive")
+	}
+	op, err := kernel.ParseOp(opName)
+	if err != nil {
+		return err
+	}
+	base := core.DefaultConfig()
+	base.NTimes = ntimes
+	if base.ArrayBytes, err = report.ParseBytes(size); err != nil {
+		return err
+	}
+	space, err := dse.ParseSpace(vecs, loops, unrolls, simds, cus, dtypes)
+	if err != nil {
+		return err
+	}
+	client := cluster.NewClient()
+	req := cluster.SweepRequest{Target: target, Base: &base, Space: space, Op: &op, Async: true}
+	view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/sweep", req, nil)
+	if err != nil {
+		return err
+	}
+	if view.Status == "failed" {
+		return fmt.Errorf("server: %s", view.Error)
+	}
+	if view.Sweep == nil {
+		return fmt.Errorf("server returned no sweep result (job %s %s)", view.ID, view.Status)
+	}
+	ex := view.Sweep
+	if view.StopReason != "" {
+		fmt.Fprintf(os.Stderr, "mpsweep: %s — partial ranking (%d points)\n", view.StopReason, len(ex.Ranked))
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ex)
+	}
+	tb := report.NewTable("rank", "label", "GB/s")
+	for i, p := range ex.Ranked {
+		tb.AddRowf(i+1, p.Label, p.GBps(op))
+	}
+	switch {
+	case asCSV:
+		return tb.WriteCSV(w)
+	case markdown:
+		if _, err := fmt.Fprintf(w, "### Sweep of `%s` on `%s` (%d points, %d infeasible, %d cached)\n\n",
+			op, target, space.Size(), ex.Infeasible, view.CachedPoints); err != nil {
+			return err
+		}
+		return tb.WriteMarkdown(w)
+	}
+	fmt.Fprintf(w, "mpsweep -- %s on %s via %s: %d points, %d infeasible, %d cached\n",
+		op, target, server, space.Size(), ex.Infeasible, view.CachedPoints)
+	if best, ok := ex.Best(); ok {
+		fmt.Fprintf(w, "best: %s at %.3f GB/s\n\n", best.Label, best.GBps(op))
+	}
+	return tb.WriteText(w)
 }
 
 func run(ctx context.Context, exp string, all, markdown, asJSON, asCSV bool) error {

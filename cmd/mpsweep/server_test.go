@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mpstream/internal/service"
+)
+
+// TestRunServerSweep: -server submits a grid sweep and renders the
+// ranked exploration; the CSV carries one row per feasible point.
+func TestRunServerSweep(t *testing.T) {
+	srv := service.New(service.Options{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var sb strings.Builder
+	err := runServer(context.Background(), &sb, ts.URL, "cpu", "copy", "64KB", 2,
+		"1,2,4", "", "", "", "", "int", false, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 4 { // header + 3 vector widths
+		t.Fatalf("CSV rows = %d, want 4:\n%s", len(rows), sb.String())
+	}
+	if rows[0][0] != "rank" || rows[0][1] != "label" {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+
+	// Text mode names the best point.
+	sb.Reset()
+	err = runServer(context.Background(), &sb, ts.URL, "cpu", "copy", "64KB", 2,
+		"1,2", "", "", "", "", "int", false, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "best:") {
+		t.Errorf("text output missing best line:\n%s", sb.String())
+	}
+
+	// Server-side rejections surface as errors.
+	if err := runServer(context.Background(), &sb, ts.URL, "tpu", "copy", "64KB", 2,
+		"1", "", "", "", "", "int", false, false, false); err == nil {
+		t.Error("unknown target accepted through -server")
+	}
+}

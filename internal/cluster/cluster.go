@@ -1,0 +1,218 @@
+// Package cluster is the coordinator/worker fleet layer that scales
+// MP-STREAM's design-space exploration beyond one process. A worker is
+// an ordinary mpserved instance that registers itself (targets and
+// capacity), heartbeats, and executes shard jobs through the same
+// /v1/* HTTP API it serves to everyone else. The coordinator partitions
+// sweep grids (dse.Space.Partition) and surface ladders
+// (surface.Config.PartitionCurves) into contiguous shards, schedules
+// them onto workers with locality (prefer workers advertising the
+// requested target) and load awareness, retries failed or lost shards
+// on other workers with capped exponential backoff, and merges the
+// partial results back into the canonical order — a distributed sweep
+// is byte-identical to a single-node one because the simulator is
+// deterministic and the shard merge is order-preserving.
+//
+// The package deliberately does not import internal/service: the
+// service layer embeds a Coordinator and translates between its own
+// job model and the fleet callbacks, while this package speaks only
+// the HTTP wire format. Everything the coordinator learns about a job
+// in flight (per-point events, shard assignment, retries) is surfaced
+// through callbacks so the service can re-export one merged NDJSON
+// event stream and one aggregated progress snapshot per fleet job.
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"mpstream/internal/core"
+	"mpstream/internal/dse"
+	"mpstream/internal/dse/search"
+	"mpstream/internal/kernel"
+	"mpstream/internal/surface"
+)
+
+// ErrNoWorkers is returned by fleet operations when no alive worker
+// can serve the request; the service layer falls back to local
+// execution.
+var ErrNoWorkers = errors.New("cluster: no alive workers")
+
+// WorkerInfo is what a worker advertises when registering: where to
+// reach it, which targets it serves, and how many shard jobs it can
+// execute concurrently.
+type WorkerInfo struct {
+	// ID names the worker; re-registration under the same ID replaces
+	// the previous entry (a restarted worker is still one worker).
+	ID string `json:"id"`
+	// Addr is the worker's base URL, e.g. "http://10.0.0.7:8774".
+	Addr string `json:"addr"`
+	// Targets lists the benchmark targets the worker serves.
+	Targets []string `json:"targets"`
+	// Capacity is the worker's concurrent job slots (its worker-pool
+	// size); the scheduler load-balances shards against it.
+	Capacity int `json:"capacity"`
+}
+
+// WorkerView is the externally visible registry entry — the JSON shape
+// GET /v1/cluster/workers serves.
+type WorkerView struct {
+	WorkerInfo
+	// Alive reports a heartbeat within the TTL.
+	Alive bool `json:"alive"`
+	// LastSeen is the time of the last register or heartbeat.
+	LastSeen time.Time `json:"last_seen"`
+	// Inflight counts shards currently assigned to the worker.
+	Inflight int `json:"inflight"`
+	// ShardsDone and Failures count completed and failed shard
+	// executions over the worker's lifetime in this registry.
+	ShardsDone uint64 `json:"shards_done"`
+	Failures   uint64 `json:"failures"`
+}
+
+// RegisterResponse tells a registering worker the heartbeat contract.
+type RegisterResponse struct {
+	// TTLMS is how long the registration stays alive without a
+	// heartbeat.
+	TTLMS int64 `json:"ttl_ms"`
+	// HeartbeatMS is the interval the worker should heartbeat at
+	// (comfortably inside the TTL).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest is the POST /v1/cluster/heartbeat body.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat; Known false tells the
+// worker the coordinator restarted (or evicted it) and it must
+// re-register.
+type HeartbeatResponse struct {
+	Known bool `json:"known"`
+}
+
+// SweepShardRequest is the POST /v1/cluster/shard/sweep body: one
+// contiguous flat range [Lo, Hi) of a sweep grid. Lo == Hi == 0 is
+// rejected only when the space is non-trivial; use Hi = space size for
+// a whole grid.
+type SweepShardRequest struct {
+	Target string       `json:"target"`
+	Base   *core.Config `json:"base,omitempty"`
+	Space  dse.Space    `json:"space"`
+	Op     *kernel.Op   `json:"op,omitempty"`
+	// Lo and Hi bound the shard in the grid's flat enumeration order.
+	Lo        int   `json:"lo"`
+	Hi        int   `json:"hi"`
+	Async     bool  `json:"async,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SurfaceShardRequest is the POST /v1/cluster/shard/surface body: one
+// contiguous curve range [Lo, Hi) of a surface ladder in pattern-major
+// order.
+type SurfaceShardRequest struct {
+	Target    string          `json:"target"`
+	Config    *surface.Config `json:"config,omitempty"`
+	Lo        int             `json:"lo"`
+	Hi        int             `json:"hi"`
+	Async     bool            `json:"async,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// RunRequest is the POST /v1/run body the remote-eval client pool
+// submits (a strict subset of the service's own request shape).
+type RunRequest struct {
+	Target    string       `json:"target"`
+	Config    *core.Config `json:"config,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweep body — what the CLIs submit when
+// pointed at a server or fleet with -server.
+type SweepRequest struct {
+	Target    string       `json:"target"`
+	Base      *core.Config `json:"base,omitempty"`
+	Space     dse.Space    `json:"space"`
+	Op        *kernel.Op   `json:"op,omitempty"`
+	Async     bool         `json:"async,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeRequest is the POST /v1/optimize body.
+type OptimizeRequest struct {
+	Target    string       `json:"target"`
+	Base      *core.Config `json:"base,omitempty"`
+	Space     dse.Space    `json:"space"`
+	Op        *kernel.Op   `json:"op,omitempty"`
+	Strategy  string       `json:"strategy,omitempty"`
+	Budget    int          `json:"budget,omitempty"`
+	Seed      int64        `json:"seed,omitempty"`
+	Objective string       `json:"objective,omitempty"`
+	Async     bool         `json:"async,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// SurfaceRequest is the POST /v1/surface body.
+type SurfaceRequest struct {
+	Target    string          `json:"target"`
+	Config    *surface.Config `json:"config,omitempty"`
+	Async     bool            `json:"async,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// JobView is the subset of the service's job view the cluster layer
+// consumes; field names match the service wire format.
+type JobView struct {
+	ID           string           `json:"id"`
+	Status       string           `json:"status"`
+	StopReason   string           `json:"stop_reason,omitempty"`
+	Cached       bool             `json:"cached,omitempty"`
+	CachedPoints int              `json:"cached_points,omitempty"`
+	Result       *core.Result     `json:"result,omitempty"`
+	Sweep        *dse.Exploration `json:"sweep,omitempty"`
+	Optimize     *search.Result   `json:"optimize,omitempty"`
+	Surface      *surface.Surface `json:"surface,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
+// Terminal reports whether the view shows a finished job.
+func (v *JobView) Terminal() bool {
+	switch v.Status {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// PointEvent mirrors the service's per-evaluation-unit event payload;
+// the coordinator forwards these from worker event streams into the
+// fleet job's own merged stream.
+type PointEvent struct {
+	Label     string  `json:"label"`
+	GBps      float64 `json:"gbps"`
+	Feasible  bool    `json:"feasible"`
+	Error     string  `json:"error,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	LatencyNs float64 `json:"latency_ns,omitempty"`
+}
+
+// ShardUpdate reports fleet scheduling decisions for one shard — the
+// payload behind the merged stream's "shard" events and the hook the
+// service uses to keep aggregate progress honest across retries.
+type ShardUpdate struct {
+	// Shard indexes the shard within its fleet job, 0-based.
+	Shard int `json:"shard"`
+	// Worker is the assigned worker's ID.
+	Worker string `json:"worker,omitempty"`
+	// Attempt counts assignments of this shard, starting at 1.
+	Attempt int `json:"attempt"`
+	// State is "assigned", "done", "failed" (this attempt; the shard
+	// will retry if attempts remain) or "lost" (attempts exhausted).
+	State string `json:"state"`
+	// Error carries the failure reason on failed/lost updates.
+	Error string `json:"error,omitempty"`
+	// RewindPoints counts evaluation units the failed attempt already
+	// streamed; a retry re-runs them, so aggregate progress must take
+	// them back.
+	RewindPoints int `json:"rewind_points,omitempty"`
+}

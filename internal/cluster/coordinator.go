@@ -1,0 +1,563 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mpstream/internal/core"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
+	"mpstream/internal/surface"
+)
+
+// ErrUnavailable wraps fleet failures that are about the fleet, not the
+// work: no alive workers, or every attempt exhausted on transport
+// errors. Callers fall back to local execution on it.
+var ErrUnavailable = errors.New("cluster: fleet unavailable")
+
+// Defaults for Options zero values.
+const (
+	// DefaultShardsPerWorker over-partitions the grid relative to the
+	// alive worker count so faster workers absorb more shards and a
+	// retried shard re-runs a fraction, not half, of the job.
+	DefaultShardsPerWorker = 2
+	// DefaultMaxShards bounds one fleet job's shard count regardless of
+	// fleet size.
+	DefaultMaxShards = 16
+	// DefaultMaxAttempts bounds how many workers one shard is tried on
+	// before the fleet job fails.
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the base of the capped exponential backoff
+	// between a shard's attempts.
+	DefaultRetryBackoff = 100 * time.Millisecond
+	// DefaultMaxBackoff caps the backoff growth.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// Options configures a Coordinator. The zero value is production-
+// shaped.
+type Options struct {
+	// Client performs the worker HTTP calls; nil means NewClient().
+	Client *Client
+	// HeartbeatTTL is how long a registration lives without a
+	// heartbeat; <= 0 means DefaultHeartbeatTTL.
+	HeartbeatTTL time.Duration
+	// ShardsPerWorker, MaxShards, MaxAttempts, RetryBackoff and
+	// MaxBackoff tune the shard scheduler; <= 0 means the defaults
+	// above.
+	ShardsPerWorker int
+	MaxShards       int
+	MaxAttempts     int
+	RetryBackoff    time.Duration
+	MaxBackoff      time.Duration
+	// Now is the liveness clock; nil means time.Now. Tests inject fake
+	// clocks here.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = NewClient()
+	}
+	if o.HeartbeatTTL <= 0 {
+		o.HeartbeatTTL = DefaultHeartbeatTTL
+	}
+	if o.ShardsPerWorker <= 0 {
+		o.ShardsPerWorker = DefaultShardsPerWorker
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = DefaultMaxShards
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = DefaultRetryBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	return o
+}
+
+// Coordinator owns the worker registry and schedules fleet jobs over
+// it. Create with New, attach to a service server, and Close on
+// shutdown (stops the static-peer probes; in-flight fleet jobs are
+// governed by their own contexts).
+type Coordinator struct {
+	opts   Options
+	client *Client
+	reg    *registry
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a Coordinator.
+func New(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	return &Coordinator{
+		opts:   opts,
+		client: opts.Client,
+		reg:    newRegistry(opts.HeartbeatTTL, opts.Now),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Close stops the background peer probes. Idempotent.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Register adds or refreshes a worker registration and returns the
+// heartbeat contract.
+func (c *Coordinator) Register(info WorkerInfo) RegisterResponse {
+	c.reg.upsert(info)
+	ttl := c.opts.HeartbeatTTL
+	return RegisterResponse{TTLMS: ttl.Milliseconds(), HeartbeatMS: (ttl / 3).Milliseconds()}
+}
+
+// Heartbeat refreshes a worker's liveness; false asks it to
+// re-register.
+func (c *Coordinator) Heartbeat(id string) bool { return c.reg.heartbeat(id) }
+
+// Workers snapshots the registry for telemetry.
+func (c *Coordinator) Workers() []WorkerView { return c.reg.snapshot() }
+
+// Counts tallies alive and total registered workers.
+func (c *Coordinator) Counts() (alive, total int) { return c.reg.counts() }
+
+// HasWorkers reports whether at least one alive worker serves target.
+func (c *Coordinator) HasWorkers(target string) bool {
+	n, _ := c.reg.aliveSlots(target)
+	return n > 0
+}
+
+// WatchPeers keeps static peers (mpserved -peers) registered: each
+// address is probed immediately and then on a ticker at a third of the
+// heartbeat TTL, standing in for the register/heartbeat loop a dynamic
+// worker runs itself. Unreachable peers simply age out of liveness
+// until a probe succeeds again.
+func (c *Coordinator) WatchPeers(addrs []string) {
+	probe := func(addr string) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if info, err := c.client.Probe(ctx, addr); err == nil {
+			c.reg.upsert(info)
+		}
+	}
+	for _, addr := range addrs {
+		probe(addr)
+		c.wg.Add(1)
+		go func(addr string) {
+			defer c.wg.Done()
+			tick := time.NewTicker(c.opts.HeartbeatTTL / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tick.C:
+					probe(addr)
+				}
+			}
+		}(addr)
+	}
+}
+
+// FleetHooks surfaces a fleet job's in-flight telemetry: forwarded
+// worker point events and shard scheduling updates. Both callbacks are
+// invoked concurrently from shard goroutines and must be safe for
+// that. Either may be nil.
+type FleetHooks struct {
+	OnPoint func(PointEvent)
+	OnShard func(ShardUpdate)
+}
+
+func (h FleetHooks) point(p PointEvent) {
+	if h.OnPoint != nil {
+		h.OnPoint(p)
+	}
+}
+
+func (h FleetHooks) shard(u ShardUpdate) {
+	if h.OnShard != nil {
+		h.OnShard(u)
+	}
+}
+
+// shardCount sizes a fleet job's partition: enough shards to spread
+// over the alive workers with headroom for rebalancing, bounded by the
+// configured ceiling and by the amount of work itself.
+func (c *Coordinator) shardCount(target string, units int) int {
+	workers, _ := c.reg.aliveSlots(target)
+	n := workers * c.opts.ShardsPerWorker
+	if n > c.opts.MaxShards {
+		n = c.opts.MaxShards
+	}
+	if n > units {
+		n = units
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardOutcome is one shard's final state inside a fleet job.
+type shardOutcome struct {
+	view    JobView
+	got     bool   // a usable (possibly partial) view landed
+	stopped string // the shard observed the fleet context ending
+	err     error  // attempts exhausted
+}
+
+// runShards executes n shards concurrently: each shard is assigned to
+// the best available worker, awaited over its event stream, and
+// retried on other workers (capped exponential backoff, the failing
+// worker marked down and excluded) until it completes or attempts run
+// out. A canceled fleet context fans the cancellation out: every
+// in-flight worker job gets a DELETE and its terminal partial view is
+// collected. submit dispatches shard i to one worker and returns the
+// queued job's view.
+func (c *Coordinator) runShards(ctx context.Context, n int, target string, hooks FleetHooks,
+	submit func(ctx context.Context, workerAddr string, shard int) (JobView, error)) []shardOutcome {
+	outcomes := make([]shardOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = c.runShard(ctx, i, target, hooks, submit)
+		}(i)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// runShard drives one shard to an outcome. See runShards.
+func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks FleetHooks,
+	submit func(ctx context.Context, workerAddr string, shard int) (JobView, error)) shardOutcome {
+	excluded := make(map[string]bool)
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if st := runstate.FromContext(ctx); st != "" {
+			return shardOutcome{stopped: st}
+		}
+		w, ok := c.reg.acquire(target, excluded)
+		if !ok {
+			if len(excluded) > 0 {
+				// Every candidate failed this shard already; clear the
+				// exclusions so a recovered worker can be retried after the
+				// backoff instead of failing the job with idle capacity.
+				excluded = make(map[string]bool)
+			}
+			lastErr = ErrNoWorkers
+			hooks.shard(ShardUpdate{Shard: i, Attempt: attempt, State: "failed", Error: ErrNoWorkers.Error()})
+			if !c.backoff(ctx, attempt) {
+				return shardOutcome{stopped: runstate.FromContext(ctx)}
+			}
+			continue
+		}
+		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "assigned"})
+
+		// Points streamed by this attempt; a retry re-runs them, so they
+		// are reported back for the aggregate progress rewind.
+		points := 0
+		onPoint := func(p PointEvent) {
+			points++
+			hooks.point(p)
+		}
+		var view JobView
+		queued, err := submit(ctx, w.Addr, i)
+		if err == nil {
+			view, err = c.awaitWithWatchdog(ctx, w, queued.ID, onPoint)
+		}
+
+		if st := runstate.FromContext(ctx); st != "" {
+			// Fleet job canceled (or deadline-expired): fan the cancel out
+			// to the worker and collect its terminal partial view.
+			if queued.ID != "" {
+				view, err = c.client.CancelAndFetch(w.Addr, queued.ID)
+			}
+			c.reg.release(w.ID, err == nil)
+			return shardOutcome{view: view, got: err == nil, stopped: st}
+		}
+
+		var se *StatusError
+		switch {
+		case err == nil && view.Status == "done":
+			c.reg.release(w.ID, true)
+			hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "done"})
+			return shardOutcome{view: view, got: true}
+		case err == nil:
+			// failed or canceled on the worker side while the fleet is
+			// alive (bad factory, worker-local timeout): retry elsewhere.
+			lastErr = fmt.Errorf("worker %s: shard job %s: %s", w.ID, view.Status, view.Error)
+		case errors.As(err, &se):
+			// A well-formed refusal (queue full, validation) from a live
+			// worker: retry elsewhere, but the worker stays alive — marking
+			// it down would let the liveness watchdog reap its other,
+			// perfectly healthy in-flight shards.
+			lastErr = err
+		default:
+			// Transport-level failure: the worker is likely gone. Mark it
+			// down so other shards stop picking it before its TTL expires,
+			// and best-effort cancel the orphaned job in case the worker is
+			// actually alive behind a broken stream.
+			lastErr = err
+			c.reg.markDown(w.ID)
+			if queued.ID != "" {
+				_ = c.client.Cancel(w.Addr, queued.ID)
+			}
+		}
+		c.reg.release(w.ID, false)
+		excluded[w.ID] = true
+		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "failed",
+			Error: lastErr.Error(), RewindPoints: points})
+		if attempt < c.opts.MaxAttempts && !c.backoff(ctx, attempt) {
+			return shardOutcome{stopped: runstate.FromContext(ctx)}
+		}
+	}
+	hooks.shard(ShardUpdate{Shard: i, Attempt: c.opts.MaxAttempts, State: "lost", Error: lastErr.Error()})
+	return shardOutcome{err: fmt.Errorf("shard %d lost after %d attempts: %w", i, c.opts.MaxAttempts, lastErr)}
+}
+
+// awaitWithWatchdog follows a shard job's event stream, abandoning the
+// wait as soon as the worker stops being alive in the registry — a
+// worker that died silently (no RST on its open connections, e.g. a
+// network partition or a machine that lost power) would otherwise pin
+// the shard until TCP gives up. Liveness decays via the heartbeat TTL
+// and via other shards' transport failures marking the worker down, so
+// every shard on a dead worker is reaped within one watchdog period.
+func (c *Coordinator) awaitWithWatchdog(ctx context.Context, w WorkerInfo, id string, onPoint func(PointEvent)) (JobView, error) {
+	awaitCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	period := c.opts.HeartbeatTTL / 4
+	if period > time.Second {
+		period = time.Second
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-awaitCtx.Done():
+				return
+			case <-tick.C:
+				if !c.reg.isAlive(w.ID) {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	view, err := c.client.AwaitJob(awaitCtx, w.Addr, id, onPoint)
+	if err != nil && ctx.Err() == nil && awaitCtx.Err() != nil {
+		err = fmt.Errorf("cluster: worker %s no longer alive while awaiting job %s", w.ID, id)
+	}
+	return view, err
+}
+
+// backoff sleeps the capped exponential delay for attempt; false means
+// ctx ended first.
+func (c *Coordinator) backoff(ctx context.Context, attempt int) bool {
+	d := c.opts.RetryBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// SweepSpec describes one fleet sweep: the same parameters a local
+// sweep job carries. Base must already be canonical and validated (the
+// service submit path does both).
+type SweepSpec struct {
+	Target    string
+	Base      core.Config
+	Space     dse.Space
+	Op        kernel.Op
+	TimeoutMS int64
+}
+
+// Sweep partitions the grid, schedules the shards over the fleet, and
+// merges the shard rankings back into the canonical exploration.
+//
+// The merge is byte-identical to a single-node sweep: shards are
+// contiguous flat ranges in grid order, each worker ranks its shard
+// with the same stable sort a local sweep uses, and re-ranking the
+// concatenated shard rankings preserves the relative order of
+// equal-bandwidth points — exactly the global stable sort over the
+// flat enumeration. Returned alongside are the summed worker cache
+// hits and the stop tag ("" unless the fleet context ended first).
+func (c *Coordinator) Sweep(ctx context.Context, spec SweepSpec, hooks FleetHooks) (*dse.Exploration, int, string, error) {
+	if !c.HasWorkers(spec.Target) {
+		return nil, 0, "", fmt.Errorf("%w for target %q", ErrUnavailable, spec.Target)
+	}
+	ranges := spec.Space.Partition(c.shardCount(spec.Target, spec.Space.Size()))
+	submit := func(ctx context.Context, workerAddr string, shard int) (JobView, error) {
+		r := ranges[shard]
+		base := spec.Base
+		op := spec.Op
+		return c.client.SweepShard(ctx, workerAddr, SweepShardRequest{
+			Target:    spec.Target,
+			Base:      &base,
+			Space:     spec.Space,
+			Op:        &op,
+			Lo:        r.Lo,
+			Hi:        r.Hi,
+			TimeoutMS: spec.TimeoutMS,
+		})
+	}
+	outcomes := c.runShards(ctx, len(ranges), spec.Target, hooks, submit)
+
+	stopped := ""
+	var pts []dse.Point
+	infeasible, cached := 0, 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, 0, "", o.err
+		}
+		if o.stopped != "" && stopped == "" {
+			stopped = o.stopped
+		}
+		if !o.got || o.view.Sweep == nil {
+			continue
+		}
+		pts = append(pts, o.view.Sweep.Ranked...)
+		infeasible += o.view.Sweep.Infeasible
+		cached += o.view.CachedPoints
+	}
+	ex := dse.Rank(pts, spec.Op)
+	ex.Infeasible = infeasible
+	return &ex, cached, stopped, nil
+}
+
+// SurfaceSpec describes one fleet surface measurement. Config must
+// already be canonical (WithDefaults) and validated.
+type SurfaceSpec struct {
+	Target    string
+	Config    surface.Config
+	TimeoutMS int64
+}
+
+// Surface partitions the ladder's curves, schedules the shards over
+// the fleet, and reassembles the canonical surface. Identical to a
+// single-node generation for the same reason sweeps are: curve shards
+// are contiguous in pattern-major order and the simulator is
+// deterministic.
+func (c *Coordinator) Surface(ctx context.Context, spec SurfaceSpec, hooks FleetHooks) (*surface.Surface, string, error) {
+	if !c.HasWorkers(spec.Target) {
+		return nil, "", fmt.Errorf("%w for target %q", ErrUnavailable, spec.Target)
+	}
+	shards := spec.Config.PartitionCurves(c.shardCount(spec.Target, spec.Config.CurveCount()))
+	submit := func(ctx context.Context, workerAddr string, shard int) (JobView, error) {
+		sh := shards[shard]
+		cfg := spec.Config
+		return c.client.SurfaceShard(ctx, workerAddr, SurfaceShardRequest{
+			Target:    spec.Target,
+			Config:    &cfg,
+			Lo:        sh.Lo,
+			Hi:        sh.Hi,
+			TimeoutMS: spec.TimeoutMS,
+		})
+	}
+	outcomes := c.runShards(ctx, len(shards), spec.Target, hooks, submit)
+
+	stopped := ""
+	var parts []*surface.Surface
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, "", o.err
+		}
+		if o.stopped != "" && stopped == "" {
+			stopped = o.stopped
+		}
+		if !o.got || o.view.Surface == nil {
+			continue
+		}
+		parts = append(parts, o.view.Surface)
+	}
+	if len(parts) == 0 {
+		return nil, stopped, fmt.Errorf("%w: no surface shards returned", ErrUnavailable)
+	}
+	merged, err := surface.MergeShards(parts)
+	if err != nil {
+		return nil, stopped, err
+	}
+	if stopped != "" && merged.Stopped == "" {
+		merged.Stopped = stopped
+	}
+	return merged, stopped, nil
+}
+
+// Eval runs one configuration on the fleet — the remote-eval client
+// pool behind a coordinator-local optimizer search. The worker is
+// picked per call (locality, then load), so concurrent searches
+// balance across the fleet. A failed worker job whose fleet-side
+// transport succeeded is a real evaluation outcome (an infeasible
+// design) and is returned as a plain error; transport-level failures
+// are retried on other workers and, when exhausted, reported wrapped
+// in ErrUnavailable so the caller falls back to evaluating locally.
+func (c *Coordinator) Eval(ctx context.Context, target string, cfg core.Config, timeoutMS int64) (*core.Result, error) {
+	excluded := make(map[string]bool)
+	var lastErr error = ErrNoWorkers
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w, ok := c.reg.acquire(target, excluded)
+		if !ok {
+			break
+		}
+		cc := cfg
+		view, err := c.client.Run(ctx, w.Addr, RunRequest{Target: target, Config: &cc, TimeoutMS: timeoutMS})
+		switch {
+		case err == nil && view.Status == "done" && view.Result != nil:
+			c.reg.release(w.ID, true)
+			return view.Result, nil
+		case err == nil && view.Status == "failed":
+			// The worker evaluated the point and the simulator rejected it:
+			// an infeasible design, not a fleet problem.
+			c.reg.release(w.ID, true)
+			return nil, errors.New(view.Error)
+		case err == nil:
+			c.reg.release(w.ID, false)
+			lastErr = fmt.Errorf("worker %s: run job %s", w.ID, view.Status)
+			excluded[w.ID] = true
+		default:
+			if ctx.Err() != nil {
+				c.reg.release(w.ID, false)
+				return nil, ctx.Err()
+			}
+			c.reg.release(w.ID, false)
+			// Only transport-level failures suggest a dead worker; a live
+			// worker's well-formed refusal (queue full) must not mark it
+			// down and trip the watchdog on its other work.
+			var se *StatusError
+			if !errors.As(err, &se) {
+				c.reg.markDown(w.ID)
+			}
+			lastErr = err
+			excluded[w.ID] = true
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// JoinOptions configures a worker's join loop.
+type JoinOptions struct {
+	// Client performs the coordinator HTTP calls; nil means NewClient().
+	Client *Client
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Self is the registration the worker advertises.
+	Self WorkerInfo
+	// RetryEvery paces registration retries while the coordinator is
+	// unreachable; <= 0 means 2s.
+	RetryEvery time.Duration
+	// Logf — when non-nil — receives join-loop state transitions.
+	Logf func(format string, args ...any)
+}
+
+// Join runs a worker's membership loop until ctx ends: register with
+// the coordinator (retrying while it is unreachable), then heartbeat
+// at the coordinator-assigned interval, re-registering whenever the
+// coordinator stops recognizing the worker (a coordinator restart
+// loses its in-memory registry; workers heal it automatically).
+func Join(ctx context.Context, opts JoinOptions) {
+	client := opts.Client
+	if client == nil {
+		client = NewClient()
+	}
+	retry := opts.RetryEvery
+	if retry <= 0 {
+		retry = 2 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	for ctx.Err() == nil {
+		resp, err := register(ctx, client, opts.Coordinator, opts.Self)
+		if err != nil {
+			logf("cluster: register with %s failed (%v), retrying in %v", opts.Coordinator, err, retry)
+			if !sleep(ctx, retry) {
+				return
+			}
+			continue
+		}
+		interval := time.Duration(resp.HeartbeatMS) * time.Millisecond
+		if interval <= 0 {
+			interval = DefaultHeartbeatTTL / 3
+		}
+		logf("cluster: registered with %s as %s (heartbeat every %v)", opts.Coordinator, opts.Self.ID, interval)
+		for ctx.Err() == nil {
+			if !sleep(ctx, interval) {
+				return
+			}
+			hbCtx, cancel := context.WithTimeout(ctx, interval)
+			known, err := client.Heartbeat(hbCtx, opts.Coordinator, opts.Self.ID)
+			cancel()
+			if err != nil || !known {
+				logf("cluster: heartbeat lost (known=%v err=%v), re-registering", known, err)
+				break
+			}
+		}
+	}
+}
+
+// register performs one registration attempt under a bounded deadline.
+func register(ctx context.Context, client *Client, coord string, self WorkerInfo) (RegisterResponse, error) {
+	regCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	return client.Register(regCtx, coord, self)
+}
+
+// sleep waits d or until ctx ends; false means ctx ended.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCoordinator records registrations and heartbeats, and can start
+// answering "unknown" to force a re-registration.
+type fakeCoordinator struct {
+	mu         sync.Mutex
+	registered []WorkerInfo
+	heartbeats int
+	forget     bool
+}
+
+func (f *fakeCoordinator) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		var info WorkerInfo
+		_ = json.NewDecoder(r.Body).Decode(&info)
+		f.mu.Lock()
+		f.registered = append(f.registered, info)
+		f.forget = false
+		f.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(RegisterResponse{TTLMS: 300, HeartbeatMS: 10})
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.heartbeats++
+		known := !f.forget
+		f.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(HeartbeatResponse{Known: known})
+	})
+	return mux
+}
+
+func (f *fakeCoordinator) stats() (regs, beats int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.registered), f.heartbeats
+}
+
+// TestJoinRegistersHeartbeatsAndReregisters drives the whole worker
+// membership loop: initial registration, heartbeats at the assigned
+// interval, and automatic re-registration once the coordinator stops
+// recognizing the worker.
+func TestJoinRegistersHeartbeatsAndReregisters(t *testing.T) {
+	fc := &fakeCoordinator{}
+	ts := httptest.NewServer(fc.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Join(ctx, JoinOptions{
+			Coordinator: ts.URL,
+			Self:        WorkerInfo{ID: "w0", Addr: "http://127.0.0.1:1", Targets: []string{"cpu"}, Capacity: 2},
+		})
+	}()
+
+	waitFor := func(cond func(regs, beats int) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if cond(fc.stats()) {
+				return
+			}
+			if time.Now().After(deadline) {
+				regs, beats := fc.stats()
+				t.Fatalf("%s never happened (regs=%d beats=%d)", what, regs, beats)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitFor(func(regs, _ int) bool { return regs >= 1 }, "registration")
+	waitFor(func(_, beats int) bool { return beats >= 2 }, "heartbeats")
+
+	// Simulate a coordinator restart: heartbeats answer unknown until
+	// the worker re-registers.
+	fc.mu.Lock()
+	fc.forget = true
+	fc.mu.Unlock()
+	waitFor(func(regs, _ int) bool { return regs >= 2 }, "re-registration")
+
+	fc.mu.Lock()
+	if got := fc.registered[0]; got.ID != "w0" || len(got.Targets) != 1 {
+		t.Errorf("registered info = %+v", got)
+	}
+	fc.mu.Unlock()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("join loop did not stop on context cancellation")
+	}
+}
+
+// TestJoinRetriesUnreachableCoordinator: while the coordinator is
+// down, the loop keeps retrying instead of exiting; it registers as
+// soon as the coordinator appears.
+func TestJoinRetriesUnreachableCoordinator(t *testing.T) {
+	fc := &fakeCoordinator{}
+	ts := httptest.NewUnstartedServer(fc.handler())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Join(ctx, JoinOptions{
+			// Nothing listens yet on the unstarted server's address.
+			Coordinator: "http://" + ts.Listener.Addr().String(),
+			Self:        WorkerInfo{ID: "w0", Addr: "http://127.0.0.1:1"},
+			RetryEvery:  5 * time.Millisecond,
+		})
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	if regs, _ := fc.stats(); regs != 0 {
+		t.Fatalf("registered against a dead coordinator: %d", regs)
+	}
+	ts.Start()
+	defer ts.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if regs, _ := fc.stats(); regs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never registered after the coordinator came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+}

@@ -318,12 +318,19 @@ func RunSurfaceContext(ctx context.Context, dev device.Device, cfg surface.Confi
 // RunSurfaceWith is RunSurfaceContext with a per-rung observer — the
 // hook the service layer uses to stream surface job events.
 func RunSurfaceWith(ctx context.Context, dev device.Device, cfg surface.Config, observe surface.Observer) (*surface.Surface, error) {
+	return RunSurfaceShard(ctx, dev, cfg, 0, cfg.CurveCount(), observe)
+}
+
+// RunSurfaceShard is RunSurfaceWith restricted to the curves at
+// pattern-major indices [lo, hi) — one worker's share of a distributed
+// surface measurement (see surface.GenerateShardWith).
+func RunSurfaceShard(ctx context.Context, dev device.Device, cfg surface.Config, lo, hi int, observe surface.Observer) (*surface.Surface, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	dev.Reset()
-	return surface.GenerateWith(ctx, dev, cfg, observe)
+	return surface.GenerateShardWith(ctx, dev, cfg, lo, hi, observe)
 }
 
 // SurfaceProbe derives the small single-curve surface configuration the

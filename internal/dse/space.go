@@ -5,6 +5,7 @@ import (
 
 	"mpstream/internal/core"
 	"mpstream/internal/kernel"
+	"mpstream/internal/shard"
 )
 
 // Space is a parameter grid for exploration. Nil axes keep the base
@@ -143,6 +144,38 @@ func (s Space) Neighbors(idx []int) [][]int {
 		}
 	}
 	return nbs
+}
+
+// Range is a contiguous run [Lo, Hi) of a Space's flat enumeration
+// order — the unit a distributed sweep shards the grid into. An empty
+// range (Lo == Hi) holds no points.
+type Range = shard.Range
+
+// Partition splits the grid's flat order into at most parts contiguous
+// ranges of near-equal size (sizes differ by at most one point, larger
+// shards first). Concatenating the ranges in order covers [0, Size())
+// exactly once, so shard evaluation followed by in-order concatenation
+// reproduces the flat enumeration — the property the cluster layer's
+// shard merge relies on. parts <= 1, or a grid smaller than parts,
+// yields fewer (possibly one) ranges; an empty grid yields one
+// single-point range (the base configuration).
+func (s Space) Partition(parts int) []Range {
+	return shard.Split(s.Size(), parts)
+}
+
+// ConfigsRange enumerates the grid points at flat positions [lo, hi)
+// over a base configuration, in flat order — exactly
+// Configs(base)[lo:hi] without materializing the whole grid. Ranges
+// outside [0, Size()] panic like an out-of-range slice index.
+func (s Space) ConfigsRange(base core.Config, lo, hi int) []core.Config {
+	if lo < 0 || hi < lo || hi > s.Size() {
+		panic("dse: configuration range out of bounds")
+	}
+	out := make([]core.Config, 0, hi-lo)
+	for flat := lo; flat < hi; flat++ {
+		out = append(out, s.At(base, s.Unflatten(flat)))
+	}
+	return out
 }
 
 // Configs enumerates the grid over a base configuration in flat order:

@@ -99,6 +99,77 @@ func TestSpaceNeighbors(t *testing.T) {
 	}
 }
 
+// TestSpacePartition pins the shard contract: ranges are contiguous,
+// cover the flat order exactly once, balance within one point, and
+// ConfigsRange over each range reproduces the matching Configs slice.
+func TestSpacePartition(t *testing.T) {
+	s := testSpace() // 12 points
+	base := core.DefaultConfig()
+	all := s.Configs(base)
+	for _, parts := range []int{1, 2, 3, 5, 12, 40} {
+		rs := s.Partition(parts)
+		wantShards := parts
+		if wantShards > s.Size() {
+			wantShards = s.Size()
+		}
+		if len(rs) != wantShards {
+			t.Fatalf("Partition(%d) made %d shards, want %d", parts, len(rs), wantShards)
+		}
+		lo := 0
+		for i, r := range rs {
+			if r.Lo != lo {
+				t.Fatalf("Partition(%d) shard %d starts at %d, want %d", parts, i, r.Lo, lo)
+			}
+			if d := r.Size() - rs[len(rs)-1].Size(); d < 0 || d > 1 {
+				t.Fatalf("Partition(%d) shard sizes unbalanced: %v", parts, rs)
+			}
+			if got := s.ConfigsRange(base, r.Lo, r.Hi); !reflect.DeepEqual(got, all[r.Lo:r.Hi]) {
+				t.Fatalf("ConfigsRange(%d,%d) diverges from Configs slice", r.Lo, r.Hi)
+			}
+			lo = r.Hi
+		}
+		if lo != s.Size() {
+			t.Fatalf("Partition(%d) covers %d of %d points", parts, lo, s.Size())
+		}
+	}
+}
+
+// TestSpacePartitionEmpty: an empty space still yields one range with
+// its single base point, and degenerate part counts clamp to one shard.
+func TestSpacePartitionEmpty(t *testing.T) {
+	var s Space
+	for _, parts := range []int{-1, 0, 1, 4} {
+		rs := s.Partition(parts)
+		if len(rs) != 1 || rs[0] != (Range{Lo: 0, Hi: 1}) {
+			t.Fatalf("empty space Partition(%d) = %v", parts, rs)
+		}
+	}
+	base := core.DefaultConfig()
+	if got := s.ConfigsRange(base, 0, 1); len(got) != 1 || !reflect.DeepEqual(got[0], base) {
+		t.Fatalf("empty space ConfigsRange = %+v", got)
+	}
+}
+
+// TestConfigsRangePanics: out-of-bounds ranges are programmer errors.
+func TestConfigsRangePanics(t *testing.T) {
+	s := testSpace()
+	base := core.DefaultConfig()
+	for name, f := range map[string]func(){
+		"negative": func() { s.ConfigsRange(base, -1, 2) },
+		"inverted": func() { s.ConfigsRange(base, 3, 2) },
+		"past-end": func() { s.ConfigsRange(base, 0, s.Size()+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ConfigsRange %s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 // TestSpaceIndexPanics: malformed index vectors are programmer errors.
 func TestSpaceIndexPanics(t *testing.T) {
 	s := testSpace()

@@ -26,7 +26,7 @@ type lruCache[V any] struct {
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type cacheEntry[V any] struct {
@@ -100,15 +100,17 @@ func (c *lruCache[V]) put(key string, val V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry[V]).key)
+		c.evictions++
 	}
 }
 
 // CacheStats is the cache telemetry /v1/healthz reports.
 type CacheStats struct {
-	Entries  int    `json:"entries"`
-	Capacity int    `json:"capacity"`
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // stats snapshots the counters.
@@ -116,9 +118,10 @@ func (c *lruCache[V]) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:  c.order.Len(),
-		Capacity: c.max,
-		Hits:     c.hits,
-		Misses:   c.misses,
+		Entries:   c.order.Len(),
+		Capacity:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
 	}
 }

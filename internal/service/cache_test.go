@@ -1,0 +1,133 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpstream/internal/core"
+)
+
+// res builds a distinguishable cache value.
+func res(tag int) *core.Result {
+	return &core.Result{FmaxMHz: float64(tag)}
+}
+
+// TestCacheEvictionOrder pins LRU semantics under interleaved get/put:
+// a get promotes its entry, so the least *recently used* — not the
+// least recently inserted — is the one evicted.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(3)
+	c.put("a", res(1))
+	c.put("b", res(2))
+	c.put("c", res(3))
+
+	// Touch "a": recency order (most to least) becomes a, c, b.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// Inserting "d" must evict "b", the least recently used.
+	c.put("d", res(4))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted out of order", k)
+		}
+	}
+
+	// Refreshing an existing key is an update, not an insert: no
+	// eviction, and the value is replaced and promoted.
+	c.put("c", res(33))
+	c.put("e", res(5)) // evicts "a": recency is c, d, a after the gets above... a was read first
+	st := c.stats()
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if v, ok := c.get("c"); !ok || v.FmaxMHz != 33 {
+		t.Errorf("refreshed value = %+v, %v", v, ok)
+	}
+}
+
+// TestCacheStatsCounters: hits, misses and evictions are counted
+// exactly, and stats snapshots do not disturb them.
+func TestCacheStatsCounters(t *testing.T) {
+	c := newResultCache(2)
+	if _, ok := c.get("x"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("x", res(1))
+	c.put("y", res(2))
+	if _, ok := c.get("x"); !ok {
+		t.Fatal("x missing")
+	}
+	if _, ok := c.get("x"); !ok {
+		t.Fatal("x missing on second read")
+	}
+	c.put("z", res(3)) // evicts y (x was promoted)
+	if _, ok := c.get("y"); ok {
+		t.Fatal("y survived")
+	}
+
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want hits 2 misses 2 evictions 1", st)
+	}
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats shape = %+v", st)
+	}
+	if again := c.stats(); again != st {
+		t.Errorf("stats snapshot mutated counters: %+v vs %+v", again, st)
+	}
+}
+
+// TestCacheDisabled: max <= 0 disables the cache entirely — every get
+// misses, puts are dropped, and enabled() reports it so callers skip
+// fingerprinting and single-flight.
+func TestCacheDisabled(t *testing.T) {
+	for _, max := range []int{0, -1, -512} {
+		c := newResultCache(max)
+		if c.enabled() {
+			t.Errorf("cache with max %d reports enabled", max)
+		}
+		c.put("k", res(1))
+		if _, ok := c.get("k"); ok {
+			t.Errorf("disabled cache (max %d) stored a value", max)
+		}
+		st := c.stats()
+		if st.Entries != 0 || st.Hits != 0 || st.Misses != 1 || st.Evictions != 0 {
+			t.Errorf("disabled cache stats = %+v", st)
+		}
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache from many goroutines —
+// meaningful under -race, and the counters must still reconcile:
+// every operation is either a hit or a miss, and entries never exceed
+// capacity.
+func TestCacheConcurrentAccess(t *testing.T) {
+	const workers, ops, capacity = 8, 200, 16
+	c := newResultCache(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("k%d", (w*7+i)%32)
+				if _, ok := c.get(k); !ok {
+					c.put(k, res(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Entries > capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, capacity)
+	}
+	if st.Hits+st.Misses != workers*ops {
+		t.Errorf("hits %d + misses %d != %d operations", st.Hits, st.Misses, workers*ops)
+	}
+}

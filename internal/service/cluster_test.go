@@ -1,0 +1,696 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpstream/internal/cluster"
+	"mpstream/internal/device"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/dse"
+	"mpstream/internal/kernel"
+	"mpstream/internal/runstate"
+	"mpstream/internal/service"
+	"mpstream/internal/sim/mem"
+	"mpstream/internal/surface"
+)
+
+// fleetEnv is a coordinator server plus worker servers registered on
+// its in-memory fleet — the whole cluster in one process, over real
+// HTTP.
+type fleetEnv struct {
+	*testEnv // the coordinator
+	coord    *cluster.Coordinator
+	workers  []*testEnv
+}
+
+// newFleetEnv builds a coordinator with n workers. workerOpts — when
+// non-nil — customizes worker i's service options (e.g. a blocking
+// device factory); coordinator and workers otherwise count compiles
+// independently, so tests can prove where simulations ran.
+func newFleetEnv(t *testing.T, n int, workerOpts func(i int) service.Options) *fleetEnv {
+	t.Helper()
+	coord := cluster.New(cluster.Options{
+		// Tests register workers once and never heartbeat; a generous TTL
+		// keeps them alive for the whole test even under -race. Liveness
+		// transitions are driven explicitly (connection kills mark
+		// workers down).
+		HeartbeatTTL: 5 * time.Minute,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+	})
+	t.Cleanup(coord.Close)
+	fe := &fleetEnv{coord: coord}
+	for i := 0; i < n; i++ {
+		var opts service.Options
+		if workerOpts != nil {
+			opts = workerOpts(i)
+		}
+		we := newEnv(t, opts)
+		fe.workers = append(fe.workers, we)
+		coord.Register(cluster.WorkerInfo{
+			ID:       fmt.Sprintf("w%d", i),
+			Addr:     we.ts.URL,
+			Targets:  targets.IDs(),
+			Capacity: 2,
+		})
+	}
+	fe.testEnv = newEnv(t, service.Options{Cluster: coord})
+	return fe
+}
+
+// workerCompiles sums kernel compilations across the fleet's workers.
+func (fe *fleetEnv) workerCompiles() int64 {
+	var n int64
+	for _, w := range fe.workers {
+		n += w.compiles.Load()
+	}
+	return n
+}
+
+// workerJobs fetches one worker's job list.
+func workerJobs(t *testing.T, w *testEnv) []service.View {
+	t.Helper()
+	_, data := w.get(t, "/v1/jobs")
+	var jr service.JobsResponse
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatalf("decode jobs: %v\n%s", err, data)
+	}
+	return jr.Jobs
+}
+
+// sweepReq is the canonical test sweep: 16 points on cpu.
+func sweepReq() service.SweepRequest {
+	base := smallConfig()
+	op := kernel.Copy
+	return service.SweepRequest{
+		Target: "cpu",
+		Base:   &base,
+		Op:     &op,
+		Space: dse.Space{
+			VecWidths: []int{1, 2, 4, 8},
+			Unrolls:   []int{1, 2},
+			Types:     []kernel.DataType{kernel.Int32, kernel.Float64},
+		},
+	}
+}
+
+// singleNodeSweep runs the reference sweep on a standalone server and
+// returns the canonical JSON of its exploration.
+func singleNodeSweep(t *testing.T, req service.SweepRequest) []byte {
+	t.Helper()
+	e := newEnv(t, service.Options{})
+	resp, data := e.post(t, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("single-node sweep job = %+v", job)
+	}
+	b, err := json.Marshal(job.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetSweepByteIdentical: a sweep sharded across two in-process
+// workers returns a ranking byte-identical (order and content) to a
+// single-node sweep of the same request, with every simulation running
+// on the workers and none on the coordinator. Run with -race.
+func TestFleetSweepByteIdentical(t *testing.T) {
+	req := sweepReq()
+	want := singleNodeSweep(t, req)
+
+	fe := newFleetEnv(t, 2, nil)
+	resp, data := fe.post(t, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("fleet sweep job = %+v", job)
+	}
+	got, err := json.Marshal(job.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet sweep diverges from single node:\n got %s\nwant %s", got, want)
+	}
+	if n := fe.compiles.Load(); n != 0 {
+		t.Errorf("coordinator compiled %d kernels, want 0 (work belongs on the fleet)", n)
+	}
+	if n := fe.workerCompiles(); n == 0 {
+		t.Error("workers compiled nothing — the sweep did not distribute")
+	}
+	// Both workers took shards (locality + load balance over equal-
+	// capacity workers, 4 shards).
+	for i, w := range fe.workers {
+		if len(workerJobs(t, w)) == 0 {
+			t.Errorf("worker %d executed no shard jobs", i)
+		}
+	}
+	// A done fleet job reads complete progress.
+	if job.Progress == nil || job.Progress.Done != job.Progress.Total || job.Progress.Total != req.Space.Size() {
+		t.Errorf("fleet progress = %+v, want done == total == %d", job.Progress, req.Space.Size())
+	}
+}
+
+// signalGateDevice signals on every compilation, then blocks until the
+// gate closes — it pins a worker's shard mid-point so the test can
+// kill the worker at a deterministic moment.
+type signalGateDevice struct {
+	device.Device
+	signal func()
+	gate   <-chan struct{}
+}
+
+func (d signalGateDevice) Compile(k kernel.Kernel) (device.Compiled, error) {
+	d.signal()
+	<-d.gate
+	return d.Device.Compile(k)
+}
+
+// TestFleetSweepWorkerKilledMidJob: killing a worker mid-shard loses
+// its connections; the coordinator marks it down, retries the shards
+// on the surviving worker, and the merged result is still
+// byte-identical to a single node's. Run with -race.
+func TestFleetSweepWorkerKilledMidJob(t *testing.T) {
+	req := sweepReq()
+	want := singleNodeSweep(t, req)
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+	started := make(chan struct{})
+	var startOnce sync.Once
+
+	fe := newFleetEnv(t, 2, func(i int) service.Options {
+		if i != 1 {
+			return service.Options{}
+		}
+		// Worker 1 blocks inside its first grid point.
+		return service.Options{NewDevice: func(id string) (device.Device, error) {
+			d, err := targets.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			return signalGateDevice{
+				Device: d,
+				signal: func() { startOnce.Do(func() { close(started) }) },
+				gate:   gate,
+			}, nil
+		}}
+	})
+
+	resp, data := fe.post(t, "/v1/sweep", service.SweepRequest{
+		Target: req.Target, Base: req.Base, Op: req.Op, Space: req.Space, Async: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker 1 never started a shard")
+	}
+	// Kill worker 1 the way a crashed machine looks from outside:
+	// listener first (no new connections), then every established
+	// connection (in-flight submissions and event streams break). The
+	// service behind it stays up — its blocked job finishes once the
+	// gate opens — but the coordinator must not need it anymore.
+	fe.workers[1].ts.Listener.Close()
+	fe.workers[1].ts.CloseClientConnections()
+
+	final := fe.pollJob(t, job.ID)
+	openGate()
+	if final.Status != service.StatusDone || final.Sweep == nil {
+		t.Fatalf("fleet sweep after worker kill = %s (error %q)", final.Status, final.Error)
+	}
+	got, err := json.Marshal(final.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-retry fleet sweep diverges from single node:\n got %s\nwant %s", got, want)
+	}
+
+	// The merged event stream must show the failover: at least one
+	// failed shard attempt followed by a done shard on the survivor.
+	resp2, events := fe.get(t, "/v1/jobs/"+job.ID+"/events")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp2.StatusCode)
+	}
+	failed, done := 0, 0
+	for _, line := range bytes.Split(events, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad event %s: %v", line, err)
+		}
+		if ev.Type == service.EventShard && ev.Shard != nil {
+			switch ev.Shard.State {
+			case "failed":
+				failed++
+			case "done":
+				done++
+			}
+		}
+	}
+	if failed == 0 {
+		t.Error("no failed shard attempt in the merged event stream")
+	}
+	if done == 0 {
+		t.Error("no done shard in the merged event stream")
+	}
+}
+
+// TestFleetCancelPropagates: DELETE on a fleet job cancels every
+// worker-side shard job within one evaluation unit. Run with -race.
+func TestFleetCancelPropagates(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+	var startedN atomic.Int64
+
+	fe := newFleetEnv(t, 2, func(int) service.Options {
+		return service.Options{NewDevice: func(id string) (device.Device, error) {
+			d, err := targets.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			return signalGateDevice{Device: d, signal: func() { startedN.Add(1) }, gate: gate}, nil
+		}}
+	})
+
+	req := sweepReq()
+	resp, data := fe.post(t, "/v1/sweep", service.SweepRequest{
+		Target: req.Target, Base: req.Base, Op: req.Op, Space: req.Space, Async: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+
+	// Wait until work is pinned mid-point and every worker holds at
+	// least one shard job, so the later per-worker assertions are not
+	// racing the scheduler.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		allHaveJobs := true
+		for _, w := range fe.workers {
+			if len(workerJobs(t, w)) == 0 {
+				allHaveJobs = false
+			}
+		}
+		if startedN.Load() >= 2 && allHaveJobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shards never started on both workers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	canceled := fe.cancelJob(t, job.ID)
+	if canceled.Status == service.StatusDone {
+		t.Fatalf("cancel landed after completion: %+v", canceled)
+	}
+	// Open the gate: the pinned points finish, and every worker job must
+	// stop at that evaluation-unit boundary instead of running its shard
+	// to completion.
+	openGate()
+
+	final := fe.pollJob(t, job.ID)
+	if final.Status != service.StatusCanceled {
+		t.Fatalf("fleet job status %q, want canceled (error %q)", final.Status, final.Error)
+	}
+	if final.StopReason != runstate.Canceled {
+		t.Errorf("stop_reason %q, want %q", final.StopReason, runstate.Canceled)
+	}
+
+	// Every worker-side shard job reached a terminal state, and at
+	// least one was canceled mid-shard (the fan-out, not shard
+	// completion, ended it).
+	sawCanceled := false
+	for i, w := range fe.workers {
+		jobs := workerJobs(t, w)
+		if len(jobs) == 0 {
+			t.Errorf("worker %d executed no shard jobs", i)
+		}
+		wDeadline := time.Now().Add(10 * time.Second)
+		for _, wj := range jobs {
+			for {
+				_, jd := w.get(t, "/v1/jobs/"+wj.ID)
+				v := decodeJob(t, jd)
+				if v.Status == service.StatusDone || v.Status == service.StatusFailed || v.Status == service.StatusCanceled {
+					if v.Status == service.StatusCanceled {
+						sawCanceled = true
+					}
+					break
+				}
+				if time.Now().After(wDeadline) {
+					t.Fatalf("worker %d job %s stuck in %s after fleet cancel", i, wj.ID, v.Status)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	if !sawCanceled {
+		t.Error("no worker job was canceled — the fan-out never landed")
+	}
+}
+
+// TestFleetSurfaceMatchesSingleNode: a curve-sharded fleet surface is
+// byte-identical to a single-node measurement, and the shards really
+// ran on the workers.
+func TestFleetSurfaceMatchesSingleNode(t *testing.T) {
+	cfg := surface.Config{
+		Patterns:   []mem.Pattern{mem.ContiguousPattern(), mem.StridedPattern(16)},
+		RWRatios:   []float64{1, 0.5},
+		Rates:      []float64{0.25, 0.9},
+		ArrayBytes: 4 << 20,
+		WindowTxns: 1024,
+		ProbeHops:  64,
+	}
+	req := service.SurfaceRequest{Target: "gpu", Config: &cfg}
+
+	single := surfEnv(t, service.Options{})
+	resp, data := single.post(t, "/v1/surface", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node surface status %d: %s", resp.StatusCode, data)
+	}
+	sj := decodeJob(t, data)
+	if sj.Status != service.StatusDone || sj.Surface == nil {
+		t.Fatalf("single-node surface job = %+v", sj)
+	}
+	want, _ := json.Marshal(sj.Surface)
+
+	// Workers need raw devices: the counting wrapper hides the
+	// MemorySystem interface surface shards require.
+	fe := newFleetEnv(t, 2, func(int) service.Options {
+		return service.Options{NewDevice: targets.ByID}
+	})
+	resp, data = fe.post(t, "/v1/surface", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet surface status %d: %s", resp.StatusCode, data)
+	}
+	fj := decodeJob(t, data)
+	if fj.Status != service.StatusDone || fj.Surface == nil {
+		t.Fatalf("fleet surface job = %+v", fj)
+	}
+	got, _ := json.Marshal(fj.Surface)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet surface diverges from single node:\n got %s\nwant %s", got, want)
+	}
+	shardJobs := 0
+	for _, w := range fe.workers {
+		shardJobs += len(workerJobs(t, w))
+	}
+	if shardJobs < 2 {
+		t.Errorf("surface ran as %d shard jobs, want >= 2", shardJobs)
+	}
+}
+
+// TestFleetOptimizeSharesRunCache: an optimize on the coordinator runs
+// the search locally but farms every simulation to the fleet; the
+// result equals a single-node search and the coordinator itself never
+// compiles a kernel.
+func TestFleetOptimizeSharesRunCache(t *testing.T) {
+	base := smallConfig()
+	op := kernel.Copy
+	req := service.OptimizeRequest{
+		Target:   "cpu",
+		Base:     &base,
+		Op:       &op,
+		Space:    dse.Space{VecWidths: []int{1, 2, 4, 8}},
+		Strategy: "exhaustive",
+	}
+
+	single := newEnv(t, service.Options{})
+	resp, data := single.post(t, "/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node optimize status %d: %s", resp.StatusCode, data)
+	}
+	sj := decodeJob(t, data)
+	if sj.Status != service.StatusDone || sj.Optimize == nil {
+		t.Fatalf("single-node optimize job = %+v", sj)
+	}
+	want, _ := json.Marshal(sj.Optimize)
+
+	fe := newFleetEnv(t, 2, nil)
+	resp, data = fe.post(t, "/v1/optimize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet optimize status %d: %s", resp.StatusCode, data)
+	}
+	fj := decodeJob(t, data)
+	if fj.Status != service.StatusDone || fj.Optimize == nil {
+		t.Fatalf("fleet optimize job = %+v", fj)
+	}
+	got, _ := json.Marshal(fj.Optimize)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet optimize diverges from single node:\n got %s\nwant %s", got, want)
+	}
+	if n := fe.compiles.Load(); n != 0 {
+		t.Errorf("coordinator compiled %d kernels, want 0", n)
+	}
+	if n := fe.workerCompiles(); n == 0 {
+		t.Error("workers compiled nothing — evaluations did not distribute")
+	}
+
+	// The remote results primed the coordinator's per-point run cache: a
+	// repeat of one grid point is answered locally without any new
+	// worker compile.
+	before := fe.workerCompiles()
+	cfg := smallConfig()
+	cfg.VecWidth = 4
+	resp, data = fe.post(t, "/v1/run", service.RunRequest{Target: "cpu", Config: &cfg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, data)
+	}
+	rj := decodeJob(t, data)
+	if rj.Status != service.StatusDone || !rj.Cached {
+		t.Errorf("post-optimize run = %+v, want cached hit", rj)
+	}
+	if after := fe.workerCompiles(); after != before {
+		t.Errorf("cache-hit run still compiled on workers (%d -> %d)", before, after)
+	}
+	if fe.compiles.Load() != 0 {
+		t.Errorf("cache-hit run compiled on the coordinator")
+	}
+}
+
+// TestFleetFallsBackWithoutWorkers: a coordinator whose fleet is empty
+// executes sweeps locally instead of failing.
+func TestFleetFallsBackWithoutWorkers(t *testing.T) {
+	req := sweepReq()
+	want := singleNodeSweep(t, req)
+
+	coord := cluster.New(cluster.Options{})
+	t.Cleanup(coord.Close)
+	e := newEnv(t, service.Options{Cluster: coord})
+	resp, data := e.post(t, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("job = %+v", job)
+	}
+	got, _ := json.Marshal(job.Sweep)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("local-fallback sweep diverges:\n got %s\nwant %s", got, want)
+	}
+	if e.compiles.Load() == 0 {
+		t.Error("empty-fleet coordinator did not execute locally")
+	}
+}
+
+// TestClusterEndpoints covers the fleet control plane: registration,
+// heartbeat, the registry listing, coordinator-only gating, and the
+// healthz worker counts.
+func TestClusterEndpoints(t *testing.T) {
+	coord := cluster.New(cluster.Options{})
+	t.Cleanup(coord.Close)
+	e := newEnv(t, service.Options{Cluster: coord})
+
+	// Register over HTTP.
+	resp, data := e.post(t, "/v1/cluster/register", cluster.WorkerInfo{
+		ID: "w0", Addr: "http://127.0.0.1:1", Targets: []string{"cpu"}, Capacity: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d: %s", resp.StatusCode, data)
+	}
+	var rr cluster.RegisterResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.TTLMS <= 0 || rr.HeartbeatMS <= 0 || rr.HeartbeatMS >= rr.TTLMS {
+		t.Errorf("register response = %+v", rr)
+	}
+
+	// Heartbeats: known for w0, unknown for a stranger.
+	for _, tc := range []struct {
+		id   string
+		want bool
+	}{{"w0", true}, {"ghost", false}} {
+		resp, data = e.post(t, "/v1/cluster/heartbeat", cluster.HeartbeatRequest{ID: tc.id})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("heartbeat status %d: %s", resp.StatusCode, data)
+		}
+		var hr cluster.HeartbeatResponse
+		if err := json.Unmarshal(data, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.Known != tc.want {
+			t.Errorf("heartbeat(%s).known = %v, want %v", tc.id, hr.Known, tc.want)
+		}
+	}
+
+	// Registry listing.
+	resp, data = e.get(t, "/v1/cluster/workers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("workers status %d: %s", resp.StatusCode, data)
+	}
+	var wr service.WorkersResponse
+	if err := json.Unmarshal(data, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Workers) != 1 || wr.Workers[0].ID != "w0" || !wr.Workers[0].Alive {
+		t.Errorf("workers = %+v", wr.Workers)
+	}
+
+	// Healthz reports the fleet.
+	resp, data = e.get(t, "/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		UptimeMS *int64 `json:"uptime_ms"`
+		Cluster  *struct {
+			WorkersAlive int `json:"workers_alive"`
+			WorkersTotal int `json:"workers_total"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.UptimeMS == nil {
+		t.Error("healthz missing uptime_ms")
+	}
+	if h.Cluster == nil || h.Cluster.WorkersAlive != 1 || h.Cluster.WorkersTotal != 1 {
+		t.Errorf("healthz cluster = %+v", h.Cluster)
+	}
+
+	// A plain server is not a coordinator: control-plane endpoints 404,
+	// and healthz omits the cluster block.
+	plain := newEnv(t, service.Options{})
+	resp, _ = plain.post(t, "/v1/cluster/register", cluster.WorkerInfo{ID: "w", Addr: "http://x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("register on plain server = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = plain.get(t, "/v1/cluster/workers")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("workers on plain server = %d, want 404", resp.StatusCode)
+	}
+	_, data = plain.get(t, "/v1/healthz")
+	if strings.Contains(string(data), `"cluster"`) {
+		t.Error("plain healthz reports a cluster block")
+	}
+}
+
+// TestShardEndpoints: any server executes shard slices locally, the
+// slice points match the corresponding full-grid slice, and malformed
+// ranges are request errors.
+func TestShardEndpoints(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	req := sweepReq()
+
+	// A 5-point slice [3, 8) of the 16-point grid.
+	resp, data := e.post(t, "/v1/cluster/shard/sweep", cluster.SweepShardRequest{
+		Target: req.Target, Base: req.Base, Op: req.Op, Space: req.Space, Lo: 3, Hi: 8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep shard status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("shard job = %+v", job)
+	}
+	if n := len(job.Sweep.Ranked) + job.Sweep.Infeasible; n != 5 {
+		t.Errorf("shard evaluated %d points, want 5", n)
+	}
+	if job.Progress == nil || job.Progress.Total != 5 {
+		t.Errorf("shard progress = %+v, want total 5", job.Progress)
+	}
+
+	// Out-of-grid ranges are rejected.
+	for _, r := range [][2]int{{-1, 4}, {9, 4}, {0, 17}} {
+		resp, _ := e.post(t, "/v1/cluster/shard/sweep", cluster.SweepShardRequest{
+			Target: req.Target, Base: req.Base, Op: req.Op, Space: req.Space, Lo: r[0], Hi: r[1],
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("sweep shard [%d,%d) = %d, want 400", r[0], r[1], resp.StatusCode)
+		}
+	}
+	resp, _ = e.post(t, "/v1/cluster/shard/surface", cluster.SurfaceShardRequest{
+		Target: "gpu", Lo: 2, Hi: 99,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("surface shard out of range = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestContentTypeRejected: POST bodies declaring a non-JSON content
+// type are refused with 415 before any decoding; JSON spellings and an
+// absent header pass.
+func TestContentTypeRejected(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	body := `{"target":"cpu"}`
+
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "application/octet-stream"} {
+		resp, err := http.Post(e.ts.URL+"/v1/run", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("content type %q = %d, want 415", ct, resp.StatusCode)
+		}
+	}
+
+	for _, ct := range []string{"", "application/json", "application/json; charset=utf-8", "application/hal+json"} {
+		req, err := http.NewRequest(http.MethodPost, e.ts.URL+"/v1/run", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// The default config runs fine; anything but 415 means the
+		// content-type gate let it through.
+		if resp.StatusCode == http.StatusUnsupportedMediaType {
+			t.Errorf("content type %q rejected with 415", ct)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"mpstream/internal/cluster"
 	"mpstream/internal/progress"
 )
 
@@ -17,6 +18,10 @@ const (
 	// EventProgress carries a progress snapshot; one follows every
 	// point event.
 	EventProgress = "progress"
+	// EventShard reports a fleet job's shard scheduling: assignment to a
+	// worker, completion, a failed attempt about to retry elsewhere, or
+	// a shard lost after its attempts ran out.
+	EventShard = "shard"
 	// EventResult is the terminal event: the job's final view, including
 	// its payload. It is always the last event of a stream.
 	EventResult = "result"
@@ -36,9 +41,15 @@ type Event struct {
 	Progress *progress.Snapshot `json:"progress,omitempty"`
 	// Point rides on point events.
 	Point *PointEvent `json:"point,omitempty"`
+	// Shard rides on shard events (fleet jobs only).
+	Shard *ShardEvent `json:"shard,omitempty"`
 	// Result is the final job view, on result events only.
 	Result *View `json:"result,omitempty"`
 }
+
+// ShardEvent is the fleet scheduling payload of a shard event; the
+// wire shape is owned by the cluster layer.
+type ShardEvent = cluster.ShardUpdate
 
 // PointEvent is the compact per-evaluation-unit payload of a point
 // event.
@@ -139,4 +150,15 @@ func (j *Job) publishPoint(p PointEvent) {
 	j.publish(Event{Type: EventPoint, Point: &p})
 	ps := j.prog.Snapshot()
 	j.publish(Event{Type: EventProgress, Progress: &ps})
+}
+
+// publishShard emits a fleet job's shard scheduling update, followed
+// by a progress snapshot when the update rewound already-counted
+// points (a retry re-runs them).
+func (j *Job) publishShard(u ShardEvent) {
+	j.publish(Event{Type: EventShard, Shard: &u})
+	if u.RewindPoints > 0 {
+		ps := j.prog.Snapshot()
+		j.publish(Event{Type: EventProgress, Progress: &ps})
+	}
 }

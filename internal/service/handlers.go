@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
+	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/dse"
@@ -97,9 +100,20 @@ type errorResponse struct {
 // space is well under a megabyte.
 const maxBodyBytes = 4 << 20
 
-// decodeBody decodes a JSON request body, bounded to maxBodyBytes.
-// The returned status is 0 on success.
+// decodeBody decodes a JSON request body, bounded to maxBodyBytes and
+// gated on the declared Content-Type: anything other than JSON (an
+// absent header is accepted for curl ergonomics) is rejected with 415
+// before a byte of the body is read, and a body over the bound is cut
+// off with 413 by http.MaxBytesReader. The returned status is 0 on
+// success.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+			return http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported content type %q (want application/json)", ct)
+		}
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	// A typoed knob silently falling back to its default would compute
@@ -127,7 +141,15 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	GET    /v1/jobs/{id}/events stream NDJSON progress/point/result events
 //	GET    /v1/targets          list benchmark targets
 //	GET    /v1/version          build info, registered targets, strategies, objectives
-//	GET    /v1/healthz          liveness, queue and cache telemetry
+//	GET    /v1/healthz          liveness, queue and cache telemetry (+ worker counts on coordinators)
+//
+// Fleet endpoints (see internal/cluster):
+//
+//	POST   /v1/cluster/register      worker registration (coordinators only)
+//	POST   /v1/cluster/heartbeat     worker liveness refresh (coordinators only)
+//	GET    /v1/cluster/workers       registry snapshot (coordinators only)
+//	POST   /v1/cluster/shard/sweep   execute one sweep grid shard [lo, hi)
+//	POST   /v1/cluster/shard/surface execute one surface curve shard [lo, hi)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -141,6 +163,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/cluster/register", s.handleClusterRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+	mux.HandleFunc("POST /v1/cluster/shard/sweep", s.handleSweepShard)
+	mux.HandleFunc("POST /v1/cluster/shard/surface", s.handleSurfaceShard)
 	return mux
 }
 
@@ -297,15 +324,23 @@ type VersionResponse struct {
 	Objectives []string `json:"objectives"`
 }
 
-func (s *Server) version() VersionResponse {
+// Version assembles the build and capability report GET /v1/version
+// serves. It is exported so mpserved -version prints the same content
+// without standing a server up; targets nil means the default target
+// set.
+func Version(targets []string) VersionResponse {
+	if targets == nil {
+		opts := Options{}.withDefaults()
+		for _, inf := range opts.TargetInfos() {
+			targets = append(targets, inf.ID)
+		}
+	}
 	v := VersionResponse{
 		Service:    "mpstream",
 		GoVersion:  runtime.Version(),
+		Targets:    targets,
 		Strategies: search.Strategies(),
 		Objectives: search.Objectives(),
-	}
-	for _, inf := range s.infos {
-		v.Targets = append(v.Targets, inf.ID)
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
@@ -321,6 +356,14 @@ func (s *Server) version() VersionResponse {
 		}
 	}
 	return v
+}
+
+func (s *Server) version() VersionResponse {
+	targets := make([]string, 0, len(s.infos))
+	for _, inf := range s.infos {
+		targets = append(targets, inf.ID)
+	}
+	return Version(targets)
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
@@ -457,6 +500,113 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTargets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, TargetsResponse{Targets: s.infos})
+}
+
+// coordinator returns the attached fleet coordinator, writing a 404
+// when this server is not one (registration against a plain server or
+// worker is an operator misconfiguration worth a clear message).
+func (s *Server) coordinator(w http.ResponseWriter) *cluster.Coordinator {
+	if s.opts.Cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("this server is not a cluster coordinator"))
+		return nil
+	}
+	return s.opts.Cluster
+}
+
+// handleClusterRegister is POST /v1/cluster/register: a worker
+// announces (or refreshes) itself and learns the heartbeat contract.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	c := s.coordinator(w)
+	if c == nil {
+		return
+	}
+	var info cluster.WorkerInfo
+	if code, err := decodeBody(w, r, &info); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	if info.ID == "" || info.Addr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("worker registration needs id and addr"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Register(info))
+}
+
+// handleClusterHeartbeat is POST /v1/cluster/heartbeat: a worker
+// refreshes its liveness; known false asks it to re-register.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	c := s.coordinator(w)
+	if c == nil {
+		return
+	}
+	var req cluster.HeartbeatRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.HeartbeatResponse{Known: c.Heartbeat(req.ID)})
+}
+
+// WorkersResponse is the GET /v1/cluster/workers body.
+type WorkersResponse struct {
+	Workers []cluster.WorkerView `json:"workers"`
+}
+
+// handleClusterWorkers is GET /v1/cluster/workers: the fleet registry
+// snapshot, sorted by worker ID.
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, _ *http.Request) {
+	c := s.coordinator(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkersResponse{Workers: c.Workers()})
+}
+
+// handleSweepShard is POST /v1/cluster/shard/sweep: evaluate one
+// contiguous flat range of a sweep grid locally — the worker half of a
+// distributed sweep. Any server answers it; a shard is never
+// re-sharded.
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
+	var req cluster.SweepShardRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	base := core.DefaultConfig()
+	if req.Base != nil {
+		base = *req.Base
+	}
+	op := kernel.Copy
+	if req.Op != nil {
+		op = *req.Op
+	}
+	j, err := s.SubmitSweepShard(req.Target, base, req.Space, op, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+// handleSurfaceShard is POST /v1/cluster/shard/surface: measure the
+// curves [lo, hi) of a surface ladder locally — the worker half of a
+// distributed surface.
+func (s *Server) handleSurfaceShard(w http.ResponseWriter, r *http.Request) {
+	var req cluster.SurfaceShardRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	var cfg surface.Config
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	j, err := s.SubmitSurfaceShard(req.Target, cfg, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
+	if err != nil {
+		writeError(w, submitCode(err), err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

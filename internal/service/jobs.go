@@ -107,10 +107,20 @@ type Job struct {
 	base  core.Config
 	space dse.Space
 	op    kernel.Op
+	// lo and hi bound a sweep job in the grid's flat enumeration order
+	// (the whole grid for a plain sweep, one shard for a fleet worker's
+	// slice).
+	lo, hi int
 	// optimize parameters (normalized at submit time)
 	sopts search.Options
 	// surface parameters (defaults resolved at submit time)
 	scfg surface.Config
+	// clo and chi bound a surface job's curves in pattern-major order.
+	clo, chi int
+	// fleet marks jobs eligible for distribution: plain sweeps and
+	// surfaces on a coordinator. Shard jobs are never fleet-eligible —
+	// a worker must execute its slice locally, not re-shard it.
+	fleet bool
 
 	// timeout is the per-job execution deadline, applied when the job
 	// starts running; 0 means none. Immutable after submit.

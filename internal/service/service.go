@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/device/targets"
@@ -138,6 +139,14 @@ type Options struct {
 	// custom NewDevice serving extra targets must list them here. Nil
 	// derives the list from the paper's four targets.
 	TargetInfos func() []device.Info
+	// Cluster attaches a fleet coordinator: sweep and surface jobs are
+	// sharded across its registered workers (falling back to local
+	// execution while the fleet is empty), optimize jobs farm their
+	// point evaluations out through its remote-eval pool, and the
+	// /v1/cluster/{register,heartbeat,workers} endpoints come alive.
+	// Nil means a standalone server. The server does not own the
+	// coordinator; the caller Closes it.
+	Cluster *cluster.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -332,8 +341,23 @@ func (s *Server) SubmitRun(target string, cfg core.Config, timeout time.Duration
 
 // SubmitSweep validates and enqueues a parameter grid on one target.
 // timeout bounds the job's execution once it starts running (clamped to
-// Options.MaxTimeout; 0 means none).
+// Options.MaxTimeout; 0 means none). On a coordinator with alive
+// workers the grid is sharded across the fleet.
 func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, op kernel.Op, timeout time.Duration) (*Job, error) {
+	return s.submitSweep(target, base, space, op, 0, space.Size(), timeout, true)
+}
+
+// SubmitSweepShard validates and enqueues the slice [lo, hi) of a
+// parameter grid's flat enumeration — the unit a fleet coordinator
+// assigns one worker. Shard jobs always execute locally.
+func (s *Server) SubmitSweepShard(target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration) (*Job, error) {
+	if size := space.Size(); lo < 0 || hi < lo || hi > size {
+		return nil, fmt.Errorf("service: sweep shard [%d,%d) out of the %d-point grid", lo, hi, size)
+	}
+	return s.submitSweep(target, base, space, op, lo, hi, timeout, false)
+}
+
+func (s *Server) submitSweep(target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
 	info, err := s.checkTarget(target)
 	if err != nil {
 		return nil, err
@@ -352,12 +376,16 @@ func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, o
 	if err := s.checkLimits(info, base); err != nil {
 		return nil, err
 	}
-	if n := space.Size(); n > s.opts.MaxSweepPoints {
+	// The points limit bounds the work this server actually performs:
+	// a shard is charged its slice, a plain sweep its whole grid.
+	if n := hi - lo; n > s.opts.MaxSweepPoints {
 		return nil, fmt.Errorf("service: sweep grid has %d points, limit %d", n, s.opts.MaxSweepPoints)
 	}
 	j := s.jobs.add(KindSweep, target, timeout)
 	j.mu.Lock()
 	j.base, j.space, j.op = base, space, op
+	j.lo, j.hi = lo, hi
+	j.fleet = fleet
 	j.mu.Unlock()
 	if err := s.enqueue(j); err != nil {
 		return nil, err
@@ -428,8 +456,23 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 // SubmitSurface validates and enqueues a bandwidth–latency surface
 // measurement on one target. The configuration is canonicalized
 // (defaults resolved) before fingerprinting so equivalent spellings
-// share one cache entry.
+// share one cache entry. On a coordinator with alive workers the
+// ladder's curves are sharded across the fleet.
 func (s *Server) SubmitSurface(target string, cfg surface.Config, timeout time.Duration) (*Job, error) {
+	return s.submitSurface(target, cfg, 0, cfg.CurveCount(), timeout, true)
+}
+
+// SubmitSurfaceShard validates and enqueues the curves [lo, hi) of a
+// surface ladder in pattern-major order — the unit a fleet coordinator
+// assigns one worker. Shard jobs always execute locally.
+func (s *Server) SubmitSurfaceShard(target string, cfg surface.Config, lo, hi int, timeout time.Duration) (*Job, error) {
+	if n := cfg.CurveCount(); lo < 0 || hi < lo || hi > n {
+		return nil, fmt.Errorf("service: surface shard [%d,%d) out of the %d-curve ladder", lo, hi, n)
+	}
+	return s.submitSurface(target, cfg, lo, hi, timeout, false)
+}
+
+func (s *Server) submitSurface(target string, cfg surface.Config, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
 	if _, err := s.checkTarget(target); err != nil {
 		return nil, err
 	}
@@ -458,7 +501,9 @@ func (s *Server) SubmitSurface(target string, cfg surface.Config, timeout time.D
 	j := s.jobs.add(KindSurface, target, timeout)
 	j.mu.Lock()
 	j.scfg = cfg
-	j.view.Fingerprint = surfaceFingerprint(target, cfg)
+	j.clo, j.chi = lo, hi
+	j.fleet = fleet
+	j.view.Fingerprint = surfaceFingerprint(target, cfg, lo, hi)
 	j.mu.Unlock()
 	if err := s.enqueue(j); err != nil {
 		return nil, err
@@ -468,8 +513,10 @@ func (s *Server) SubmitSurface(target string, cfg surface.Config, timeout time.D
 
 // surfaceFingerprint digests a whole surface request. The generator is
 // deterministic, so equal fingerprints reproduce equal surfaces and
-// whole-surface caching is sound.
-func surfaceFingerprint(target string, cfg surface.Config) string {
+// whole-surface caching is sound. A full-ladder request keeps the
+// legacy digest; a curve shard folds its range in, so a shard and the
+// full surface never collide in the cache.
+func surfaceFingerprint(target string, cfg surface.Config, lo, hi int) string {
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		b = []byte(fmt.Sprintf("unmarshalable:%s:%#v", err, cfg))
@@ -480,6 +527,9 @@ func surfaceFingerprint(target string, cfg surface.Config) string {
 	h.Write([]byte(target))
 	h.Write([]byte{0})
 	h.Write(b)
+	if lo != 0 || hi != cfg.CurveCount() {
+		fmt.Fprintf(h, "%cshard:%d-%d", 0, lo, hi)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -737,16 +787,22 @@ func (s *Server) executeRun(ctx context.Context, j *Job) {
 	j.finish(StatusDone, func(v *View) { v.Result = res })
 }
 
-// executeSweep evaluates a grid with per-point cache integration: points
-// already in the result cache are reused, the misses fan out over
-// dse.EvalParallelContext, and fresh feasible results are inserted back
-// so later runs and sweeps hit. The assembled ranking is byte-identical
-// to dse.Explore over the same grid. A canceled or deadline-expired
-// sweep ranks the points evaluated before the stop and lands in
-// canceled.
+// executeSweep evaluates a grid (or one shard of it) with per-point
+// cache integration: points already in the result cache are reused,
+// the misses fan out over dse.EvalParallelContext, and fresh feasible
+// results are inserted back so later runs and sweeps hit. The
+// assembled ranking is byte-identical to dse.Explore over the same
+// grid. A canceled or deadline-expired sweep ranks the points
+// evaluated before the stop and lands in canceled. On a coordinator
+// with alive workers, a fleet-eligible sweep is sharded across the
+// fleet instead (local execution is the fallback while the fleet is
+// empty).
 func (s *Server) executeSweep(ctx context.Context, j *Job) {
+	if j.fleet && s.opts.Cluster != nil && s.executeFleetSweep(ctx, j) {
+		return
+	}
 	snap := j.Snapshot()
-	cfgs := j.space.Configs(j.base)
+	cfgs := j.space.ConfigsRange(j.base, j.lo, j.hi)
 	j.prog.SetTotal(len(cfgs))
 	j.prog.SetPhase("sweep")
 
@@ -836,6 +892,114 @@ func (s *Server) executeSweep(ctx context.Context, j *Job) {
 	})
 }
 
+// fleetHooks adapts a fleet job's coordinator callbacks onto the job's
+// progress tracker and event log: forwarded worker point events become
+// ordinary point/progress events (one merged NDJSON stream), shard
+// scheduling updates become shard events, and a retried shard's
+// already-streamed points are rewound so aggregate progress never
+// counts an evaluation unit twice. Both callbacks arrive concurrently
+// from shard goroutines; the tracker and event log are safe for that.
+func (s *Server) fleetHooks(j *Job) cluster.FleetHooks {
+	return cluster.FleetHooks{
+		OnPoint: func(p cluster.PointEvent) {
+			j.prog.Step(1)
+			j.prog.Observe(p.GBps)
+			j.publishPoint(PointEvent(p))
+		},
+		OnShard: func(u cluster.ShardUpdate) {
+			if u.RewindPoints > 0 {
+				j.prog.Step(-u.RewindPoints)
+			}
+			j.publishShard(u)
+		},
+	}
+}
+
+// executeFleetSweep shards a sweep across the coordinator's workers.
+// false means the fleet could not take the job (no alive workers for
+// the target) and the caller must run it locally; any other outcome —
+// done, canceled with partial results, failed — is terminal here. The
+// merged ranking is byte-identical to a local sweep: shards are
+// contiguous grid ranges, each worker ranks with the same stable sort,
+// and the coordinator's merge preserves equal-bandwidth order.
+func (s *Server) executeFleetSweep(ctx context.Context, j *Job) bool {
+	snap := j.Snapshot()
+	total := j.space.Size()
+	j.prog.SetTotal(total)
+	j.prog.SetPhase("sweep:fleet")
+	spec := cluster.SweepSpec{Target: snap.Target, Base: j.base, Space: j.space, Op: j.op, TimeoutMS: snap.TimeoutMS}
+	ex, cached, stopped, err := s.opts.Cluster.Sweep(ctx, spec, s.fleetHooks(j))
+	if err != nil {
+		if errors.Is(err, cluster.ErrUnavailable) {
+			j.prog.SetPhase("sweep")
+			return false
+		}
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return true
+	}
+	// Workers evaluated the points, but the results are canonical, so
+	// priming the coordinator's own run cache makes later runs and local
+	// sweeps over the same territory free.
+	if s.cache.enabled() {
+		for _, p := range ex.Ranked {
+			if p.Result != nil {
+				s.cache.put(p.Config.Fingerprint(snap.Target), p.Result)
+			}
+		}
+	}
+	if stopped != "" {
+		j.finishStopped(stopped, func(v *View) {
+			v.Sweep = ex
+			v.CachedPoints = cached
+		})
+		return true
+	}
+	// Reconcile aggregate progress: worker event streams are telemetry
+	// (a slow stream drops point events), so the counter can undershoot;
+	// a done job always reads done == total.
+	j.prog.Step(total - j.prog.Snapshot().Done)
+	j.finish(StatusDone, func(v *View) {
+		v.Sweep = ex
+		v.CachedPoints = cached
+	})
+	return true
+}
+
+// executeFleetSurface shards a surface's curves across the fleet; the
+// contract mirrors executeFleetSweep. It runs inside executeSurface's
+// single-flight leader, so a merged fleet surface lands in the same
+// whole-surface cache a local measurement would.
+func (s *Server) executeFleetSurface(ctx context.Context, j *Job) bool {
+	snap := j.Snapshot()
+	total := j.scfg.Points()
+	j.prog.SetTotal(total)
+	j.prog.SetPhase("surface:fleet")
+	spec := cluster.SurfaceSpec{Target: snap.Target, Config: j.scfg, TimeoutMS: snap.TimeoutMS}
+	res, stopped, err := s.opts.Cluster.Surface(ctx, spec, s.fleetHooks(j))
+	if err != nil {
+		if errors.Is(err, cluster.ErrUnavailable) && stopped == "" {
+			j.prog.SetPhase("surface")
+			return false
+		}
+		if stopped != "" {
+			// Canceled before any shard landed: terminal, with no payload.
+			j.finishStopped(stopped, nil)
+			return true
+		}
+		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
+		return true
+	}
+	if stopped != "" || res.Stopped != "" {
+		// Partial ladders must not prime the whole-surface cache.
+		j.finishStopped(stopped, func(v *View) { v.Surface = res })
+		return true
+	}
+	s.surfCache.put(snap.Fingerprint, res)
+	j.prog.Step(total - j.prog.Snapshot().Done)
+	j.finish(StatusDone, func(v *View) { v.Surface = res })
+	return true
+}
+
 // executeOptimize runs a budgeted strategy search. Whole-request
 // caching mirrors executeRun: identical optimize requests (same
 // target, base, space, op, strategy, budget and seed — the search is
@@ -904,6 +1068,23 @@ func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 				return dse.Point{Label: label, Config: cfg, Result: rehome(res, cfg)}
 			}
 		}
+		// On a coordinator, cache misses are farmed out through the
+		// fleet's remote-eval pool — the search stays local (strategies
+		// are adaptive and sequential) while simulations spread over the
+		// workers, all sharing this per-point run cache. A fleet-level
+		// failure (no workers, transport exhausted) falls back to the
+		// local device; a worker-reported evaluation error is a real
+		// outcome (infeasible design, or this job's context ending).
+		if fl := s.opts.Cluster; fl != nil && fl.HasWorkers(snap.Target) {
+			res, err := fl.Eval(ctx, snap.Target, cfg, 0)
+			switch {
+			case err == nil:
+				s.cache.put(fp, res)
+				return dse.Point{Label: label, Config: cfg, Result: rehome(res, cfg)}
+			case !errors.Is(err, cluster.ErrUnavailable):
+				return dse.Point{Label: label, Config: cfg, Err: err}
+			}
+		}
 		res, err := core.RunContext(ctx, dev, cfg)
 		if err != nil {
 			return dse.Point{Label: label, Config: cfg, Err: err}
@@ -967,7 +1148,7 @@ func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 // concurrent identical requests measure once.
 func (s *Server) executeSurface(ctx context.Context, j *Job) {
 	snap := j.Snapshot()
-	j.prog.SetTotal(j.scfg.Points())
+	j.prog.SetTotal((j.chi - j.clo) * len(j.scfg.Rates))
 	j.prog.SetPhase("surface")
 	finishCached := func(res *surface.Surface) {
 		j.prog.Step(len(res.Curves) * len(res.Config.Rates))
@@ -1006,6 +1187,12 @@ func (s *Server) executeSurface(ctx context.Context, j *Job) {
 			break
 		}
 	}
+	// Fleet distribution happens inside the single-flight leader, so one
+	// merged fleet measurement serves every concurrent duplicate and
+	// primes the whole-surface cache like a local one.
+	if j.fleet && s.opts.Cluster != nil && s.executeFleetSurface(ctx, j) {
+		return
+	}
 	dev, err := s.opts.NewDevice(snap.Target)
 	if err != nil {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
@@ -1022,7 +1209,7 @@ func (s *Server) executeSurface(ctx context.Context, j *Job) {
 			LatencyNs: p.LatencyNs,
 		})
 	}
-	res, err := core.RunSurfaceWith(ctx, dev, j.scfg, observe)
+	res, err := core.RunSurfaceShard(ctx, dev, j.scfg, j.clo, j.chi, observe)
 	if err != nil {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
@@ -1036,10 +1223,18 @@ func (s *Server) executeSurface(ctx context.Context, j *Job) {
 	j.finish(StatusDone, func(v *View) { v.Surface = res })
 }
 
+// clusterHealth is the coordinator block of /v1/healthz: the live
+// fleet size at a glance.
+type clusterHealth struct {
+	WorkersAlive int `json:"workers_alive"`
+	WorkersTotal int `json:"workers_total"`
+}
+
 // health is the /v1/healthz body.
 type health struct {
 	Status        string         `json:"status"`
 	UptimeSeconds float64        `json:"uptime_seconds"`
+	UptimeMS      int64          `json:"uptime_ms"`
 	Workers       int            `json:"workers"`
 	QueueLength   int            `json:"queue_length"`
 	QueueCapacity int            `json:"queue_capacity"`
@@ -1047,12 +1242,16 @@ type health struct {
 	Cache         CacheStats     `json:"cache"`
 	OptimizeCache CacheStats     `json:"optimize_cache"`
 	SurfaceCache  CacheStats     `json:"surface_cache"`
+	// Cluster reports live worker counts on coordinators; absent on
+	// standalone servers and plain workers.
+	Cluster *clusterHealth `json:"cluster,omitempty"`
 }
 
 func (s *Server) health() health {
-	return health{
+	h := health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeMS:      time.Since(s.start).Milliseconds(),
 		Workers:       s.opts.Workers,
 		QueueLength:   len(s.queue),
 		QueueCapacity: cap(s.queue),
@@ -1061,4 +1260,9 @@ func (s *Server) health() health {
 		OptimizeCache: s.optCache.stats(),
 		SurfaceCache:  s.surfCache.stats(),
 	}
+	if c := s.opts.Cluster; c != nil {
+		alive, total := c.Counts()
+		h.Cluster = &clusterHealth{WorkersAlive: alive, WorkersTotal: total}
+	}
+	return h
 }

@@ -36,6 +36,7 @@ import (
 	"mpstream/internal/device"
 	"mpstream/internal/report"
 	"mpstream/internal/runstate"
+	"mpstream/internal/shard"
 	"mpstream/internal/sim/dram"
 	"mpstream/internal/sim/mem"
 )
@@ -122,6 +123,28 @@ func (c Config) WithDefaults() Config {
 func (c Config) Points() int {
 	c = c.WithDefaults()
 	return len(c.Patterns) * len(c.RWRatios) * len(c.Rates)
+}
+
+// CurveCount returns the number of curves the surface holds: one per
+// (pattern, read-fraction) pair, in pattern-major order — the axis a
+// distributed measurement shards along.
+func (c Config) CurveCount() int {
+	c = c.WithDefaults()
+	return len(c.Patterns) * len(c.RWRatios)
+}
+
+// Shard is a contiguous run [Lo, Hi) of a surface's curves in
+// pattern-major order — the unit a distributed surface splits the
+// ladder into.
+type Shard = shard.Range
+
+// PartitionCurves splits the curve axis into at most parts contiguous
+// shards of near-equal size (differing by at most one curve, larger
+// shards first). Concatenating the shards in order covers every curve
+// exactly once, so shard generation followed by MergeShards reproduces
+// a single-node Generate.
+func (c Config) PartitionCurves(parts int) []Shard {
+	return shard.Split(c.CurveCount(), parts)
 }
 
 // Validate reports configuration errors (after defaulting).
@@ -244,12 +267,25 @@ func Generate(dev device.Device, cfg Config) (*Surface, error) {
 // partial surface collected so far is returned, tagged via Stopped),
 // and observe — when non-nil — sees every rung as it lands.
 func GenerateWith(ctx context.Context, dev device.Device, cfg Config, observe Observer) (*Surface, error) {
+	return GenerateShardWith(ctx, dev, cfg, 0, cfg.CurveCount(), observe)
+}
+
+// GenerateShardWith measures only the curves at pattern-major indices
+// [lo, hi) of the configuration's curve grid — one worker's share of a
+// distributed surface. The idle-latency probe is re-measured per shard;
+// the simulator is deterministic, so every shard observes the same
+// value and MergeShards reassembles a surface identical to a
+// single-node Generate.
+func GenerateShardWith(ctx context.Context, dev device.Device, cfg Config, lo, hi int, observe Observer) (*Surface, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > cfg.CurveCount() {
+		return nil, fmt.Errorf("surface: curve shard [%d,%d) out of the %d-curve grid", lo, hi, cfg.CurveCount())
 	}
 	ms, ok := dev.(device.MemorySystem)
 	if !ok {
@@ -277,8 +313,11 @@ func GenerateWith(ctx context.Context, dev device.Device, cfg Config, observe Ob
 	idle := model.ServiceLoaded(nil, chase(elems, burst, cfg.ProbeHops), dram.LoadedOptions{})
 
 	s := &Surface{Device: info, Config: cfg}
-	for _, pat := range cfg.Patterns {
-		for _, frac := range cfg.RWRatios {
+	for pi, pat := range cfg.Patterns {
+		for ri, frac := range cfg.RWRatios {
+			if ci := pi*len(cfg.RWRatios) + ri; ci < lo || ci >= hi {
+				continue
+			}
 			curve, err := generateCurve(ctx, model, cfg, pat, frac, peak, idle.ProbeAvgNs(), observe)
 			if err != nil {
 				return nil, err
@@ -295,6 +334,28 @@ func GenerateWith(ctx context.Context, dev device.Device, cfg Config, observe Ob
 		}
 	}
 	return s, nil
+}
+
+// MergeShards reassembles curve shards (in shard order — the order
+// PartitionCurves produced them) into one surface. Shards carry the
+// device and configuration of their generation; the first shard's are
+// taken for the merged surface. A stopped shard marks the whole merged
+// surface stopped, since the assembled ladder is partial.
+func MergeShards(shards []*Surface) (*Surface, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("surface: no shards to merge")
+	}
+	out := &Surface{Device: shards[0].Device, Config: shards[0].Config}
+	for _, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("surface: missing shard in merge")
+		}
+		out.Curves = append(out.Curves, sh.Curves...)
+		if sh.Stopped != "" && out.Stopped == "" {
+			out.Stopped = sh.Stopped
+		}
+	}
+	return out, nil
 }
 
 // Stream-tag layout of the surface traffic. The write stream reuses the

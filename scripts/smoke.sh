@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the context-aware service: start mpserved,
-# submit an async sweep, read at least one NDJSON event from the live
-# event stream, cancel the job, and assert it lands in "canceled" with
-# partial results. Run from the repository root; requires curl.
+# End-to-end smoke test of the service and fleet layers.
+#
+# Part 1 (context-aware service): start mpserved, submit an async
+# sweep, read at least one NDJSON event from the live event stream,
+# cancel the job, and assert it lands in "canceled" with partial
+# results.
+#
+# Part 2 (distributed fleet): boot a coordinator plus two workers, run
+# a sharded sweep end-to-end, kill one worker mid-sweep, and assert
+# the job still completes with results identical to a single-node
+# sweep of the same request.
+#
+# Run from the repository root; requires curl and python3.
 set -euo pipefail
 
 ADDR=127.0.0.1:8774
@@ -10,28 +19,49 @@ BASE="http://$ADDR/v1"
 BIN=$(mktemp -d)/mpserved
 LOG=$(mktemp)
 EVENTS=$(mktemp)
+JSON='Content-Type: application/json'
 
 go build -o "$BIN" ./cmd/mpserved
 
-"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
-SERVED=$!
+PIDS=()
 cleanup() {
-  kill "$SERVED" 2>/dev/null || true
-  wait "$SERVED" 2>/dev/null || true
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
 }
 trap cleanup EXIT
 
-# Wait for the server to come up.
-for i in $(seq 1 100); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
-  if [ "$i" = 100 ]; then echo "mpserved never became healthy"; cat "$LOG"; exit 1; fi
-  sleep 0.1
-done
+# wait_healthy <base> <log> waits for /v1/healthz to answer.
+wait_healthy() {
+  for i in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    if [ "$i" = 100 ]; then echo "server at $1 never became healthy"; cat "$2"; exit 1; fi
+    sleep 0.1
+  done
+}
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+PIDS+=($!)
+wait_healthy "$BASE" "$LOG"
 echo "smoke: mpserved healthy"
+
+# The version flag and endpoint must agree.
+"$BIN" -version | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v["service"] == "mpstream" and len(v["targets"]) == 4, v
+print("smoke: -version reports", v["go_version"], "targets", ",".join(v["targets"]))
+'
+
+# Non-JSON content types are refused before the body is decoded.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/run" -H 'Content-Type: text/plain' -d '{"target":"cpu"}')
+if [ "$CODE" != 415 ]; then echo "non-JSON content type got $CODE, want 415"; exit 1; fi
+echo "smoke: 415 for non-JSON content type"
 
 # Submit a deliberately heavy async sweep (40 points x 16 MB x 5
 # repetitions) so the cancel lands mid-grid.
-JOB=$(curl -sf "$BASE/sweep" -d '{
+JOB=$(curl -sf "$BASE/sweep" -H "$JSON" -d '{
   "target": "cpu", "op": "copy", "async": true, "timeout_ms": 600000,
   "base": {"array_bytes": 16777216, "ntimes": 5, "verify": false,
            "optimal_loop": true, "type": "int", "vec_width": 1,
@@ -52,7 +82,7 @@ done
 head -1 "$EVENTS" | python3 -c '
 import json, sys
 ev = json.loads(sys.stdin.readline())
-assert ev["type"] in ("state", "point", "progress", "result"), ev
+assert ev["type"] in ("state", "point", "progress", "shard", "result"), ev
 print("smoke: first event:", ev["type"], "seq", ev["seq"])
 '
 
@@ -87,4 +117,94 @@ wait "$CURL" 2>/dev/null || true
 LINES=$(wc -l <"$EVENTS")
 if [ "$LINES" -lt 1 ]; then echo "event stream empty"; exit 1; fi
 echo "smoke: $LINES events streamed"
+
+# ---------------------------------------------------------------------
+# Part 2: coordinator + 2 workers, sharded sweep, worker killed mid-job.
+# ---------------------------------------------------------------------
+CADDR=127.0.0.1:8781
+W1ADDR=127.0.0.1:8782
+W2ADDR=127.0.0.1:8783
+CBASE="http://$CADDR/v1"
+W1BASE="http://$W1ADDR/v1"
+CLOG=$(mktemp); W1LOG=$(mktemp); W2LOG=$(mktemp)
+
+"$BIN" -addr "$CADDR" -coordinator >"$CLOG" 2>&1 &
+PIDS+=($!)
+wait_healthy "$CBASE" "$CLOG"
+"$BIN" -addr "$W1ADDR" -worker -join "http://$CADDR" >"$W1LOG" 2>&1 &
+PIDS+=($!)
+"$BIN" -addr "$W2ADDR" -worker -join "http://$CADDR" >"$W2LOG" 2>&1 &
+W2PID=$!
+PIDS+=($W2PID)
+wait_healthy "$W1BASE" "$W1LOG"
+
+# Wait until the coordinator counts both workers alive.
+for i in $(seq 1 100); do
+  ALIVE=$(curl -sf "$CBASE/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin).get("cluster",{}).get("workers_alive",0))')
+  if [ "$ALIVE" = 2 ]; then break; fi
+  if [ "$i" = 100 ]; then echo "fleet never reached 2 alive workers (have $ALIVE)"; cat "$CLOG"; exit 1; fi
+  sleep 0.1
+done
+echo "smoke: fleet has 2 alive workers"
+
+FLEET_SWEEP='{
+  "target": "cpu", "op": "copy", "timeout_ms": 600000,
+  "base": {"array_bytes": 16777216, "ntimes": 3, "verify": false,
+           "optimal_loop": true, "type": "int", "vec_width": 1,
+           "pattern": {"kind": "contiguous"}},
+  "space": {"vec_widths": [1,2,4,8], "unrolls": [1,2], "types": ["int","double"]}
+}'
+FJOB=$(curl -sf "$CBASE/sweep" -H "$JSON" -d "$(echo "$FLEET_SWEEP" | python3 -c 'import json,sys; r=json.load(sys.stdin); r["async"]=True; print(json.dumps(r))')" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+echo "smoke: submitted fleet sweep $FJOB"
+
+# Kill worker 2 once the sweep is visibly mid-grid, exercising the
+# shard retry path. If the fleet finishes first, the kill is a no-op
+# and the identity check below still stands.
+for i in $(seq 1 300); do
+  read -r DONE TOTAL STATE < <(curl -sf "$CBASE/jobs/$FJOB" | python3 -c '
+import json,sys
+j = json.load(sys.stdin)["job"]
+p = j.get("progress") or {}
+print(p.get("done",0), p.get("total",0), j["status"])')
+  if [ "$STATE" != running ] && [ "$STATE" != queued ]; then break; fi
+  if [ "$DONE" -gt 0 ] && [ "$DONE" -lt "$TOTAL" ]; then break; fi
+  sleep 0.05
+done
+kill -9 "$W2PID" 2>/dev/null || true
+echo "smoke: killed worker 2 mid-sweep (at $DONE of $TOTAL points)"
+
+FSTATE=""
+for i in $(seq 1 600); do
+  FSTATE=$(curl -sf "$CBASE/jobs/$FJOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["status"])')
+  case "$FSTATE" in done|failed|canceled) break ;; esac
+  sleep 0.1
+done
+if [ "$FSTATE" != done ]; then
+  echo "fleet sweep ended in '$FSTATE', want 'done'"
+  curl -s "$CBASE/jobs/$FJOB"
+  cat "$CLOG"
+  exit 1
+fi
+curl -sf "$CBASE/jobs/$FJOB" >/tmp/fleet_sweep.json
+python3 -c '
+import json
+j = json.load(open("/tmp/fleet_sweep.json"))["job"]
+p = j["progress"]
+assert p["done"] == p["total"] == 16, p
+n = len(j["sweep"]["ranked"]) + j["sweep"]["infeasible"]
+assert n == 16, n
+print("smoke: fleet sweep done,", p["done"], "points merged")
+'
+
+# The merged fleet result must be identical to a single-node sweep of
+# the same request, run directly against the surviving worker.
+curl -sf "$W1BASE/sweep" -H "$JSON" -d "$FLEET_SWEEP" >/tmp/solo_sweep.json
+python3 -c '
+import json
+fleet = json.load(open("/tmp/fleet_sweep.json"))["job"]["sweep"]
+solo = json.load(open("/tmp/solo_sweep.json"))["job"]["sweep"]
+assert fleet == solo, "fleet and single-node sweeps diverge"
+print("smoke: fleet sweep identical to single-node (%d ranked points)" % len(fleet["ranked"]))
+'
 echo "smoke: OK"
