@@ -31,6 +31,13 @@
 //	curl -sN localhost:8774/v1/jobs/j000001/events
 //	curl -s -X DELETE localhost:8774/v1/jobs/j000001
 //	curl -s localhost:8774/v1/healthz
+//	curl -s localhost:8774/v1/metrics
+//
+// Observability: every request carries an X-Mpstream-Trace ID (minted
+// when absent, propagated coordinator→worker), /v1/metrics serves the
+// Prometheus text exposition, -log-level/-log-format shape the
+// structured logs on stderr, and -debug-addr exposes net/http/pprof
+// on a separate listener.
 package main
 
 import (
@@ -38,8 +45,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -49,6 +58,7 @@ import (
 
 	"mpstream/internal/cluster"
 	"mpstream/internal/device/targets"
+	"mpstream/internal/obs"
 	"mpstream/internal/service"
 )
 
@@ -68,6 +78,10 @@ func main() {
 		join        = flag.String("join", "", "coordinator base URL to register with, e.g. http://10.0.0.1:8774")
 		advertise   = flag.String("advertise", "", "base URL other nodes reach this server at (default: derived from -addr)")
 		workerID    = flag.String("worker-id", "", "stable fleet identity (default: the advertised address)")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		debugAddr = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables)")
 	)
 	flag.Parse()
 
@@ -85,12 +99,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpserved:", err)
+		os.Exit(1)
+	}
+
 	opts := service.Options{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		SweepWorkers: *sweepWorkers,
 		MaxTimeout:   *maxTimeout,
+		Logger:       log,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -98,7 +119,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpserved:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "mpserved: listening on %s\n", ln.Addr())
+	log.Info("mpserved: listening", "addr", ln.Addr().String())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpserved:", err)
+			os.Exit(1)
+		}
+		log.Info("mpserved: pprof debug endpoint up", "addr", dln.Addr().String())
+		go func() {
+			// A dedicated mux: pprof must not ride on the service handler
+			// where it would be exposed to API clients.
+			dmux := http.NewServeMux()
+			dmux.HandleFunc("/debug/pprof/", pprof.Index)
+			dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			dsrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.Serve(dln); err != nil {
+				log.Warn("mpserved: pprof server exited", "err", err)
+			}
+		}()
+	}
 
 	fleet := fleetConfig{
 		coordinator: *coordinator || *peers != "",
@@ -108,6 +152,7 @@ func main() {
 		advertise:   *advertise,
 		workerID:    *workerID,
 		capacity:    *workers,
+		log:         log,
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -127,6 +172,8 @@ type fleetConfig struct {
 	advertise   string
 	workerID    string
 	capacity    int
+	// log receives fleet diagnostics; nil discards them.
+	log *slog.Logger
 }
 
 func splitPeers(s string) []string {
@@ -165,12 +212,16 @@ func advertiseURL(explicit string, ln net.Listener) string {
 // listener fails, then shuts down gracefully: in-flight HTTP requests
 // get 10 seconds to drain and running jobs finish.
 func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan os.Signal) error {
+	log := fleet.log
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	if fleet.coordinator {
-		coord := cluster.New(cluster.Options{})
+		coord := cluster.New(cluster.Options{Logger: log})
 		defer coord.Close()
 		coord.WatchPeers(fleet.peers)
 		opts.Cluster = coord
-		fmt.Fprintf(os.Stderr, "mpserved: coordinating (static peers: %d)\n", len(fleet.peers))
+		log.Info("mpserved: coordinating", "static_peers", len(fleet.peers))
 	}
 
 	svc := service.New(opts)
@@ -196,9 +247,7 @@ func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan
 		go cluster.Join(joinCtx, cluster.JoinOptions{
 			Coordinator: fleet.join,
 			Self:        self,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "mpserved: "+format+"\n", args...)
-			},
+			Logger:      log,
 		})
 	}
 
@@ -216,11 +265,11 @@ func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "mpserved: %v, shutting down\n", sig)
+		log.Info("mpserved: shutting down", "signal", sig.String())
 		// A second signal skips the graceful drain entirely.
 		go func() {
 			if s, ok := <-stop; ok {
-				fmt.Fprintf(os.Stderr, "mpserved: %v again, exiting immediately\n", s)
+				log.Warn("mpserved: exiting immediately", "signal", s.String())
 				os.Exit(1)
 			}
 		}()

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"mpstream/internal/obs"
 )
 
 // Client speaks the service's HTTP JSON API to coordinators and
@@ -76,6 +78,9 @@ func (c *Client) do(ctx context.Context, method, url string, body, out any) erro
 		return fmt.Errorf("cluster: %s %s: %w", method, url, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace := obs.TraceID(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: %s %s: %w", method, url, err)
@@ -238,6 +243,9 @@ func (c *Client) AwaitJob(ctx context.Context, worker, id string, onPoint func(P
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return JobView{}, fmt.Errorf("cluster: await %s: %w", url, err)
+	}
+	if trace := obs.TraceID(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/runstate"
 	"mpstream/internal/surface"
 )
@@ -57,6 +60,10 @@ type Options struct {
 	// Now is the liveness clock; nil means time.Now. Tests inject fake
 	// clocks here.
 	Now func() time.Time
+	// Logger receives the scheduler's leveled diagnostics: shard
+	// retries, workers marked down, watchdog reaps, lost shards — the
+	// paths that used to fail silently. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +99,15 @@ type Coordinator struct {
 	opts   Options
 	client *Client
 	reg    *registry
+	log    *slog.Logger
+
+	// Shard scheduling counters, exposed through Stats for the service
+	// metrics collector. Cheap unconditional atomics.
+	shardsAssigned atomic.Uint64
+	shardsDone     atomic.Uint64
+	shardsRetried  atomic.Uint64
+	shardsLost     atomic.Uint64
+	remoteEvals    atomic.Uint64
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -101,11 +117,37 @@ type Coordinator struct {
 // New builds a Coordinator.
 func New(opts Options) *Coordinator {
 	opts = opts.withDefaults()
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
 	return &Coordinator{
 		opts:   opts,
 		client: opts.Client,
 		reg:    newRegistry(opts.HeartbeatTTL, opts.Now),
+		log:    log,
 		stop:   make(chan struct{}),
+	}
+}
+
+// FleetStats snapshots the coordinator's lifetime shard-scheduling
+// counters.
+type FleetStats struct {
+	ShardsAssigned uint64 `json:"shards_assigned"`
+	ShardsDone     uint64 `json:"shards_done"`
+	ShardsRetried  uint64 `json:"shards_retried"`
+	ShardsLost     uint64 `json:"shards_lost"`
+	RemoteEvals    uint64 `json:"remote_evals"`
+}
+
+// Stats reads the lifetime shard-scheduling counters.
+func (c *Coordinator) Stats() FleetStats {
+	return FleetStats{
+		ShardsAssigned: c.shardsAssigned.Load(),
+		ShardsDone:     c.shardsDone.Load(),
+		ShardsRetried:  c.shardsRetried.Load(),
+		ShardsLost:     c.shardsLost.Load(),
+		RemoteEvals:    c.remoteEvals.Load(),
 	}
 }
 
@@ -259,12 +301,17 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 				excluded = make(map[string]bool)
 			}
 			lastErr = ErrNoWorkers
+			c.shardsRetried.Add(1)
+			c.log.Warn("cluster: no worker available for shard",
+				"shard", i, "attempt", attempt, "target", target,
+				"trace", obs.TraceID(ctx))
 			hooks.shard(ShardUpdate{Shard: i, Attempt: attempt, State: "failed", Error: ErrNoWorkers.Error()})
 			if !c.backoff(ctx, attempt) {
 				return shardOutcome{stopped: runstate.FromContext(ctx)}
 			}
 			continue
 		}
+		c.shardsAssigned.Add(1)
 		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "assigned"})
 
 		// Points streamed by this attempt; a retry re-runs them, so they
@@ -294,6 +341,7 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 		switch {
 		case err == nil && view.Status == "done":
 			c.reg.release(w.ID, true)
+			c.shardsDone.Add(1)
 			hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "done"})
 			return shardOutcome{view: view, got: true}
 		case err == nil:
@@ -313,18 +361,29 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 			// actually alive behind a broken stream.
 			lastErr = err
 			c.reg.markDown(w.ID)
+			c.log.Warn("cluster: marking worker down after transport failure",
+				"worker", w.ID, "addr", w.Addr, "shard", i, "attempt", attempt,
+				"trace", obs.TraceID(ctx), "err", err)
 			if queued.ID != "" {
 				_ = c.client.Cancel(w.Addr, queued.ID)
 			}
 		}
 		c.reg.release(w.ID, false)
 		excluded[w.ID] = true
+		c.shardsRetried.Add(1)
+		c.log.Warn("cluster: shard attempt failed, retrying elsewhere",
+			"worker", w.ID, "shard", i, "attempt", attempt,
+			"trace", obs.TraceID(ctx), "err", lastErr)
 		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "failed",
 			Error: lastErr.Error(), RewindPoints: points})
 		if attempt < c.opts.MaxAttempts && !c.backoff(ctx, attempt) {
 			return shardOutcome{stopped: runstate.FromContext(ctx)}
 		}
 	}
+	c.shardsLost.Add(1)
+	c.log.Error("cluster: shard lost, failing fleet job",
+		"shard", i, "attempts", c.opts.MaxAttempts,
+		"trace", obs.TraceID(ctx), "err", lastErr)
 	hooks.shard(ShardUpdate{Shard: i, Attempt: c.opts.MaxAttempts, State: "lost", Error: lastErr.Error()})
 	return shardOutcome{err: fmt.Errorf("shard %d lost after %d attempts: %w", i, c.opts.MaxAttempts, lastErr)}
 }
@@ -364,6 +423,8 @@ func (c *Coordinator) awaitWithWatchdog(ctx context.Context, w WorkerInfo, id st
 	}()
 	view, err := c.client.AwaitJob(awaitCtx, w.Addr, id, onPoint)
 	if err != nil && ctx.Err() == nil && awaitCtx.Err() != nil {
+		c.log.Warn("cluster: watchdog reaped await on dead worker",
+			"worker", w.ID, "job", id, "trace", obs.TraceID(ctx))
 		err = fmt.Errorf("cluster: worker %s no longer alive while awaiting job %s", w.ID, id)
 	}
 	return view, err
@@ -532,6 +593,7 @@ func (c *Coordinator) Eval(ctx context.Context, target string, cfg core.Config, 
 		switch {
 		case err == nil && view.Status == "done" && view.Result != nil:
 			c.reg.release(w.ID, true)
+			c.remoteEvals.Add(1)
 			return view.Result, nil
 		case err == nil && view.Status == "failed":
 			// The worker evaluated the point and the simulator rejected it:
@@ -554,6 +616,9 @@ func (c *Coordinator) Eval(ctx context.Context, target string, cfg core.Config, 
 			var se *StatusError
 			if !errors.As(err, &se) {
 				c.reg.markDown(w.ID)
+				c.log.Warn("cluster: marking worker down after remote eval transport failure",
+					"worker", w.ID, "addr", w.Addr, "attempt", attempt,
+					"trace", obs.TraceID(ctx), "err", err)
 			}
 			lastErr = err
 			excluded[w.ID] = true

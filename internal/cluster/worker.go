@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"context"
+	"log/slog"
 	"time"
+
+	"mpstream/internal/obs"
 )
 
 // JoinOptions configures a worker's join loop.
@@ -16,8 +19,10 @@ type JoinOptions struct {
 	// RetryEvery paces registration retries while the coordinator is
 	// unreachable; <= 0 means 2s.
 	RetryEvery time.Duration
-	// Logf — when non-nil — receives join-loop state transitions.
-	Logf func(format string, args ...any)
+	// Logger receives join-loop state transitions (registration
+	// failures and heartbeat losses at Warn, successful registration at
+	// Info). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Join runs a worker's membership loop until ctx ends: register with
@@ -34,15 +39,17 @@ func Join(ctx context.Context, opts JoinOptions) {
 	if retry <= 0 {
 		retry = 2 * time.Second
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	log := opts.Logger
+	if log == nil {
+		log = obs.NopLogger()
 	}
 
 	for ctx.Err() == nil {
 		resp, err := register(ctx, client, opts.Coordinator, opts.Self)
 		if err != nil {
-			logf("cluster: register with %s failed (%v), retrying in %v", opts.Coordinator, err, retry)
+			log.Warn("cluster: register with coordinator failed, retrying",
+				"coordinator", opts.Coordinator, "worker", opts.Self.ID,
+				"retry_in", retry, "err", err)
 			if !sleep(ctx, retry) {
 				return
 			}
@@ -52,7 +59,9 @@ func Join(ctx context.Context, opts JoinOptions) {
 		if interval <= 0 {
 			interval = DefaultHeartbeatTTL / 3
 		}
-		logf("cluster: registered with %s as %s (heartbeat every %v)", opts.Coordinator, opts.Self.ID, interval)
+		log.Info("cluster: registered with coordinator",
+			"coordinator", opts.Coordinator, "worker", opts.Self.ID,
+			"heartbeat_every", interval)
 		for ctx.Err() == nil {
 			if !sleep(ctx, interval) {
 				return
@@ -61,7 +70,9 @@ func Join(ctx context.Context, opts JoinOptions) {
 			known, err := client.Heartbeat(hbCtx, opts.Coordinator, opts.Self.ID)
 			cancel()
 			if err != nil || !known {
-				logf("cluster: heartbeat lost (known=%v err=%v), re-registering", known, err)
+				log.Warn("cluster: heartbeat lost, re-registering",
+					"coordinator", opts.Coordinator, "worker", opts.Self.ID,
+					"known", known, "err", err)
 				break
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"mpstream/internal/device"
 	"mpstream/internal/fabric"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/stats"
 	"mpstream/internal/surface"
@@ -191,6 +192,7 @@ func RunContext(ctx context.Context, dev device.Device, cfg Config) (*Result, er
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	evalStart := obs.EvalStart()
 	dev.Reset()
 
 	clctx := cl.CreateContext(dev)
@@ -296,6 +298,7 @@ func RunContext(ctx context.Context, dev device.Device, cfg Config) (*Result, er
 		}
 		res.Kernels = append(res.Kernels, kr)
 	}
+	obs.EvalDone(evalStart)
 	return res, nil
 }
 

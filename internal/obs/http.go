@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status for the request metrics
+// and log line. It implements http.Flusher unconditionally (no-op when
+// the underlying writer cannot flush) so streaming handlers behind the
+// middleware keep flushing NDJSON events.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps an API mux with the telemetry front door:
+//
+//   - trace propagation: an incoming X-Mpstream-Trace header (when
+//     well-formed) or a freshly minted ID lands in the request context
+//     and echoes on the response, so every hop of a fleet job shares
+//     one trace;
+//   - request metrics: per-route/status counters, per-route latency
+//     histograms, and an in-flight gauge;
+//   - request logging at debug level.
+//
+// reg and log may each be nil to disable that half; trace propagation
+// always runs (it is cheap and correctness-relevant, not telemetry).
+func Middleware(reg *Registry, log *slog.Logger, mux *http.ServeMux) http.Handler {
+	inflight := reg.Gauge("mpstream_http_inflight_requests",
+		"HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := SanitizeTraceID(r.Header.Get(TraceHeader))
+		if trace == "" {
+			trace = NewTraceID()
+		}
+		r = r.WithContext(WithTrace(r.Context(), trace))
+		w.Header().Set(TraceHeader, trace)
+
+		if reg == nil && log == nil {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		// The route label must be the registered pattern, not the raw
+		// URL: per-job paths would otherwise explode the label space.
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		inflight.Add(-1)
+
+		if reg != nil {
+			reg.Counter("mpstream_http_requests_total",
+				"HTTP requests served, by route pattern and status code.",
+				"route", route, "code", strconv.Itoa(sw.code)).Inc()
+			reg.Histogram("mpstream_http_request_seconds",
+				"HTTP request latency in seconds, by route pattern.",
+				DurationBuckets, "route", route).Observe(dur.Seconds())
+		}
+		if log != nil {
+			log.LogAttrs(r.Context(), slog.LevelDebug, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("code", sw.code),
+				slog.Duration("duration", dur),
+				slog.String("trace", trace),
+			)
+		}
+	})
+}

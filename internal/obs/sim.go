@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Simulator hot-path telemetry. The counters are process-global
+// atomics rather than registry instruments: the sim layers (dram,
+// core) stay free of registry plumbing and pay one atomic add per
+// coarse unit (a whole Service call, a whole evaluation), and any
+// number of registries expose the shared values through
+// RegisterSimMetrics.
+var (
+	simDRAMRequests atomic.Uint64 // DRAM transactions serviced
+	simEvals        atomic.Uint64 // core evaluations completed
+	simEvalTick     atomic.Uint64 // sampling clock for evalSeconds
+
+	// evalSeconds is the sampled per-evaluation duration histogram.
+	evalSeconds = NewHistogram(EvalBuckets)
+)
+
+// evalSampleMask makes EvalStart time 1 in 16 evaluations — enough
+// resolution for a latency distribution, cheap enough (one atomic add
+// and a mask) to leave on the hot path unconditionally.
+const evalSampleMask = 15
+
+// AddDRAMRequests accumulates serviced DRAM transactions; the dram
+// model calls it once per Service run with the run's transaction
+// count.
+func AddDRAMRequests(n uint64) {
+	if n > 0 {
+		simDRAMRequests.Add(n)
+	}
+}
+
+// EvalStart begins one (possibly sampled) evaluation timing: the zero
+// time means this evaluation is not sampled and EvalDone only counts
+// it.
+func EvalStart() time.Time {
+	if simEvalTick.Add(1)&evalSampleMask != 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EvalDone completes one evaluation: always counted, and its duration
+// observed when EvalStart sampled it.
+func EvalDone(start time.Time) {
+	simEvals.Add(1)
+	if !start.IsZero() {
+		evalSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// SimStats snapshots the global simulator counters (tests and
+// debugging; scraping goes through RegisterSimMetrics).
+func SimStats() (dramRequests, evals uint64) {
+	return simDRAMRequests.Load(), simEvals.Load()
+}
+
+// RegisterSimMetrics exposes the process-global simulator telemetry
+// through a registry.
+func RegisterSimMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("mpstream_sim_dram_requests_total",
+		"DRAM transactions serviced by the memory model.",
+		func() float64 { return float64(simDRAMRequests.Load()) })
+	r.CounterFunc("mpstream_sim_evaluations_total",
+		"Simulator evaluations (core runs) completed.",
+		func() float64 { return float64(simEvals.Load()) })
+	r.AddHistogram("mpstream_sim_evaluation_seconds",
+		"Sampled per-evaluation wall time in seconds (1 in 16 evaluations).",
+		evalSeconds)
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceHeader carries a job's trace ID across HTTP hops: client →
+// gateway, coordinator → worker shard. The service middleware echoes
+// it on every response and mints one when the request has none, so a
+// fleet sweep is reconstructable end to end from logs and events.
+const TraceHeader = "X-Mpstream-Trace"
+
+// maxTraceLen bounds accepted trace IDs so a hostile header cannot
+// bloat every event record and log line.
+const maxTraceLen = 64
+
+type traceKey struct{}
+
+// traceFallback distinguishes IDs minted if crypto/rand ever fails.
+var traceFallback atomic.Uint64
+
+// NewTraceID mints a 16-byte random hex trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("fallback-%016x", traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace attaches a trace ID to ctx; an empty id returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID reads the trace ID from ctx ("" when absent).
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// SanitizeTraceID validates an externally supplied trace ID: bounded
+// length, restricted to [0-9A-Za-z._-]. Anything else returns "" and
+// the caller mints a fresh ID instead of propagating hostile input
+// into logs and headers.
+func SanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}

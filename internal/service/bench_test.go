@@ -1,0 +1,57 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mpstream/internal/service"
+)
+
+// benchmarkRun drives the full /v1/run hot path — HTTP round trip,
+// middleware, job queue, simulator — with the result cache disabled so
+// every iteration pays for a real evaluation. Comparing the two
+// variants below measures the telemetry overhead the issue bounds at
+// 2%:
+//
+//	go test -bench 'BenchmarkRun(Un)?[Ii]nstrumented' -count 5 ./internal/service/
+func benchmarkRun(b *testing.B, opts service.Options) {
+	opts.Workers = 1
+	opts.CacheEntries = -1
+	srv := service.New(opts)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := smallConfig()
+	body, err := json.Marshal(service.RunRequest{Target: "cpu", Config: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("run status %d", resp.StatusCode)
+		}
+	}
+}
+
+func BenchmarkRunInstrumented(b *testing.B) {
+	benchmarkRun(b, service.Options{})
+}
+
+func BenchmarkRunUninstrumented(b *testing.B) {
+	benchmarkRun(b, service.Options{DisableMetrics: true})
+}

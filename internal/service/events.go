@@ -35,6 +35,9 @@ type Event struct {
 	Job  string    `json:"job"`
 	Time time.Time `json:"time"`
 	Type string    `json:"type"`
+	// Trace is the job's trace ID, stamped on every event so a
+	// subscriber can correlate streams across the fleet.
+	Trace string `json:"trace,omitempty"`
 	// State rides on state and result events.
 	State Status `json:"state,omitempty"`
 	// Progress rides on progress events.
@@ -86,6 +89,7 @@ const (
 type eventLog struct {
 	mu      sync.Mutex
 	job     string
+	trace   string
 	seq     uint64
 	history []Event
 	subs    map[chan Event]struct{}
@@ -100,6 +104,7 @@ func (j *Job) publish(ev Event) {
 	l.seq++
 	ev.Seq = l.seq
 	ev.Job = l.job
+	ev.Trace = l.trace
 	ev.Time = time.Now().UTC()
 	l.history = append(l.history, ev)
 	if len(l.history) > maxEventHistory {

@@ -19,6 +19,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/surface"
 )
 
@@ -86,9 +87,14 @@ type TargetsResponse struct {
 	Targets []device.Info `json:"targets"`
 }
 
-// JobsResponse is the GET /v1/jobs body.
+// JobsResponse is the GET /v1/jobs body. Total counts the retained
+// jobs before any filter; Filtered counts the jobs matching the
+// ?state= filter before the ?limit= truncation — so a truncated
+// listing is explicit about what it dropped.
 type JobsResponse struct {
-	Jobs []View `json:"jobs"`
+	Jobs     []View `json:"jobs"`
+	Total    int    `json:"total"`
+	Filtered int    `json:"filtered"`
 }
 
 // errorResponse is the uniform error body.
@@ -141,7 +147,8 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	GET    /v1/jobs/{id}/events stream NDJSON progress/point/result events
 //	GET    /v1/targets          list benchmark targets
 //	GET    /v1/version          build info, registered targets, strategies, objectives
-//	GET    /v1/healthz          liveness, queue and cache telemetry (+ worker counts on coordinators)
+//	GET    /v1/healthz          liveness, queue, job and cache telemetry (+ worker counts on coordinators)
+//	GET    /v1/metrics          Prometheus text exposition (404 when metrics are disabled)
 //
 // Fleet endpoints (see internal/cluster):
 //
@@ -163,12 +170,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.reg != nil {
+		mux.Handle("GET /v1/metrics", s.reg.Handler())
+	}
 	mux.HandleFunc("POST /v1/cluster/register", s.handleClusterRegister)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
 	mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
 	mux.HandleFunc("POST /v1/cluster/shard/sweep", s.handleSweepShard)
 	mux.HandleFunc("POST /v1/cluster/shard/surface", s.handleSurfaceShard)
-	return mux
+	// The middleware mints/propagates trace IDs and measures every
+	// route; with metrics disabled it still carries traces through.
+	return obs.Middleware(s.reg, s.log, mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {
@@ -218,7 +230,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	j, err := s.SubmitRun(req.Target, cfg, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitRun(r.Context(), req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -258,7 +270,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Op != nil {
 		op = *req.Op
 	}
-	j, err := s.SubmitSweep(req.Target, base, req.Space, op, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitSweep(r.Context(), req.Target, base, req.Space, op, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -281,7 +293,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		op = *req.Op
 	}
 	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed, Objective: req.Objective}
-	j, err := s.SubmitOptimize(req.Target, base, req.Space, op, opts, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitOptimize(r.Context(), req.Target, base, req.Space, op, opts, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -299,7 +311,7 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	j, err := s.SubmitSurface(req.Target, cfg, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitSurface(r.Context(), req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -423,7 +435,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.snapshots(state, limit)})
+	views, total, matched := s.jobs.snapshots(state, limit)
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: views, Total: total, Filtered: matched})
 }
 
 // handleJobEvents is GET /v1/jobs/{id}/events: an NDJSON stream of the
@@ -580,7 +593,7 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 	if req.Op != nil {
 		op = *req.Op
 	}
-	j, err := s.SubmitSweepShard(req.Target, base, req.Space, op, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitSweepShard(r.Context(), req.Target, base, req.Space, op, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return
@@ -601,7 +614,7 @@ func (s *Server) handleSurfaceShard(w http.ResponseWriter, r *http.Request) {
 	if req.Config != nil {
 		cfg = *req.Config
 	}
-	j, err := s.SubmitSurfaceShard(req.Target, cfg, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
+	j, err := s.SubmitSurfaceShard(r.Context(), req.Target, cfg, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
 	if err != nil {
 		writeError(w, submitCode(err), err)
 		return

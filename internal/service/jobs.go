@@ -11,6 +11,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/progress"
 	"mpstream/internal/runstate"
 	"mpstream/internal/surface"
@@ -50,10 +51,15 @@ func Statuses() []Status {
 // View is the externally visible snapshot of a job — the JSON shape
 // /v1/jobs/{id} serves and run/sweep responses embed.
 type View struct {
-	ID       string    `json:"id"`
-	Kind     Kind      `json:"kind"`
-	Status   Status    `json:"status"`
-	Target   string    `json:"target"`
+	ID     string `json:"id"`
+	Kind   Kind   `json:"kind"`
+	Status Status `json:"status"`
+	Target string `json:"target"`
+	// Trace is the request-scoped trace ID the job was submitted under
+	// (minted server-side when the submitter sent none). It rides on
+	// every job event and log line and propagates to fleet workers via
+	// the X-Mpstream-Trace header.
+	Trace    string    `json:"trace,omitempty"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
 	Finished time.Time `json:"finished,omitzero"`
@@ -141,6 +147,12 @@ type Job struct {
 	// events is the bounded publish/subscribe log behind
 	// GET /v1/jobs/{id}/events.
 	events eventLog
+
+	// onFinish — when non-nil — observes the final snapshot exactly
+	// once, from finish. The server hooks its telemetry (jobs-finished
+	// counters, duration histograms, completion log lines) here.
+	// Immutable after add.
+	onFinish func(View)
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
@@ -256,6 +268,9 @@ func (j *Job) finish(status Status, mutate func(v *View)) {
 	j.baseCancel()
 	final := j.Snapshot()
 	j.publish(Event{Type: EventResult, State: status, Result: &final})
+	if j.onFinish != nil {
+		j.onFinish(final)
+	}
 	close(j.done)
 }
 
@@ -287,6 +302,9 @@ type jobStore struct {
 	jobs        map[string]*Job
 	order       []string // insertion order, oldest first
 	maxRetained int
+	// onFinish is copied into every job at add; see Job.onFinish. Set
+	// once before the store serves submissions.
+	onFinish func(View)
 }
 
 func newJobStore(maxRetained int) *jobStore {
@@ -295,18 +313,21 @@ func newJobStore(maxRetained int) *jobStore {
 
 // add registers a new job of the given kind and returns it with an
 // assigned id in queued state. timeout is the per-job deadline, armed
-// when the job starts running.
-func (s *jobStore) add(kind Kind, target string, timeout time.Duration) *Job {
+// when the job starts running. trace is the request-scoped trace ID
+// the job carries through its lifetime (the job context, every event,
+// and fleet fan-out all read it back).
+func (s *jobStore) add(kind Kind, target string, timeout time.Duration, trace string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(obs.WithTrace(context.Background(), trace))
 	j := &Job{
 		view: View{
 			ID:        fmt.Sprintf("j%06d", s.seq),
 			Kind:      kind,
 			Status:    StatusQueued,
 			Target:    target,
+			Trace:     trace,
 			Created:   time.Now().UTC(),
 			TimeoutMS: timeout.Milliseconds(),
 		},
@@ -314,9 +335,11 @@ func (s *jobStore) add(kind Kind, target string, timeout time.Duration) *Job {
 		timeout:    timeout,
 		ctx:        ctx,
 		baseCancel: cancel,
+		onFinish:   s.onFinish,
 		done:       make(chan struct{}),
 	}
 	j.events.job = j.view.ID
+	j.events.trace = trace
 	s.jobs[j.view.ID] = j
 	s.order = append(s.order, j.view.ID)
 	s.evictLocked()
@@ -371,16 +394,20 @@ func (s *jobStore) remove(id string) {
 // submission sequence, not lexical id — ids wrap their fixed width past
 // a million jobs), optionally filtered to one state, optionally limited
 // to the most recent limit entries (still oldest first). state "" and
-// limit <= 0 disable the respective filter.
-func (s *jobStore) snapshots(state Status, limit int) []View {
+// limit <= 0 disable the respective filter. total is the retained job
+// count before filtering; matched the count after the state filter but
+// before the limit — the pair lets a truncated listing say what it
+// dropped.
+func (s *jobStore) snapshots(state Status, limit int) (views []View, total, matched int) {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	total = len(jobs)
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	views := make([]View, 0, len(jobs))
+	views = make([]View, 0, len(jobs))
 	for _, j := range jobs {
 		v := j.Snapshot()
 		if state != "" && v.Status != state {
@@ -388,13 +415,16 @@ func (s *jobStore) snapshots(state Status, limit int) []View {
 		}
 		views = append(views, v)
 	}
+	matched = len(views)
 	if limit > 0 && len(views) > limit {
 		views = views[len(views)-limit:]
 	}
-	return views
+	return views, total, matched
 }
 
-// counts tallies jobs by status without copying full views.
+// counts tallies jobs by status without copying full views. Every
+// status appears in the map — zeros included — so consumers (healthz,
+// the metrics collector) see a stable key set.
 func (s *jobStore) counts() map[Status]int {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
@@ -403,6 +433,9 @@ func (s *jobStore) counts() map[Status]int {
 	}
 	s.mu.Unlock()
 	out := make(map[Status]int, 5)
+	for _, st := range Statuses() {
+		out[st] = 0
+	}
 	for _, j := range jobs {
 		j.mu.Lock()
 		out[j.view.Status]++

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/runstate"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/surface"
@@ -147,6 +149,17 @@ type Options struct {
 	// Nil means a standalone server. The server does not own the
 	// coordinator; the caller Closes it.
 	Cluster *cluster.Coordinator
+	// Metrics receives the server's telemetry; nil builds a private
+	// registry (read it back via Server.Metrics). Ignored when
+	// DisableMetrics is set.
+	Metrics *obs.Registry
+	// Logger receives the server's structured diagnostics; nil discards
+	// them.
+	Logger *slog.Logger
+	// DisableMetrics turns all metric instrumentation off (Server.
+	// Metrics returns nil and /v1/metrics serves 404) — the
+	// uninstrumented baseline the overhead benchmark compares against.
+	DisableMetrics bool
 }
 
 func (o Options) withDefaults() Options {
@@ -213,6 +226,8 @@ type Server struct {
 	optCache  *optimizeCache
 	surfCache *surfaceCache
 	start     time.Time
+	reg       *obs.Registry // nil when Options.DisableMetrics
+	log       *slog.Logger  // never nil; NopLogger by default
 
 	// flight deduplicates concurrently executing identical run jobs:
 	// fingerprint -> channel closed when the leading execution finishes.
@@ -244,6 +259,7 @@ func New(opts Options) *Server {
 		start:     time.Now(),
 		quit:      make(chan struct{}),
 	}
+	s.initObs(opts)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -279,8 +295,11 @@ func (s *Server) Job(id string) (*Job, bool) { return s.jobs.get(id) }
 
 // Jobs lists job views in stable submit-time order, optionally filtered
 // to one state ("" = all) and limited to the most recent limit entries
-// (<= 0 = all).
-func (s *Server) Jobs(state Status, limit int) []View { return s.jobs.snapshots(state, limit) }
+// (<= 0 = all). total counts retained jobs before filtering, matched
+// the jobs passing the state filter before the limit.
+func (s *Server) Jobs(state Status, limit int) (views []View, total, matched int) {
+	return s.jobs.snapshots(state, limit)
+}
 
 // CancelJob requests cancellation of a job. A queued job lands in
 // canceled immediately; a running one stops at its next evaluation-unit
@@ -309,10 +328,23 @@ func (s *Server) clampTimeout(timeout time.Duration) (time.Duration, error) {
 	return timeout, nil
 }
 
+// traceFor reads the request-scoped trace ID from a submission
+// context, minting a fresh one when the caller carried none — every
+// job has a trace from birth.
+func traceFor(ctx context.Context) string {
+	if ctx != nil {
+		if trace := obs.SanitizeTraceID(obs.TraceID(ctx)); trace != "" {
+			return trace
+		}
+	}
+	return obs.NewTraceID()
+}
+
 // SubmitRun validates and enqueues one configuration on one target.
 // timeout bounds the job's execution once it starts running (clamped to
-// Options.MaxTimeout; 0 means none).
-func (s *Server) SubmitRun(target string, cfg core.Config, timeout time.Duration) (*Job, error) {
+// Options.MaxTimeout; 0 means none). ctx scopes the submission itself
+// (its trace ID is inherited by the job), not the job's execution.
+func (s *Server) SubmitRun(ctx context.Context, target string, cfg core.Config, timeout time.Duration) (*Job, error) {
 	info, err := s.checkTarget(target)
 	if err != nil {
 		return nil, err
@@ -328,7 +360,7 @@ func (s *Server) SubmitRun(target string, cfg core.Config, timeout time.Duration
 	if err := s.checkLimits(info, cfg); err != nil {
 		return nil, err
 	}
-	j := s.jobs.add(KindRun, target, timeout)
+	j := s.jobs.add(KindRun, target, timeout, traceFor(ctx))
 	j.mu.Lock()
 	j.cfg = cfg
 	j.view.Fingerprint = cfg.Fingerprint(target)
@@ -343,21 +375,21 @@ func (s *Server) SubmitRun(target string, cfg core.Config, timeout time.Duration
 // timeout bounds the job's execution once it starts running (clamped to
 // Options.MaxTimeout; 0 means none). On a coordinator with alive
 // workers the grid is sharded across the fleet.
-func (s *Server) SubmitSweep(target string, base core.Config, space dse.Space, op kernel.Op, timeout time.Duration) (*Job, error) {
-	return s.submitSweep(target, base, space, op, 0, space.Size(), timeout, true)
+func (s *Server) SubmitSweep(ctx context.Context, target string, base core.Config, space dse.Space, op kernel.Op, timeout time.Duration) (*Job, error) {
+	return s.submitSweep(ctx, target, base, space, op, 0, space.Size(), timeout, true)
 }
 
 // SubmitSweepShard validates and enqueues the slice [lo, hi) of a
 // parameter grid's flat enumeration — the unit a fleet coordinator
 // assigns one worker. Shard jobs always execute locally.
-func (s *Server) SubmitSweepShard(target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration) (*Job, error) {
+func (s *Server) SubmitSweepShard(ctx context.Context, target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration) (*Job, error) {
 	if size := space.Size(); lo < 0 || hi < lo || hi > size {
 		return nil, fmt.Errorf("service: sweep shard [%d,%d) out of the %d-point grid", lo, hi, size)
 	}
-	return s.submitSweep(target, base, space, op, lo, hi, timeout, false)
+	return s.submitSweep(ctx, target, base, space, op, lo, hi, timeout, false)
 }
 
-func (s *Server) submitSweep(target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
+func (s *Server) submitSweep(ctx context.Context, target string, base core.Config, space dse.Space, op kernel.Op, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
 	info, err := s.checkTarget(target)
 	if err != nil {
 		return nil, err
@@ -381,7 +413,7 @@ func (s *Server) submitSweep(target string, base core.Config, space dse.Space, o
 	if n := hi - lo; n > s.opts.MaxSweepPoints {
 		return nil, fmt.Errorf("service: sweep grid has %d points, limit %d", n, s.opts.MaxSweepPoints)
 	}
-	j := s.jobs.add(KindSweep, target, timeout)
+	j := s.jobs.add(KindSweep, target, timeout, traceFor(ctx))
 	j.mu.Lock()
 	j.base, j.space, j.op = base, space, op
 	j.lo, j.hi = lo, hi
@@ -398,7 +430,7 @@ func (s *Server) submitSweep(target string, base core.Config, space dse.Space, o
 // itself may be arbitrarily large — adaptive strategies exist exactly
 // so the whole grid need not be simulated — but the effective
 // evaluation budget is bounded by MaxOptimizeBudget.
-func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options, timeout time.Duration) (*Job, error) {
+func (s *Server) SubmitOptimize(ctx context.Context, target string, base core.Config, space dse.Space, op kernel.Op, opts search.Options, timeout time.Duration) (*Job, error) {
 	info, err := s.checkTarget(target)
 	if err != nil {
 		return nil, err
@@ -442,7 +474,7 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 		return nil, fmt.Errorf("service: optimize budget %d exceeds limit %d (pass an explicit budget)",
 			opts.Budget, s.opts.MaxOptimizeBudget)
 	}
-	j := s.jobs.add(KindOptimize, target, timeout)
+	j := s.jobs.add(KindOptimize, target, timeout, traceFor(ctx))
 	j.mu.Lock()
 	j.base, j.space, j.op, j.sopts = base, space, op, opts
 	j.view.Fingerprint = optimizeFingerprint(target, base, space, op, opts)
@@ -458,21 +490,21 @@ func (s *Server) SubmitOptimize(target string, base core.Config, space dse.Space
 // (defaults resolved) before fingerprinting so equivalent spellings
 // share one cache entry. On a coordinator with alive workers the
 // ladder's curves are sharded across the fleet.
-func (s *Server) SubmitSurface(target string, cfg surface.Config, timeout time.Duration) (*Job, error) {
-	return s.submitSurface(target, cfg, 0, cfg.CurveCount(), timeout, true)
+func (s *Server) SubmitSurface(ctx context.Context, target string, cfg surface.Config, timeout time.Duration) (*Job, error) {
+	return s.submitSurface(ctx, target, cfg, 0, cfg.CurveCount(), timeout, true)
 }
 
 // SubmitSurfaceShard validates and enqueues the curves [lo, hi) of a
 // surface ladder in pattern-major order — the unit a fleet coordinator
 // assigns one worker. Shard jobs always execute locally.
-func (s *Server) SubmitSurfaceShard(target string, cfg surface.Config, lo, hi int, timeout time.Duration) (*Job, error) {
+func (s *Server) SubmitSurfaceShard(ctx context.Context, target string, cfg surface.Config, lo, hi int, timeout time.Duration) (*Job, error) {
 	if n := cfg.CurveCount(); lo < 0 || hi < lo || hi > n {
 		return nil, fmt.Errorf("service: surface shard [%d,%d) out of the %d-curve ladder", lo, hi, n)
 	}
-	return s.submitSurface(target, cfg, lo, hi, timeout, false)
+	return s.submitSurface(ctx, target, cfg, lo, hi, timeout, false)
 }
 
-func (s *Server) submitSurface(target string, cfg surface.Config, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
+func (s *Server) submitSurface(ctx context.Context, target string, cfg surface.Config, lo, hi int, timeout time.Duration, fleet bool) (*Job, error) {
 	if _, err := s.checkTarget(target); err != nil {
 		return nil, err
 	}
@@ -498,7 +530,7 @@ func (s *Server) submitSurface(target string, cfg surface.Config, lo, hi int, ti
 		return nil, fmt.Errorf("service: surface probe of %d hops exceeds limit %d",
 			cfg.ProbeHops, DefaultMaxSurfaceWindowTxns)
 	}
-	j := s.jobs.add(KindSurface, target, timeout)
+	j := s.jobs.add(KindSurface, target, timeout, traceFor(ctx))
 	j.mu.Lock()
 	j.scfg = cfg
 	j.clo, j.chi = lo, hi
@@ -600,6 +632,7 @@ func (s *Server) enqueue(j *Job) error {
 	}
 	select {
 	case s.queue <- j:
+		s.jobSubmitted(j)
 		return nil
 	default:
 		s.jobs.remove(j.ID())

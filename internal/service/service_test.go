@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -697,7 +698,7 @@ func TestQueueFull(t *testing.T) {
 	// The library surface must not hand back a job that will never run.
 	cfgD := cfg
 	cfgD.VecWidth = 8
-	if j, err := e.srv.SubmitRun("cpu", cfgD, 0); err == nil || j != nil {
+	if j, err := e.srv.SubmitRun(context.Background(), "cpu", cfgD, 0); err == nil || j != nil {
 		t.Errorf("overflow SubmitRun = (%v, %v), want (nil, ErrQueueFull)", j, err)
 	}
 
@@ -770,7 +771,7 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 	for i, vec := range []int{1, 2, 4} {
 		cfg := smallConfig()
 		cfg.VecWidth = vec
-		j, err := srv.SubmitRun("cpu", cfg, 0)
+		j, err := srv.SubmitRun(context.Background(), "cpu", cfg, 0)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -897,7 +898,7 @@ func TestConcurrentIdenticalRunsSingleFlight(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	srv := service.New(service.Options{Workers: 1})
 	srv.Close()
-	j, err := srv.SubmitRun("cpu", smallConfig(), 0)
+	j, err := srv.SubmitRun(context.Background(), "cpu", smallConfig(), 0)
 	if j != nil || !errors.Is(err, service.ErrClosed) {
 		t.Errorf("SubmitRun after Close = (%v, %v), want (nil, ErrClosed)", j, err)
 	}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpstream/internal/obs"
 	"mpstream/internal/sim/mem"
 )
 
@@ -642,4 +643,7 @@ func finish(res *Result, chans []chanState, start float64, cfg Config, drained b
 	}
 	res.Seconds = elapsedNs * 1e-9
 	res.Drained = drained
+	// Every Service* completion path funnels through finish exactly
+	// once, so this is the single telemetry hook for serviced traffic.
+	obs.AddDRAMRequests(res.Txns)
 }

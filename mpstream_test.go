@@ -1,6 +1,7 @@
 package mpstream_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -114,7 +115,7 @@ func TestFacadeService(t *testing.T) {
 	cfg := mpstream.DefaultConfig()
 	cfg.ArrayBytes = 1 << 16
 	cfg.Ops = []mpstream.Op{mpstream.Copy}
-	job, err := svc.SubmitRun("cpu", cfg, 0)
+	job, err := svc.SubmitRun(context.Background(), "cpu", cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFacadeService(t *testing.T) {
 		t.Fatalf("service run failed: %+v", v)
 	}
 	// Second submission of the same work is served from the cache.
-	job2, err := svc.SubmitRun("cpu", cfg, 0)
+	job2, err := svc.SubmitRun(context.Background(), "cpu", cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run every benchmark once and write a machine-readable summary to
+# BENCH_0.json: [{"name": ..., "ns_per_op": ..., "allocs_per_op": ...}].
+#
+# -benchtime=1x keeps this a smoke-grade artifact — one iteration per
+# benchmark pins the shape (compiles, runs, allocation profile) without
+# pretending to be a statistically meaningful measurement. Pass a
+# different -benchtime through BENCHTIME for real numbers:
+#
+#   ./scripts/bench.sh               # 1 iteration per benchmark
+#   BENCHTIME=100x ./scripts/bench.sh
+#
+# Run from the repository root.
+set -euo pipefail
+
+OUT=${OUT:-BENCH_0.json}
+BENCHTIME=${BENCHTIME:-1x}
+RAW=$(mktemp)
+
+go test -run '^$' -bench . -benchtime="$BENCHTIME" -benchmem ./... | tee "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, re, sys
+
+rows = []
+# Benchmark lines are "name iterations <value unit>..." with the
+# value/unit pairs in any order (custom metrics like "x-paper" may sit
+# between ns/op and the -benchmem pairs), so scan by unit.
+for line in open(sys.argv[1]):
+    fields = line.split()
+    if len(fields) < 4 or not fields[0].startswith("Benchmark"):
+        continue
+    units = {}
+    for value, unit in zip(fields[2::2], fields[3::2]):
+        units[unit] = value
+    if "ns/op" not in units:
+        continue
+    row = {"name": fields[0], "ns_per_op": float(units["ns/op"])}
+    if "allocs/op" in units:
+        row["allocs_per_op"] = int(units["allocs/op"])
+    rows.append(row)
+
+assert rows, "no benchmark result lines parsed"
+with open(sys.argv[2], "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print("bench: wrote %d results to %s" % (len(rows), sys.argv[2]))
+EOF

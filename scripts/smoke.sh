@@ -11,6 +11,10 @@
 # the job still completes with results identical to a single-node
 # sweep of the same request.
 #
+# Part 3 (telemetry): scrape /v1/metrics on the coordinator and the
+# surviving worker, asserting the job, fleet-shard, cache and
+# simulator counters are nonzero after the runs above.
+#
 # Run from the repository root; requires curl and python3.
 set -euo pipefail
 
@@ -207,4 +211,32 @@ solo = json.load(open("/tmp/solo_sweep.json"))["job"]["sweep"]
 assert fleet == solo, "fleet and single-node sweeps diverge"
 print("smoke: fleet sweep identical to single-node (%d ranked points)" % len(fleet["ranked"]))
 '
+
+# ---------------------------------------------------------------------
+# Part 3: /v1/metrics — job, shard, cache and sim counters nonzero.
+# ---------------------------------------------------------------------
+# metric <file> <sample-regex> prints the sample's value or fails.
+metric() {
+  python3 - "$1" "$2" <<'EOF'
+import re, sys
+body = open(sys.argv[1]).read()
+m = re.search(r"(?m)^%s (\S+)$" % sys.argv[2], body)
+assert m, "metric %s missing from scrape" % sys.argv[2]
+print(m.group(1))
+EOF
+}
+
+curl -sf "$CBASE/metrics" >/tmp/coord_metrics.txt
+FIN=$(metric /tmp/coord_metrics.txt 'mpstream_jobs_finished_total\{kind="sweep",status="done"\}')
+SHARDS=$(metric /tmp/coord_metrics.txt 'mpstream_cluster_shards_total\{state="done"\}')
+[ "${FIN%.*}" -ge 1 ] || { echo "coordinator finished-sweep counter $FIN, want >= 1"; exit 1; }
+[ "${SHARDS%.*}" -ge 1 ] || { echo "coordinator done-shard counter $SHARDS, want >= 1"; exit 1; }
+echo "smoke: coordinator metrics: $FIN sweeps finished, $SHARDS shards done"
+
+curl -sf "$W1BASE/metrics" >/tmp/worker_metrics.txt
+ENTRIES=$(metric /tmp/worker_metrics.txt 'mpstream_cache_entries\{cache="run"\}')
+EVALS=$(metric /tmp/worker_metrics.txt 'mpstream_sim_evaluations_total')
+[ "${ENTRIES%.*}" -ge 1 ] || { echo "worker run-cache entries $ENTRIES, want >= 1"; exit 1; }
+[ "${EVALS%.*}" -ge 1 ] || { echo "worker sim evaluations $EVALS, want >= 1"; exit 1; }
+echo "smoke: worker metrics: $ENTRIES cached runs, $EVALS simulator evaluations"
 echo "smoke: OK"
