@@ -28,6 +28,7 @@ import (
 	"mpstream/internal/sim/cache"
 	"mpstream/internal/sim/dram"
 	"mpstream/internal/sim/mem"
+	"mpstream/internal/surface"
 )
 
 // benchExperiment runs one figure reproduction per iteration and reports
@@ -272,6 +273,24 @@ func BenchmarkPatternIter(b *testing.B) {
 			continue
 		}
 		_ = r
+	}
+}
+
+// BenchmarkSurface measures a full bandwidth-latency surface on the GPU
+// target — the simulator hot path behind a /v1/surface cache miss, and
+// (with BenchmarkFig2) one of the two recorded trajectory benchmarks the
+// CI regression gate watches.
+func BenchmarkSurface(b *testing.B) {
+	dev, err := targets.ByID("gpu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := surface.Config{}.WithDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := surface.Generate(dev, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// DigestJSON returns a stable hex digest of any result-shaped value:
+// SHA-256 over its canonical JSON encoding. Go's encoding/json is
+// deterministic for the result types this repo exchanges (struct fields
+// encode in declaration order, floats via strconv's shortest round-trip
+// form), so two values digest equal exactly when they are byte-identical
+// on the wire — the equality the golden-parity test layer locks and the
+// fleet merge path relies on.
+//
+// It is the Result/Surface counterpart of Config.Fingerprint: the
+// fingerprint names the question, the digest names the answer.
+func DigestJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Result types are plain marshalable structs; reaching here means
+		// a programming error upstream. Digest the error representation so
+		// distinct failures never collide silently.
+		b = []byte(fmt.Sprintf("unmarshalable:%s:%#v", err, v))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// DigestResult digests one benchmark result (see DigestJSON).
+func DigestResult(r *Result) string { return DigestJSON(r) }

@@ -393,6 +393,10 @@ func (k Kernel) OpenCLSource() string {
 // Slices must be typed alike and equally long; c may be nil for one-input
 // ops. This is the execution the cl runtime performs so results are
 // verifiable, independent of the timing models.
+//
+// Apply resolves the `any`-typed arguments once and delegates to the
+// monomorphic ApplyInt32/ApplyFloat64 loops; callers already holding
+// typed slices should call those directly.
 func Apply(op Op, q float64, dst, b, c any) error {
 	switch d := dst.(type) {
 	case []int32:
@@ -406,43 +410,8 @@ func Apply(op Op, q float64, dst, b, c any) error {
 			if !ok {
 				return fmt.Errorf("kernel: input c type %T does not match dst []int32", c)
 			}
-			if len(cc) != len(d) {
-				return fmt.Errorf("kernel: length mismatch c=%d dst=%d", len(cc), len(d))
-			}
 		}
-		if len(bb) != len(d) {
-			return fmt.Errorf("kernel: length mismatch b=%d dst=%d", len(bb), len(d))
-		}
-		qi := int32(q)
-		switch op {
-		case Copy:
-			copy(d, bb)
-		case Scale:
-			for i := range d {
-				d[i] = qi * bb[i]
-			}
-		case Add:
-			for i := range d {
-				d[i] = bb[i] + cc[i]
-			}
-		case Triad:
-			for i := range d {
-				d[i] = bb[i] + qi*cc[i]
-			}
-		case Chase:
-			n := int32(len(d))
-			var idx int32
-			for i := range d {
-				idx = bb[idx%n] % n
-				if idx < 0 {
-					idx += n
-				}
-				d[i] = idx
-			}
-		default:
-			return fmt.Errorf("kernel: unknown op %d", uint8(op))
-		}
-		return nil
+		return ApplyInt32(op, q, d, bb, cc)
 	case []float64:
 		bb, ok := b.([]float64)
 		if !ok {
@@ -454,37 +423,85 @@ func Apply(op Op, q float64, dst, b, c any) error {
 			if !ok {
 				return fmt.Errorf("kernel: input c type %T does not match dst []float64", c)
 			}
-			if len(cc) != len(d) {
-				return fmt.Errorf("kernel: length mismatch c=%d dst=%d", len(cc), len(d))
-			}
 		}
-		if len(bb) != len(d) {
-			return fmt.Errorf("kernel: length mismatch b=%d dst=%d", len(bb), len(d))
-		}
-		switch op {
-		case Copy:
-			copy(d, bb)
-		case Scale:
-			for i := range d {
-				d[i] = q * bb[i]
-			}
-		case Add:
-			for i := range d {
-				d[i] = bb[i] + cc[i]
-			}
-		case Triad:
-			for i := range d {
-				d[i] = bb[i] + q*cc[i]
-			}
-		case Chase:
-			return fmt.Errorf("kernel: chase chains array indices and requires the int type")
-		default:
-			return fmt.Errorf("kernel: unknown op %d", uint8(op))
-		}
-		return nil
+		return ApplyFloat64(op, q, d, bb, cc)
 	default:
 		return fmt.Errorf("kernel: unsupported element type %T", dst)
 	}
+}
+
+// ApplyInt32 is the int path of Apply over concrete slices: no interface
+// boxing, one op dispatch, then a monomorphic elementwise loop. c is
+// ignored for one-input ops.
+func ApplyInt32(op Op, q float64, dst, b, c []int32) error {
+	if op.InputStreams() == 2 && len(c) != len(dst) {
+		return fmt.Errorf("kernel: length mismatch c=%d dst=%d", len(c), len(dst))
+	}
+	if len(b) != len(dst) {
+		return fmt.Errorf("kernel: length mismatch b=%d dst=%d", len(b), len(dst))
+	}
+	qi := int32(q)
+	switch op {
+	case Copy:
+		copy(dst, b)
+	case Scale:
+		for i := range dst {
+			dst[i] = qi * b[i]
+		}
+	case Add:
+		for i := range dst {
+			dst[i] = b[i] + c[i]
+		}
+	case Triad:
+		for i := range dst {
+			dst[i] = b[i] + qi*c[i]
+		}
+	case Chase:
+		n := int32(len(dst))
+		var idx int32
+		for i := range dst {
+			idx = b[idx%n] % n
+			if idx < 0 {
+				idx += n
+			}
+			dst[i] = idx
+		}
+	default:
+		return fmt.Errorf("kernel: unknown op %d", uint8(op))
+	}
+	return nil
+}
+
+// ApplyFloat64 is the double path of Apply over concrete slices (see
+// ApplyInt32). Chase is int-only and rejected here.
+func ApplyFloat64(op Op, q float64, dst, b, c []float64) error {
+	if op.InputStreams() == 2 && len(c) != len(dst) {
+		return fmt.Errorf("kernel: length mismatch c=%d dst=%d", len(c), len(dst))
+	}
+	if len(b) != len(dst) {
+		return fmt.Errorf("kernel: length mismatch b=%d dst=%d", len(b), len(dst))
+	}
+	switch op {
+	case Copy:
+		copy(dst, b)
+	case Scale:
+		for i := range dst {
+			dst[i] = q * b[i]
+		}
+	case Add:
+		for i := range dst {
+			dst[i] = b[i] + c[i]
+		}
+	case Triad:
+		for i := range dst {
+			dst[i] = b[i] + q*c[i]
+		}
+	case Chase:
+		return fmt.Errorf("kernel: chase chains array indices and requires the int type")
+	default:
+		return fmt.Errorf("kernel: unknown op %d", uint8(op))
+	}
+	return nil
 }
 
 // Expected returns the value every element of the destination should hold

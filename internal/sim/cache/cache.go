@@ -19,6 +19,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mpstream/internal/sim/mem"
 )
@@ -50,6 +51,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache %q: line bytes %d must be a power of two", c.Name, c.LineBytes)
 	case c.Ways <= 0:
 		return fmt.Errorf("cache %q: ways must be positive", c.Name)
+	case c.Ways > 64:
+		return fmt.Errorf("cache %q: %d ways exceed the model's limit of 64", c.Name, c.Ways)
 	case c.CapacityBytes == 0 || c.CapacityBytes%(uint64(c.LineBytes)*uint64(c.Ways)) != 0:
 		return fmt.Errorf("cache %q: capacity %d not divisible into %d ways of %d-byte lines",
 			c.Name, c.CapacityBytes, c.Ways, c.LineBytes)
@@ -110,22 +113,33 @@ func (s Stats) L1TransferBytes(lineBytes uint32) uint64 {
 	return s.L1Transfers * uint64(lineBytes)
 }
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU timestamp
-}
-
 // Cache is a set-associative cache with persistent state, so repeated
 // kernel invocations see warm caches exactly as hardware does. Reset
 // restores the cold state.
+//
+// Way state is stored structure-of-arrays: a probe scans the set's slice
+// of the contiguous tag array (plus one validity word) instead of a
+// strided walk over 24-byte way structs, so the per-request scans that
+// dominate strided DRAM-resident workloads touch a third of the memory.
+// Invalid ways keep tag and LRU stamp zero, which the victim selection
+// relies on.
 type Cache struct {
 	cfg   Config
 	sets  uint64
-	ways  [][]way
+	ways  int
 	tick  uint64
 	stats Stats
+
+	tags  []uint64 // sets x ways line tags
+	used  []uint64 // sets x ways LRU timestamps (0 = never / invalid)
+	valid []uint64 // per-set validity bitmask (Ways <= 64, enforced by Validate)
+	dirty []uint64 // per-set dirty bitmask
+
+	// Power-of-two geometry in shift/mask form: lineShift replaces the
+	// per-line division by LineBytes, setsMask the modulo by the set
+	// count. Both are hot once per probed line.
+	lineShift uint
+	setsMask  uint64
 
 	// lastLine tracks the most recently touched line per stream tag (the
 	// L1-residency approximation). Indexed by stream&(len-1); a benchmark
@@ -148,11 +162,13 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, sets: cfg.Sets()}
-	c.ways = make([][]way, c.sets)
-	for i := range c.ways {
-		c.ways[i] = make([]way, cfg.Ways)
-	}
+	c := &Cache{cfg: cfg, sets: cfg.Sets(), ways: cfg.Ways}
+	c.lineShift = mem.Log2(uint64(cfg.LineBytes))
+	c.setsMask = c.sets - 1
+	c.tags = make([]uint64, c.sets*uint64(cfg.Ways))
+	c.used = make([]uint64, c.sets*uint64(cfg.Ways))
+	c.valid = make([]uint64, c.sets)
+	c.dirty = make([]uint64, c.sets)
 	return c
 }
 
@@ -164,11 +180,10 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset restores cold state and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.ways {
-		for j := range c.ways[i] {
-			c.ways[i][j] = way{}
-		}
-	}
+	clear(c.tags)
+	clear(c.used)
+	clear(c.valid)
+	clear(c.dirty)
 	c.tick = 0
 	c.stats = Stats{}
 	c.lastLine = [8]uint64{}
@@ -198,7 +213,7 @@ func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
 
 	for addr := first; addr < end; addr += line {
 		c.stats.LineProbes++
-		lineID := addr / line
+		lineID := addr >> c.lineShift
 
 		slot := r.Stream & 7
 
@@ -240,13 +255,16 @@ func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
 		c.lastLine[slot], c.lastValid[slot] = lineID, true
 
 		set := c.setIndex(lineID)
-		ws := c.ways[set]
+		base := set * uint64(c.ways)
+		tags := c.tags[base : base+uint64(c.ways)]
+		vmask := c.valid[set]
 		c.tick++
 
-		// Probe.
+		// Probe the valid ways' tags (a line occupies at most one way).
 		hitIdx := -1
-		for i := range ws {
-			if ws[i].valid && ws[i].tag == lineID {
+		for m := vmask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if tags[i] == lineID {
 				hitIdx = i
 				break
 			}
@@ -254,29 +272,36 @@ func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
 		if hitIdx >= 0 {
 			c.stats.Hits++
 			c.stats.L1Transfers++
-			ws[hitIdx].used = c.tick
+			c.used[base+uint64(hitIdx)] = c.tick
 			if r.Op == mem.Write {
-				ws[hitIdx].dirty = true
+				c.dirty[set] |= 1 << uint(hitIdx)
 			}
 			continue
 		}
 
-		// Miss: pick the LRU victim.
+		// Miss: pick the victim. The first invalid way past index 0 wins
+		// outright; otherwise the earliest least-recently-used way —
+		// invalid ways keep a zero LRU stamp, so an invalid way 0 loses
+		// only to another invalid way, exactly the replacement order of
+		// the reference implementation.
 		c.stats.Misses++
 		victim := 0
-		for i := 1; i < len(ws); i++ {
-			if !ws[i].valid {
-				victim = i
-				break
-			}
-			if ws[i].used < ws[victim].used {
-				victim = i
+		if inv := ^vmask & (^uint64(0) >> (64 - uint(c.ways))); inv>>1 != 0 {
+			victim = bits.TrailingZeros64(inv >> 1)
+			victim++
+		} else {
+			used := c.used[base : base+uint64(c.ways)]
+			for i := 1; i < len(used); i++ {
+				if used[i] < used[victim] {
+					victim = i
+				}
 			}
 		}
-		if ws[victim].valid && ws[victim].dirty {
+		vbit := uint64(1) << uint(victim)
+		if vmask&vbit != 0 && c.dirty[set]&vbit != 0 {
 			c.stats.Writebacks++
 			out = append(out, mem.Request{
-				Addr:   ws[victim].tag * line,
+				Addr:   tags[victim] << c.lineShift,
 				Size:   uint32(line),
 				Op:     mem.Write,
 				Stream: r.Stream,
@@ -297,7 +322,14 @@ func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
 				Stream: r.Stream,
 			})
 		}
-		ws[victim] = way{tag: lineID, valid: true, dirty: r.Op == mem.Write, used: c.tick}
+		tags[victim] = lineID
+		c.used[base+uint64(victim)] = c.tick
+		c.valid[set] |= vbit
+		if r.Op == mem.Write {
+			c.dirty[set] |= vbit
+		} else {
+			c.dirty[set] &^= vbit
+		}
 	}
 	return out
 }
@@ -307,9 +339,9 @@ func (c *Cache) Access(r mem.Request, out []mem.Request) []mem.Request {
 func (c *Cache) setIndex(lineID uint64) uint64 {
 	if c.cfg.HashSets {
 		h := lineID ^ lineID>>11 ^ lineID>>23
-		return h % c.sets
+		return h & c.setsMask
 	}
-	return lineID % c.sets
+	return lineID & c.setsMask
 }
 
 // flushWCSlot emits the slot's pending write-combining buffer, if any.
@@ -319,7 +351,7 @@ func (c *Cache) flushWCSlot(slot int, stream uint8, out []mem.Request) []mem.Req
 	}
 	c.wcValid[slot] = false
 	return append(out, mem.Request{
-		Addr:   c.wcLine[slot] * uint64(c.cfg.LineBytes),
+		Addr:   c.wcLine[slot] << c.lineShift,
 		Size:   c.wcBytes[slot],
 		Op:     mem.Write,
 		Stream: stream,
@@ -336,13 +368,20 @@ func (c *Cache) FlushWC(out []mem.Request) []mem.Request {
 }
 
 // invalidate drops a line if present (without writeback: used by
-// non-temporal stores which overwrite the whole line).
+// non-temporal stores which overwrite the whole line). The dropped way
+// returns to the never-used state: zero tag and LRU stamp.
 func (c *Cache) invalidate(lineID uint64) {
 	set := c.setIndex(lineID)
-	ws := c.ways[set]
-	for i := range ws {
-		if ws[i].valid && ws[i].tag == lineID {
-			ws[i] = way{}
+	base := set * uint64(c.ways)
+	tags := c.tags[base : base+uint64(c.ways)]
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if tags[i] == lineID {
+			bit := uint64(1) << uint(i)
+			c.valid[set] &^= bit
+			c.dirty[set] &^= bit
+			tags[i] = 0
+			c.used[base+uint64(i)] = 0
 			return
 		}
 	}
@@ -365,7 +404,18 @@ type MissFilter struct {
 	queue   []mem.Request
 	qHead   int
 	flushed bool
+
+	// Upstream prefetch buffer (created on the first NextBatch call):
+	// requests are pulled a batch at a time through mem.Fill so the
+	// generator chain above runs its own batched paths. Next drains it
+	// first, so mixed Next/NextBatch use keeps the exact sequence.
+	in    []mem.Request
+	inPos int
+	inLen int
 }
+
+// missFilterBatch is the upstream prefetch depth.
+const missFilterBatch = 128
 
 // NewMissFilter wraps src with the cache.
 func NewMissFilter(c *Cache, src mem.Source) *MissFilter {
@@ -376,7 +426,48 @@ func NewMissFilter(c *Cache, src mem.Source) *MissFilter {
 // traffic plus one potential request per upstream element (a fill and a
 // writeback can momentarily exceed this, so treat it as approximate).
 func (f *MissFilter) Remaining() int {
-	return len(f.queue) - f.qHead + f.src.Remaining()
+	return len(f.queue) - f.qHead + (f.inLen - f.inPos) + f.src.Remaining()
+}
+
+// NextBatch bulk-yields memory-side requests (mem.Batcher): queued
+// traffic drains with one copy, upstream requests arrive in batches, and
+// the cache is probed inline instead of through an interface call per
+// upstream request. The emitted sequence is exactly what repeated Next
+// calls would produce.
+func (f *MissFilter) NextBatch(dst []mem.Request) int {
+	n := 0
+	for n < len(dst) {
+		if f.qHead < len(f.queue) {
+			k := copy(dst[n:], f.queue[f.qHead:])
+			f.qHead += k
+			n += k
+			continue
+		}
+		f.queue = f.queue[:0]
+		f.qHead = 0
+		if f.inPos >= f.inLen {
+			if f.in == nil {
+				f.in = make([]mem.Request, missFilterBatch)
+			}
+			f.inLen = mem.Fill(f.src, f.in)
+			f.inPos = 0
+			if f.inLen == 0 {
+				if !f.flushed {
+					f.flushed = true
+					f.queue = f.cache.FlushWC(f.queue)
+					if len(f.queue) > 0 {
+						continue
+					}
+				}
+				break
+			}
+		}
+		for f.inPos < f.inLen {
+			f.queue = f.cache.Access(f.in[f.inPos], f.queue)
+			f.inPos++
+		}
+	}
+	return n
 }
 
 // Next yields the next memory-side request.
@@ -389,6 +480,11 @@ func (f *MissFilter) Next() (mem.Request, bool) {
 		}
 		f.queue = f.queue[:0]
 		f.qHead = 0
+		if f.inPos < f.inLen {
+			f.queue = f.cache.Access(f.in[f.inPos], f.queue)
+			f.inPos++
+			continue
+		}
 		r, ok := f.src.Next()
 		if !ok {
 			if !f.flushed {

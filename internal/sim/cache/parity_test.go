@@ -1,0 +1,134 @@
+package cache
+
+// Parity: the structure-of-arrays Cache must reproduce the frozen
+// array-of-structs reference (reference_test.go) exactly — every emitted
+// memory-side request and every statistic — across randomized
+// configurations and request streams.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpstream/internal/sim/mem"
+)
+
+func randomCacheConfig(rng *rand.Rand) Config {
+	ways := 1 + rng.Intn(24)
+	sets := uint64(1) << (2 + rng.Intn(6))
+	line := uint32(1) << (4 + rng.Intn(3))
+	cfg := Config{
+		Name:          "parity",
+		LineBytes:     line,
+		Ways:          ways,
+		CapacityBytes: sets * uint64(ways) * uint64(line),
+		HashSets:      rng.Intn(2) == 0,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.NonTemporalWrites = true
+	case 1:
+		cfg.WriteValidate = true
+	}
+	return cfg
+}
+
+// randomRequests draws a stream mixing contiguous runs, strides, random
+// scatter, line-straddling sizes, and both ops across a few streams.
+func randomRequests(rng *rand.Rand, line uint32, n int) []mem.Request {
+	reqs := make([]mem.Request, 0, n)
+	for len(reqs) < n {
+		stream := uint8(rng.Intn(3))
+		op := mem.Read
+		if rng.Intn(2) == 0 {
+			op = mem.Write
+		}
+		base := uint64(stream)<<31 + uint64(rng.Intn(1<<20))
+		switch rng.Intn(4) {
+		case 0: // contiguous word run
+			size := uint32(4 << rng.Intn(2))
+			for i := 0; i < 32 && len(reqs) < n; i++ {
+				reqs = append(reqs, mem.Request{Addr: base + uint64(i)*uint64(size), Size: size, Op: op, Stream: stream})
+			}
+		case 1: // strided walk
+			stride := uint64(line) * uint64(1+rng.Intn(8))
+			for i := 0; i < 32 && len(reqs) < n; i++ {
+				reqs = append(reqs, mem.Request{Addr: base + uint64(i)*stride, Size: 8, Op: op, Stream: stream})
+			}
+		case 2: // scatter
+			reqs = append(reqs, mem.Request{Addr: base, Size: 8, Op: op, Stream: stream})
+		default: // multi-line request, possibly line-straddling
+			reqs = append(reqs, mem.Request{
+				Addr: base, Size: line * uint32(1+rng.Intn(4)), Op: op, Stream: stream,
+			})
+		}
+	}
+	return reqs
+}
+
+func TestAccessMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		cfg := randomCacheConfig(rng)
+		live, ref := New(cfg), newRefCache(cfg)
+		reqs := randomRequests(rng, cfg.LineBytes, 2000)
+		var gotOut, wantOut []mem.Request
+		for i, r := range reqs {
+			gotOut = live.Access(r, gotOut[:0])
+			wantOut = ref.access(r, wantOut[:0])
+			if len(gotOut) != len(wantOut) {
+				t.Fatalf("trial %d (cfg %+v) request %d %+v: live emitted %d requests, reference %d",
+					trial, cfg, i, r, len(gotOut), len(wantOut))
+			}
+			for j := range wantOut {
+				if gotOut[j] != wantOut[j] {
+					t.Fatalf("trial %d (cfg %+v) request %d %+v: output %d diverged: live %+v reference %+v",
+						trial, cfg, i, r, j, gotOut[j], wantOut[j])
+				}
+			}
+		}
+		gotOut = live.FlushWC(gotOut[:0])
+		wantOut = ref.flushWC(wantOut[:0])
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("trial %d: flush emitted %d vs %d", trial, len(gotOut), len(wantOut))
+		}
+		for j := range wantOut {
+			if gotOut[j] != wantOut[j] {
+				t.Fatalf("trial %d: flush output %d diverged: live %+v reference %+v",
+					trial, j, gotOut[j], wantOut[j])
+			}
+		}
+		if live.Stats() != ref.stats {
+			t.Fatalf("trial %d (cfg %+v): stats diverged:\n live %+v\n ref  %+v",
+				trial, cfg, live.Stats(), ref.stats)
+		}
+	}
+}
+
+// TestAccessMatchesReferenceAfterReset checks Reset really restores the
+// cold state: a post-Reset replay must equal a fresh pair.
+func TestAccessMatchesReferenceAfterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	cfg := randomCacheConfig(rng)
+	live, ref := New(cfg), newRefCache(cfg)
+	reqs := randomRequests(rng, cfg.LineBytes, 3000)
+	var got, want []mem.Request
+	for _, r := range reqs {
+		got = live.Access(r, got[:0])
+	}
+	live.Reset()
+	for i, r := range reqs {
+		got = live.Access(r, got[:0])
+		want = ref.access(r, want[:0])
+		if len(got) != len(want) {
+			t.Fatalf("request %d after Reset: live emitted %d, fresh reference %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("request %d after Reset: output %d diverged: %+v vs %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if live.Stats() != ref.stats {
+		t.Fatalf("stats after Reset diverged:\n live %+v\n ref  %+v", live.Stats(), ref.stats)
+	}
+}

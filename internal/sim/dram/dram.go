@@ -25,7 +25,9 @@ package dram
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
+	"sync/atomic"
 
 	"mpstream/internal/obs"
 	"mpstream/internal/sim/mem"
@@ -188,9 +190,31 @@ func (r Result) RowHitRate() float64 {
 }
 
 // Model is a DRAM subsystem ready to service request streams. Each Service
-// call runs on fresh state; a Model is safe for sequential reuse.
+// call runs on fresh state.
+//
+// A Model is safe for concurrent use: every Service* call owns its
+// controller state for the duration of the call. Sequential calls reuse
+// a cached arena (controller state plus request buffers) so steady-state
+// service allocates nothing; when calls overlap, the late arrivals fall
+// back to fresh per-call state, which costs allocation but never
+// correctness. Sustained parallel workloads should give each goroutine
+// its own Clone so every worker keeps the allocation-free fast path.
 type Model struct {
 	cfg Config
+
+	// Hot-path precomputation (set by New/Clone from the validated,
+	// power-of-two-checked configuration).
+	rowShift   uint
+	burstShift uint
+	ilShift    uint
+	ilMask     uint64
+	chanDiv    divisor
+	bankDiv    divisor
+
+	// The reusable arena, guarded by busy: CAS in acquire, Store(false)
+	// in release. The pointer itself is written only by the CAS winner.
+	busy  atomic.Bool
+	arena *svcState
 }
 
 // New builds a model, panicking on invalid configuration (configurations
@@ -200,52 +224,156 @@ func New(cfg Config) *Model {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Model{cfg: cfg.withDefaults()}
+	m := &Model{cfg: cfg.withDefaults()}
+	m.precompute()
+	return m
+}
+
+// precompute derives the shift/mask forms of the power-of-two geometry,
+// replacing per-request divisions on the issue path.
+func (m *Model) precompute() {
+	m.rowShift = mem.Log2(uint64(m.cfg.RowBytes))
+	m.burstShift = mem.Log2(uint64(m.cfg.BurstBytes))
+	if m.cfg.InterleaveBytes != 0 {
+		m.ilShift = mem.Log2(uint64(m.cfg.InterleaveBytes))
+		m.ilMask = uint64(m.cfg.InterleaveBytes) - 1
+	}
+	m.chanDiv = newDivisor(uint64(m.cfg.Channels))
+	m.bankDiv = newDivisor(uint64(m.cfg.BanksPerChannel))
+}
+
+// divisor is a strength-reduced unsigned divisor. Channel and bank
+// counts need not be powers of two (the bench GPU has 6 channels), so
+// the issue path cannot always shift/mask — but it must not pay a
+// hardware divide per transaction either. Powers of two reduce to a
+// shift/mask; everything else to a multiply-high by the precomputed
+// reciprocal floor(2^64/d) plus one conditional fix-up.
+type divisor struct {
+	d     uint64
+	recip uint64 // floor(2^64/d); 0 when d is a power of two
+	shift uint   // power of two: log2(d)
+	mask  uint64 // power of two: d-1
+}
+
+func newDivisor(d uint64) divisor {
+	v := divisor{d: d, mask: d - 1}
+	if d&(d-1) == 0 {
+		v.shift = mem.Log2(d)
+		return v
+	}
+	// floor(2^64/d): Div64 needs its high word below d, and d >= 3 here
+	// (1 and 2 are powers of two).
+	v.recip, _ = bits.Div64(1, 0, d)
+	return v
+}
+
+// divmod returns n/d and n%d.
+//
+// Exactness of the reciprocal path: recip = (2^64-e)/d with
+// e = 2^64 mod d < d, so n*recip/2^64 = n/d - n*e/(d*2^64) and the
+// error term is below 1 for any n < 2^64 — the estimated quotient is
+// floor(n/d) or one less, and a single conditional subtract corrects
+// it. The divisor parity test exercises this against the hardware
+// divide.
+func (v divisor) divmod(n uint64) (uint64, uint64) {
+	if v.recip == 0 {
+		return n >> v.shift, n & v.mask
+	}
+	q, _ := bits.Mul64(n, v.recip)
+	r := n - q*v.d
+	if r >= v.d {
+		r -= v.d
+		q++
+	}
+	return q, r
+}
+
+// mod returns n%d.
+func (v divisor) mod(n uint64) uint64 {
+	if v.recip == 0 {
+		return n & v.mask
+	}
+	q, _ := bits.Mul64(n, v.recip)
+	r := n - q*v.d
+	if r >= v.d {
+		r -= v.d
+	}
+	return r
+}
+
+// Clone returns an independent model with the same configuration and its
+// own arena — the cheap way to hand each worker goroutine a model that
+// keeps the allocation-free service path.
+func (m *Model) Clone() *Model {
+	c := &Model{cfg: m.cfg}
+	c.precompute()
+	return c
 }
 
 // Config returns the model's configuration (with defaults applied).
 func (m *Model) Config() Config { return m.cfg }
+
+// svcState is one service run's controller state plus the reusable
+// request buffers (reorder buffer, sorted batch, background prefetch).
+// The model caches one instance across sequential runs.
+//
+// The per-channel state is flattened: banks and the completion and
+// activation rings live in single arrays indexed by channel, not in
+// per-channel slices. Channel and bank selection are data-dependent
+// loads on the issue path, so every slice header removed is one fewer
+// chained indirection per transaction.
+type svcState struct {
+	chans   []chanState
+	banks   []bankState // Channels x BanksPerChannel
+	actRing []float64   // Channels x ActsPerWindow tFAW ring; nil when disabled
+	buf     []mem.Request
+	batch   []mem.Request
+	owned   bool // this is the model's cached arena; release clears busy
+}
+
+// acquire returns run-ready (cold) controller state, reusing the cached
+// arena when the model is not already mid-service on another goroutine.
+func (m *Model) acquire() *svcState {
+	if m.busy.CompareAndSwap(false, true) {
+		st := m.arena
+		if st == nil {
+			st = m.newState()
+			st.owned = true
+			m.arena = st
+		} else {
+			m.resetState(st)
+		}
+		return st
+	}
+	// Concurrent call: private fresh state for this run only.
+	return m.newState()
+}
+
+func (m *Model) release(st *svcState) {
+	if st.owned {
+		m.busy.Store(false)
+	}
+}
+
+// grow returns s with length n, reallocating only when capacity lacks.
+func grow(s []mem.Request, n int) []mem.Request {
+	if cap(s) < n {
+		return make([]mem.Request, n)
+	}
+	return s[:n]
+}
 
 type bankState struct {
 	openRow int64 // -1 when closed
 	freeAt  float64
 }
 
+// chanState is the per-channel hot state; its banks and rings live in
+// the svcState flat arrays (see svcState), indexed by channel.
 type chanState struct {
 	busFree float64
-	lastOp  mem.Op
-	hasOp   bool
-	banks   []bankState
-	// completion ring for the outstanding-transaction window
-	ring []float64
-	head int
-	// activation ring for the tFAW window (nil when disabled)
-	actRing []float64
-	actHead int
-}
-
-func (cs *chanState) gate() float64 {
-	return cs.ring[cs.head]
-}
-
-func (cs *chanState) complete(t float64) {
-	cs.ring[cs.head] = t
-	cs.head = (cs.head + 1) % len(cs.ring)
-}
-
-// activate enforces the tFAW limit: the new activation may not start
-// before the ActsPerWindow-th previous activation plus the window. It
-// returns the actual activation time and records it.
-func (cs *chanState) activate(at, windowNs float64) float64 {
-	if cs.actRing == nil {
-		return at
-	}
-	if g := cs.actRing[cs.actHead] + windowNs; at < g {
-		at = g
-	}
-	cs.actRing[cs.actHead] = at
-	cs.actHead = (cs.actHead + 1) % len(cs.actRing)
-	return at
+	last    int32 // last op on the bus, -1 before the first (one compare on the hot path)
+	actHead int32 // activation-ring cursor
 }
 
 // Service drains src through the memory system and returns the timing
@@ -254,26 +382,40 @@ func (m *Model) Service(src mem.Source) Result {
 	return m.ServiceBounded(src, 0)
 }
 
-// newChanStates builds cold per-channel controller state.
-func (m *Model) newChanStates() []chanState {
+// newState builds cold controller state.
+func (m *Model) newState() *svcState {
 	cfg := m.cfg
-	chans := make([]chanState, cfg.Channels)
-	for i := range chans {
-		chans[i] = chanState{
-			banks: make([]bankState, cfg.BanksPerChannel),
-			ring:  make([]float64, cfg.MaxOutstanding),
-		}
-		if cfg.ActWindowNs > 0 {
-			chans[i].actRing = make([]float64, cfg.ActsPerWindow)
-			for a := range chans[i].actRing {
-				chans[i].actRing[a] = -cfg.ActWindowNs
-			}
-		}
-		for b := range chans[i].banks {
-			chans[i].banks[b].openRow = -1
+	st := &svcState{
+		chans: make([]chanState, cfg.Channels),
+		banks: make([]bankState, cfg.Channels*cfg.BanksPerChannel),
+	}
+	for c := range st.chans {
+		st.chans[c].last = -1
+	}
+	for b := range st.banks {
+		st.banks[b].openRow = -1
+	}
+	if cfg.ActWindowNs > 0 {
+		st.actRing = make([]float64, cfg.Channels*cfg.ActsPerWindow)
+		for a := range st.actRing {
+			st.actRing[a] = -cfg.ActWindowNs
 		}
 	}
-	return chans
+	return st
+}
+
+// resetState restores cached controller state to cold, preserving the
+// backing arrays — the in-place equivalent of newState.
+func (m *Model) resetState(st *svcState) {
+	for i := range st.chans {
+		st.chans[i] = chanState{last: -1}
+	}
+	for b := range st.banks {
+		st.banks[b] = bankState{openRow: -1}
+	}
+	for a := range st.actRing {
+		st.actRing[a] = -m.cfg.ActWindowNs
+	}
 }
 
 // LoadedOptions parameterizes an open-loop ServiceLoaded run.
@@ -359,8 +501,10 @@ func (r LoadedResult) AvgOccupancy() float64 {
 // machinery of Service: a latency probe measures the controller as the
 // traffic presents itself.
 func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedResult {
-	cfg := m.cfg
-	chans := m.newChanStates()
+	st := m.acquire()
+	defer m.release(st)
+	cfg := &m.cfg
+	chans := st.chans
 
 	var res LoadedResult
 	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps
@@ -370,7 +514,17 @@ func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedRe
 		inter = burstNs // back-to-back at bus speed when unset
 	}
 
-	// Head-of-stream state for the arrival-order merge.
+	// Head-of-stream state for the arrival-order merge. Background
+	// arrivals are position-determined (slot * inter), so the stream
+	// prefetches in chunks through the arena — the probe stays strictly
+	// serial, each hop's pull gated on the previous completion.
+	const bgChunk = 256
+	var bgBuf []mem.Request
+	bgPos := 0
+	if bg != nil {
+		st.buf = grow(st.buf, bgChunk)
+		bgBuf = st.buf[:0]
+	}
 	var (
 		bgReq, probeReq         mem.Request
 		bgOK, probeOK           bool
@@ -382,10 +536,18 @@ func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedRe
 			bgOK = false
 			return
 		}
-		if bgReq, bgOK = bg.Next(); bgOK {
-			bgArrival = start + float64(slot)*inter
-			slot++
+		if bgPos >= len(bgBuf) {
+			bgBuf = st.buf[:mem.Fill(bg, st.buf[:bgChunk])]
+			bgPos = 0
+			if len(bgBuf) == 0 {
+				bgOK = false
+				return
+			}
 		}
+		bgReq, bgOK = bgBuf[bgPos], true
+		bgPos++
+		bgArrival = start + float64(slot)*inter
+		slot++
 	}
 	pullProbe := func(after float64) {
 		if probe == nil {
@@ -414,13 +576,13 @@ func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedRe
 		}
 		var end float64
 		if bgOK && (!probeOK || bgArrival <= probeArrival) {
-			end = m.issue(&res.Result, chans, bgReq, burstNs, bgArrival)
+			end = m.issue(&res.Result, st, bgReq, burstNs, bgArrival)
 			if warm {
 				record(&res, end-bgArrival, false)
 			}
 			pullBg()
 		} else {
-			end = m.issue(&res.Result, chans, probeReq, burstNs, probeArrival)
+			end = m.issue(&res.Result, st, probeReq, burstNs, probeArrival)
 			if warm {
 				record(&res, end-probeArrival, true)
 			}
@@ -432,6 +594,301 @@ func (m *Model) ServiceLoaded(bg, probe mem.Source, opts LoadedOptions) LoadedRe
 	}
 	res.MeasuredSpanNs = maxEnd - measureStart
 	finish(&res.Result, chans, start, cfg, !bgOK && !probeOK)
+	return res
+}
+
+// Prerouted is an address-decoded request stream: the output of
+// Preroute, consumable by ServiceLoadedRouted. Because decode is
+// timing-independent, one Prerouted stream can be rewound (Reset) and
+// replayed under any number of arrival schedules — the surface
+// generator decodes each curve's background walk once and sweeps the
+// whole injection ladder over it.
+//
+// A Prerouted stream is bound to the geometry of the model that built
+// it; replaying it on a differently-configured model is a programming
+// error.
+type Prerouted struct {
+	reqs []routedReq
+	pos  int
+}
+
+// Len returns the number of decoded requests in the stream.
+func (p *Prerouted) Len() int { return len(p.reqs) }
+
+// Reset rewinds the stream to its first request.
+func (p *Prerouted) Reset() { p.pos = 0 }
+
+// Preroute drains up to max requests from src and address-decodes them
+// into a replayable stream. A short stream (fewer than max requests)
+// means src was exhausted, exactly as a Source reporting ok == false.
+func (m *Model) Preroute(src mem.Source, max int) *Prerouted {
+	return m.PrerouteInto(nil, src, max)
+}
+
+// PrerouteInto is Preroute recycling p's backing array when its
+// capacity allows, for callers that redecode streams in a loop (the
+// surface sweep redecodes one background walk per curve). A nil p
+// allocates a fresh stream; either way the result is rewound and holds
+// only the newly decoded requests.
+func (m *Model) PrerouteInto(p *Prerouted, src mem.Source, max int) *Prerouted {
+	if p == nil || cap(p.reqs) < max {
+		p = &Prerouted{reqs: make([]routedReq, 0, max)}
+	} else {
+		p.pos = 0
+	}
+	burstNs := float64(m.cfg.BurstBytes) / m.cfg.BusGBps
+	var buf [256]mem.Request
+	reqs := p.reqs[:max]
+	n := 0
+	for n < max {
+		want := max - n
+		if want > len(buf) {
+			want = len(buf)
+		}
+		k := mem.Fill(src, buf[:want])
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			reqs[n+i] = m.decode(buf[i], burstNs)
+		}
+		n += k
+	}
+	p.reqs = reqs[:n]
+	return p
+}
+
+// ServiceLoadedRouted is ServiceLoaded over address-decoded streams:
+// the same open-loop arrival-order merge, minus the per-transaction
+// address decode and source dispatch. Either stream may be nil. It
+// produces float-for-float identical results to ServiceLoaded over the
+// equivalent sources (the routed-parity test holds it to that); the
+// surface generator uses it to sweep an injection ladder over streams
+// decoded once per curve.
+//
+// The transaction loop is the timing half of issue fused in, with the
+// configuration scalars, controller arrays, and result counters all in
+// locals: the compiler cannot prove the per-transaction stores leave
+// m.cfg and res untouched, so the factored-out form reloads every hot
+// field once per transaction. The fused body must mirror issueRouted
+// exactly; the routed-parity and frozen-reference tests in
+// parity_test.go hold the two to float-for-float identical results.
+func (m *Model) ServiceLoadedRouted(bg, probe *Prerouted, opts LoadedOptions) LoadedResult {
+	st := m.acquire()
+	defer m.release(st)
+	cfg := &m.cfg
+
+	var res LoadedResult
+	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps
+	start := cfg.InitialLatencyNs
+	inter := opts.InterArrivalNs
+	if inter <= 0 {
+		inter = burstNs // back-to-back at bus speed when unset
+	}
+
+	var bgList, prList []routedReq
+	bgPos, prPos := 0, 0
+	if bg != nil {
+		bgList, bgPos = bg.reqs, bg.pos
+	}
+	if probe != nil {
+		prList, prPos = probe.reqs, probe.pos
+	}
+	bgOK := bgPos < len(bgList)
+	prOK := prPos < len(prList)
+
+	// Hoisted invariants and state arrays.
+	turnNs, rowMissNs, actWinNs := cfg.TurnaroundNs, cfg.RowMissNs, cfg.ActWindowNs
+	actsPer := cfg.ActsPerWindow
+	chans, banks, actRing := st.chans, st.banks, st.actRing
+
+	// Local result accumulators, folded into res after the loop.
+	var txns, bytes, busBytes, rowHits, rowMisses, turnarounds uint64
+	var measuredTxns, probeTxns uint64
+	var totalLat, maxLat, probeTotal, probeMax float64
+
+	// Arrival bookkeeping mirrors ServiceLoaded: background request i
+	// arrives at start + i*inter (fslot carries i as a float — integer
+	// increments of a float64 are exact far past any stream length, and
+	// keeping it float spares an int conversion per transaction), the
+	// probe's next hop arrives when the previous one completed.
+	fslot := 0.0
+	bgArrival, probeArrival := start, start
+	maxTxns, warmupTxns := opts.MaxTxns, opts.WarmupTxns
+	if maxTxns == 0 {
+		maxTxns = ^uint64(0) // unlimited: fold the cap into one compare
+	}
+
+	// The merge runs probe-transaction-at-a-time on the outside with a
+	// tight inner loop over the background run before the probe's next
+	// arrival — the same per-transaction choice ServiceLoaded makes
+	// (background goes first on ties: the probe joins the queue behind
+	// traffic already in flight), but the stream-selection branch
+	// becomes an almost-always-taken inner-loop bound. The two
+	// specialized copies of the issue body must mirror issueRouted
+	// exactly; the routed-parity tests pin all three to identical floats.
+	maxEnd, measureStart := start, start
+	for (bgOK || prOK) && txns < maxTxns {
+		if prOK && (!bgOK || probeArrival < bgArrival) {
+			// One probe transaction.
+			warm := txns >= warmupTxns
+			if warm && measuredTxns == 0 {
+				measureStart = maxEnd
+			}
+			rr := &prList[prPos]
+			arrival := probeArrival
+
+			ch := &chans[rr.chIdx]
+			bank := &banks[rr.bankFlat]
+			if op := int32(rr.op); ch.last != op {
+				if ch.last >= 0 {
+					ch.busFree += turnNs
+					turnarounds++
+				}
+				ch.last = op
+			}
+			var ready float64
+			if bank.openRow == rr.row {
+				ready = arrival
+				rowHits++
+			} else {
+				act := bank.freeAt
+				if act < arrival {
+					act = arrival
+				}
+				if actRing != nil {
+					ai := int(rr.chIdx)*actsPer + int(ch.actHead)
+					if g := actRing[ai] + actWinNs; act < g {
+						act = g
+					}
+					actRing[ai] = act
+					if ch.actHead++; int(ch.actHead) == actsPer {
+						ch.actHead = 0
+					}
+				}
+				ready = act + rowMissNs
+				bank.openRow = rr.row
+				rowMisses++
+			}
+			issueAt := ch.busFree
+			if issueAt < ready {
+				issueAt = ready
+			}
+			end := issueAt + rr.transfer
+			ch.busFree = end
+			bank.freeAt = end
+			txns++
+			bytes += uint64(rr.size)
+			busBytes += uint64(rr.busBytes)
+
+			if warm {
+				measuredTxns++
+				lat := end - arrival
+				totalLat += lat
+				if lat > maxLat {
+					maxLat = lat
+				}
+				probeTxns++
+				probeTotal += lat
+				if lat > probeMax {
+					probeMax = lat
+				}
+			}
+			prPos++
+			if prPos < len(prList) {
+				probeArrival = end
+			} else {
+				prOK = false
+			}
+			if end > maxEnd {
+				maxEnd = end
+			}
+			continue
+		}
+		// The background run up to (and tying with) the probe's arrival.
+		for bgOK && txns < maxTxns && (!prOK || bgArrival <= probeArrival) {
+			warm := txns >= warmupTxns
+			if warm && measuredTxns == 0 {
+				measureStart = maxEnd
+			}
+			rr := &bgList[bgPos]
+			arrival := bgArrival
+
+			ch := &chans[rr.chIdx]
+			bank := &banks[rr.bankFlat]
+			if op := int32(rr.op); ch.last != op {
+				if ch.last >= 0 {
+					ch.busFree += turnNs
+					turnarounds++
+				}
+				ch.last = op
+			}
+			var ready float64
+			if bank.openRow == rr.row {
+				ready = arrival
+				rowHits++
+			} else {
+				act := bank.freeAt
+				if act < arrival {
+					act = arrival
+				}
+				if actRing != nil {
+					ai := int(rr.chIdx)*actsPer + int(ch.actHead)
+					if g := actRing[ai] + actWinNs; act < g {
+						act = g
+					}
+					actRing[ai] = act
+					if ch.actHead++; int(ch.actHead) == actsPer {
+						ch.actHead = 0
+					}
+				}
+				ready = act + rowMissNs
+				bank.openRow = rr.row
+				rowMisses++
+			}
+			issueAt := ch.busFree
+			if issueAt < ready {
+				issueAt = ready
+			}
+			end := issueAt + rr.transfer
+			ch.busFree = end
+			bank.freeAt = end
+			txns++
+			bytes += uint64(rr.size)
+			busBytes += uint64(rr.busBytes)
+
+			if warm {
+				measuredTxns++
+				lat := end - arrival
+				totalLat += lat
+				if lat > maxLat {
+					maxLat = lat
+				}
+			}
+			bgPos++
+			fslot++
+			if bgPos < len(bgList) {
+				bgArrival = start + fslot*inter
+			} else {
+				bgOK = false
+			}
+			if end > maxEnd {
+				maxEnd = end
+			}
+		}
+	}
+	if bg != nil {
+		bg.pos = bgPos
+	}
+	if probe != nil {
+		probe.pos = prPos
+	}
+	res.Txns, res.Bytes, res.BusBytes = txns, bytes, busBytes
+	res.RowHits, res.RowMisses, res.Turnarounds = rowHits, rowMisses, turnarounds
+	res.MeasuredTxns, res.TotalLatencyNs, res.MaxLatencyNs = measuredTxns, totalLat, maxLat
+	res.ProbeTxns, res.ProbeTotalNs, res.ProbeMaxNs = probeTxns, probeTotal, probeMax
+	res.MeasuredSpanNs = maxEnd - measureStart
+	finish(&res.Result, st.chans, start, cfg, !bgOK && !prOK)
 	return res
 }
 
@@ -454,23 +911,37 @@ func record(res *LoadedResult, lat float64, isProbe bool) {
 // ServiceBounded services at most maxTxns transactions (0 = unlimited).
 // Bounded runs are the basis of sampled simulation for very large arrays.
 func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
-	cfg := m.cfg
-	chans := m.newChanStates()
+	st := m.acquire()
+	defer m.release(st)
+	cfg := &m.cfg
+	chans := st.chans
 
 	var res Result
 	burstNs := float64(cfg.BurstBytes) / cfg.BusGBps // ns per burst (GB/s == B/ns)
 	start := cfg.InitialLatencyNs
 
 	// Reorder buffer: the controller looks ReorderWin requests ahead and
-	// issues same-direction batches of up to BatchSize.
-	buf := make([]mem.Request, 0, cfg.ReorderWin)
+	// issues same-direction batches of up to BatchSize. The buffer lives
+	// in the arena and refills in batches; pendRead/pendWrite track its
+	// per-direction population so direction switching never rescans it.
+	win := cfg.ReorderWin
+	st.buf = grow(st.buf, win)
+	buf := st.buf[:0]
+	var pendRead, pendWrite int
 	fill := func() {
-		for len(buf) < cfg.ReorderWin {
-			r, ok := src.Next()
-			if !ok {
+		for len(buf) < win {
+			n := mem.Fill(src, buf[len(buf):win])
+			if n == 0 {
 				return
 			}
-			buf = append(buf, r)
+			for _, r := range buf[len(buf) : len(buf)+n] {
+				if r.Op == mem.Read {
+					pendRead++
+				} else {
+					pendWrite++
+				}
+			}
+			buf = buf[:len(buf)+n]
 		}
 	}
 	fill()
@@ -483,29 +954,39 @@ func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
 	// BatchSize is per channel; the controller issues a global batch
 	// sized so each channel sees a full same-direction run.
 	globalBatch := cfg.BatchSize * cfg.Channels
-	batch := make([]mem.Request, 0, globalBatch)
+	st.batch = grow(st.batch, globalBatch)
+	batch := st.batch[:0]
 
 	for len(buf) > 0 {
 		if maxTxns > 0 && res.Txns >= maxTxns {
 			finish(&res, chans, start, cfg, false)
 			return res
 		}
-		// Collect one batch of the current direction, then issue it in
-		// address order (first-ready first-served approximation: row hits
-		// group together instead of ping-ponging between arrays).
+		// Collect one batch of the current direction in a single pass,
+		// compacting the keepers in place, then issue it in address order
+		// (first-ready first-served approximation: row hits group together
+		// instead of ping-ponging between arrays).
 		batch = batch[:0]
-		for i := 0; i < len(buf) && len(batch) < globalBatch; {
-			if buf[i].Op != curOp {
-				i++
-				continue
+		keep, scan := 0, 0
+		for ; scan < len(buf) && len(batch) < globalBatch; scan++ {
+			if buf[scan].Op == curOp {
+				batch = append(batch, buf[scan])
+			} else {
+				buf[keep] = buf[scan]
+				keep++
 			}
-			batch = append(batch, buf[i])
-			buf = append(buf[:i], buf[i+1:]...)
 		}
+		keep += copy(buf[keep:], buf[scan:])
+		buf = buf[:keep]
 		issued := len(batch)
-		sort.Slice(batch, func(i, j int) bool { return batch[i].Addr < batch[j].Addr })
+		if curOp == mem.Read {
+			pendRead -= issued
+		} else {
+			pendWrite -= issued
+		}
+		slices.SortFunc(batch, cmpByAddr)
 		for _, r := range batch {
-			m.issue(&res, chans, r, burstNs, start)
+			m.issue(&res, st, r, burstNs, start)
 			if maxTxns > 0 && res.Txns >= maxTxns {
 				finish(&res, chans, start, cfg, false)
 				return res
@@ -519,12 +1000,34 @@ func (m *Model) ServiceBounded(src mem.Source, maxTxns uint64) Result {
 		}
 		// Prefer staying in direction while work remains; switch when the
 		// batch filled or the direction drained.
-		if hasOp(buf, otherOp(curOp)) {
+		other := pendWrite
+		if curOp == mem.Write {
+			other = pendRead
+		}
+		if other > 0 {
 			curOp = otherOp(curOp)
 		}
 	}
 	finish(&res, chans, start, cfg, true)
 	return res
+}
+
+// cmpByAddr orders a same-direction batch by address. The tie-breaks
+// (batch entries never differ in Op) make the order total, so the
+// unstable sort is deterministic; requests equal under it are fully
+// interchangeable on the issue path.
+func cmpByAddr(a, b mem.Request) int {
+	switch {
+	case a.Addr != b.Addr:
+		if a.Addr < b.Addr {
+			return -1
+		}
+		return 1
+	case a.Stream != b.Stream:
+		return int(a.Stream) - int(b.Stream)
+	default:
+		return int(a.Size) - int(b.Size)
+	}
 }
 
 // hashBlock XOR-folds the upper address bits into the low bits so that
@@ -544,89 +1047,152 @@ func otherOp(o mem.Op) mem.Op {
 	return mem.Read
 }
 
-func hasOp(buf []mem.Request, op mem.Op) bool {
-	for _, r := range buf {
-		if r.Op == op {
-			return true
+// routedReq is a request after address decode: the timing-independent
+// half of issuing a transaction (channel/bank routing, row index,
+// burst count) resolved once, leaving only the clock arithmetic for
+// the issue loop. Decoding commutes with timing, so a stream can be
+// decoded ahead of service — or once, and then replayed under many
+// different arrival schedules (the surface's injection ladder).
+type routedReq struct {
+	row      int64   // full row index (unique across banks)
+	transfer float64 // bus occupancy: bursts x ns-per-burst
+	chIdx    int32   // channel index
+	bankFlat int32   // chIdx*BanksPerChannel + bank index
+	size     uint32  // requested bytes
+	busBytes uint32  // bytes moved on the bus (burst granularity)
+	op       mem.Op
+}
+
+// decode resolves the timing-independent half of a transaction. burstNs
+// is the per-burst bus occupancy the service loop derived from the
+// configuration.
+func (m *Model) decode(r mem.Request, burstNs float64) routedReq {
+	cfg := &m.cfg
+
+	// Route: channel interleave via shift/mask, or per-stream placement.
+	var chIdx int
+	chAddr := r.Addr
+	if cfg.InterleaveBytes == 0 {
+		chIdx = int(r.Stream) % cfg.Channels
+	} else {
+		block := r.Addr >> m.ilShift
+		blockQ, blockR := m.chanDiv.divmod(block)
+		if cfg.HashChannels {
+			chIdx = int(m.chanDiv.mod(hashBlock(block)))
+		} else {
+			chIdx = int(blockR)
 		}
+		chAddr = blockQ<<m.ilShift + r.Addr&m.ilMask
 	}
-	return false
+
+	// Rows interleave across banks: consecutive rows live in consecutive
+	// banks, so streaming overlaps the next bank's activation. The open
+	// row is identified by the full row index, which is unique whatever
+	// the bank mapping.
+	rowIdx := chAddr >> m.rowShift
+	bankSel := rowIdx
+	if cfg.HashBanks {
+		bankSel = hashBlock(rowIdx)
+	}
+	bankIdx := int(m.bankDiv.mod(bankSel))
+
+	var bursts int
+	if r.Size > 0 {
+		bursts = int(((r.Addr+uint64(r.Size)-1)>>m.burstShift)-(r.Addr>>m.burstShift)) + 1
+	}
+	return routedReq{
+		row:      int64(rowIdx),
+		transfer: float64(bursts) * burstNs,
+		chIdx:    int32(chIdx),
+		bankFlat: int32(chIdx*cfg.BanksPerChannel + bankIdx),
+		size:     r.Size,
+		busBytes: uint32(bursts) * cfg.BurstBytes,
+		op:       r.Op,
+	}
 }
 
 // issue times a single transaction, returning its completion time. All
 // times are nanoseconds; earliest is the first instant the transaction
 // may begin (the run start for closed-loop service, the request's
 // arrival for open-loop service).
-func (m *Model) issue(res *Result, chans []chanState, r mem.Request, burstNs, earliest float64) float64 {
-	cfg := m.cfg
+func (m *Model) issue(res *Result, st *svcState, r mem.Request, burstNs, earliest float64) float64 {
+	rr := m.decode(r, burstNs)
+	return m.issueRouted(res, st, &rr, earliest)
+}
 
-	chIdx, chAddr := cfg.route(r.Addr, r.Stream)
-	ch := &chans[chIdx]
-
-	// Rows interleave across banks: consecutive rows live in consecutive
-	// banks, so streaming overlaps the next bank's activation. The open
-	// row is identified by the full row index, which is unique whatever
-	// the bank mapping.
-	rowIdx := chAddr / uint64(cfg.RowBytes)
-	bankSel := rowIdx
-	if cfg.HashBanks {
-		bankSel = hashBlock(rowIdx)
-	}
-	bankIdx := int(bankSel % uint64(cfg.BanksPerChannel))
-	row := int64(rowIdx)
-	bank := &ch.banks[bankIdx]
+// issueRouted is the timing half of issue: pure clock arithmetic over
+// the controller state, one transaction per call.
+func (m *Model) issueRouted(res *Result, st *svcState, rr *routedReq, earliest float64) float64 {
+	cfg := &m.cfg
+	ch := &st.chans[rr.chIdx]
+	bank := &st.banks[rr.bankFlat]
 
 	// Direction turnaround applies when the bus flips direction.
-	if ch.hasOp && ch.lastOp != r.Op {
-		ch.busFree += cfg.TurnaroundNs
-		res.Turnarounds++
+	if op := int32(rr.op); ch.last != op {
+		if ch.last >= 0 {
+			ch.busFree += cfg.TurnaroundNs
+			res.Turnarounds++
+		}
+		ch.last = op
 	}
-	ch.lastOp, ch.hasOp = r.Op, true
-
-	bursts := mem.LinesTouched(r, cfg.BurstBytes)
-	transfer := float64(bursts) * burstNs
 
 	var ready float64
-	if bank.openRow == row {
+	if bank.openRow == rr.row {
 		// Row hit: CAS pipelines with the previous transfer.
 		ready = earliest
 		res.RowHits++
 	} else {
 		// Row miss: the bank precharges/activates after its previous use,
-		// subject to the channel's tFAW activation-rate limit.
-		base := bank.freeAt
-		if base < earliest {
-			base = earliest
+		// subject to the channel's tFAW activation-rate limit — the new
+		// activation may not start before the ActsPerWindow-th previous
+		// one plus the window.
+		act := bank.freeAt
+		if act < earliest {
+			act = earliest
 		}
-		act := ch.activate(base, cfg.ActWindowNs)
+		if st.actRing != nil {
+			ai := int(rr.chIdx)*cfg.ActsPerWindow + int(ch.actHead)
+			if g := st.actRing[ai] + cfg.ActWindowNs; act < g {
+				act = g
+			}
+			st.actRing[ai] = act
+			if ch.actHead++; int(ch.actHead) == cfg.ActsPerWindow {
+				ch.actHead = 0
+			}
+		}
 		ready = act + cfg.RowMissNs
-		bank.openRow = row
+		bank.openRow = rr.row
 		res.RowMisses++
 	}
 
+	// Two gates the earlier controller carried are provably vacuous and
+	// are reduced away here (the frozen reference in reference_test.go
+	// still simulates both; the parity suite pins bit-identity):
+	//
+	//   - The MaxOutstanding completion ring. Issue is in-order per
+	//     channel and issueAt >= ch.busFree, so per-channel completion
+	//     times are monotone non-decreasing; a completion recorded
+	//     MaxOutstanding transactions ago can never exceed ch.busFree
+	//     and the window never binds.
+	//   - The earliest clamp. ready >= earliest on both the hit path
+	//     (ready == earliest) and the miss path (act >= earliest), so
+	//     max(busFree, ready) already dominates it.
 	issueAt := ch.busFree
 	if issueAt < ready {
 		issueAt = ready
 	}
-	if g := ch.gate(); issueAt < g {
-		issueAt = g // outstanding-window limit
-	}
-	if issueAt < earliest {
-		issueAt = earliest
-	}
-	end := issueAt + transfer
+	end := issueAt + rr.transfer
 
 	ch.busFree = end
 	bank.freeAt = end
-	ch.complete(end)
 
 	res.Txns++
-	res.Bytes += uint64(r.Size)
-	res.BusBytes += uint64(bursts) * uint64(cfg.BurstBytes)
+	res.Bytes += uint64(rr.size)
+	res.BusBytes += uint64(rr.busBytes)
 	return end
 }
 
-func finish(res *Result, chans []chanState, start float64, cfg Config, drained bool) {
+func finish(res *Result, chans []chanState, start float64, cfg *Config, drained bool) {
 	endNs := start
 	for i := range chans {
 		if chans[i].busFree > endNs {

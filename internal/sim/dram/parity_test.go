@@ -1,0 +1,220 @@
+package dram
+
+// Parity tests: the optimized service paths must reproduce the frozen
+// reference implementations (reference_test.go) exactly — every float
+// and every counter — across a randomized sweep of configurations and
+// request streams. This is the per-package proof backing the repo-level
+// golden digests: the goldens pin whole results, these tests pin the
+// service paths in isolation with far denser configuration coverage.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpstream/internal/sim/mem"
+)
+
+// randomConfig draws a valid configuration exercising the model's
+// geometry and policy space.
+func randomConfig(rng *rand.Rand) Config {
+	pow2 := func(lo, hi int) uint32 { return 1 << (lo + rng.Intn(hi-lo+1)) }
+	cfg := Config{
+		Name:            "parity",
+		Channels:        1 + rng.Intn(4),
+		BanksPerChannel: 1 << rng.Intn(4),
+		RowBytes:        pow2(9, 12), // 512 B .. 4 KiB
+		BurstBytes:      pow2(4, 7),  // 16 B .. 128 B
+		BusGBps:         1 + 30*rng.Float64(),
+		RowMissNs:       20 * rng.Float64(),
+		TurnaroundNs:    10 * rng.Float64(),
+		BatchSize:       1 << rng.Intn(5),
+		MaxOutstanding:  1 + rng.Intn(32),
+		RefreshLoss:     0.05 * rng.Float64(),
+	}
+	if rng.Intn(2) == 0 {
+		cfg.InterleaveBytes = pow2(6, 10)
+		cfg.HashChannels = rng.Intn(2) == 0
+	}
+	cfg.HashBanks = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		cfg.ActWindowNs = 10 + 30*rng.Float64()
+		cfg.ActsPerWindow = 1 + rng.Intn(4)
+	}
+	if rng.Intn(2) == 0 {
+		cfg.InitialLatencyNs = 100 * rng.Float64()
+	}
+	return cfg
+}
+
+// randomStream builds a request source mixing the real generator types;
+// build returns a fresh identical stream on every call so the live and
+// reference paths each consume their own.
+func randomStream(rng *rand.Rand, burst uint32) func() mem.Source {
+	kind := rng.Intn(4)
+	elems := 64 + rng.Intn(2048)
+	stride := 1 + rng.Intn(32)
+	readFrac := rng.Float64()
+	hops := 32 + rng.Intn(512)
+	seedElems := elems // captured: identical streams per call
+	switch kind {
+	case 0: // interleaved contiguous read/write pair (copy-shaped)
+		return func() mem.Source {
+			r, _ := mem.NewIter(mem.ContiguousPattern(), 0, seedElems, burst, mem.Read, 1)
+			w, _ := mem.NewIter(mem.ContiguousPattern(), 1<<31, seedElems, burst, mem.Write, 0)
+			return mem.NewInterleave(r, w)
+		}
+	case 1: // strided reads through a coalescer
+		return func() mem.Source {
+			it, _ := mem.NewIter(mem.StridedPattern(stride), 0, seedElems, 4, mem.Read, 1)
+			return mem.NewCoalescer(it, burst)
+		}
+	case 2: // error-diffusion read/write mix
+		return func() mem.Source {
+			r, _ := mem.NewIter(mem.ContiguousPattern(), 0, seedElems, burst, mem.Read, 1)
+			w, _ := mem.NewIter(mem.ContiguousPattern(), 1<<31, seedElems, burst, mem.Write, 0)
+			return mem.NewMix(r, w, readFrac, 0)
+		}
+	default: // pointer chase
+		return func() mem.Source {
+			c, _ := mem.NewChaseIter(3<<31, seedElems, burst, hops, 3)
+			return c
+		}
+	}
+}
+
+func TestServiceBoundedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		cfg := randomConfig(rng)
+		build := randomStream(rng, cfg.BurstBytes)
+		var maxTxns uint64
+		if rng.Intn(2) == 0 {
+			maxTxns = uint64(1 + rng.Intn(512))
+		}
+		m := New(cfg)
+		got := m.ServiceBounded(build(), maxTxns)
+		want := refServiceBounded(m, build(), maxTxns)
+		if got != want {
+			t.Fatalf("trial %d (cfg %+v, maxTxns %d):\n got  %+v\n want %+v",
+				trial, m.Config(), maxTxns, got, want)
+		}
+	}
+}
+
+func TestServiceBoundedArenaReuseMatchesReference(t *testing.T) {
+	// Back-to-back runs on one model reuse the arena; every run must
+	// still start cold.
+	rng := rand.New(rand.NewSource(11))
+	cfg := randomConfig(rng)
+	m := New(cfg)
+	build := randomStream(rng, cfg.BurstBytes)
+	want := refServiceBounded(m, build(), 0)
+	for run := 0; run < 3; run++ {
+		if got := m.ServiceBounded(build(), 0); got != want {
+			t.Fatalf("run %d diverged after arena reuse:\n got  %+v\n want %+v", run, got, want)
+		}
+	}
+}
+
+func TestServiceLoadedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		cfg := randomConfig(rng)
+		bgBuild := randomStream(rng, cfg.BurstBytes)
+		hops := 32 + rng.Intn(256)
+		elems := 64 + rng.Intn(1024)
+		probeBuild := func() mem.Source {
+			c, _ := mem.NewChaseIter(3<<31, elems, cfg.BurstBytes, hops, 3)
+			return c
+		}
+		opts := LoadedOptions{
+			InterArrivalNs: 5 * rng.Float64(),
+			MaxTxns:        uint64(rng.Intn(1024)),
+			WarmupTxns:     uint64(rng.Intn(64)),
+		}
+		var bg1, bg2, pr1, pr2 mem.Source
+		switch rng.Intn(3) {
+		case 0: // background only
+			bg1, bg2 = bgBuild(), bgBuild()
+		case 1: // probe only
+			pr1, pr2 = probeBuild(), probeBuild()
+		default: // both
+			bg1, bg2 = bgBuild(), bgBuild()
+			pr1, pr2 = probeBuild(), probeBuild()
+		}
+		m := New(cfg)
+		got := m.ServiceLoaded(bg1, pr1, opts)
+		want := refServiceLoaded(m, bg2, pr2, opts)
+		if got != want {
+			t.Fatalf("trial %d (cfg %+v, opts %+v):\n got  %+v\n want %+v",
+				trial, m.Config(), opts, got, want)
+		}
+	}
+}
+
+// TestServiceLoadedRoutedMatchesReference is the routed-parity test:
+// Preroute + ServiceLoadedRouted must reproduce the frozen reference —
+// and therefore ServiceLoaded — float for float, and a rewound or
+// recycled stream must replay identically. The surface sweep leans on
+// exactly these three properties.
+func TestServiceLoadedRoutedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var scratch *Prerouted // recycled across trials, like the surface sweep's
+	for trial := 0; trial < 200; trial++ {
+		cfg := randomConfig(rng)
+		bgBuild := randomStream(rng, cfg.BurstBytes)
+		hops := 32 + rng.Intn(256)
+		elems := 64 + rng.Intn(1024)
+		probeBuild := func() mem.Source {
+			c, _ := mem.NewChaseIter(3<<31, elems, cfg.BurstBytes, hops, 3)
+			return c
+		}
+		opts := LoadedOptions{
+			InterArrivalNs: 5 * rng.Float64(),
+			MaxTxns:        uint64(rng.Intn(1024)),
+			WarmupTxns:     uint64(rng.Intn(64)),
+		}
+		const drain = 1 << 16 // larger than any stream above
+		m := New(cfg)
+		var bg, pr *Prerouted
+		var bgRef, prRef mem.Source
+		switch rng.Intn(3) {
+		case 0: // background only
+			bg, bgRef = m.Preroute(bgBuild(), drain), bgBuild()
+		case 1: // probe only
+			pr, prRef = m.Preroute(probeBuild(), drain), probeBuild()
+		default: // both
+			bg, bgRef = m.Preroute(bgBuild(), drain), bgBuild()
+			pr, prRef = m.Preroute(probeBuild(), drain), probeBuild()
+		}
+		got := m.ServiceLoadedRouted(bg, pr, opts)
+		want := refServiceLoaded(m, bgRef, prRef, opts)
+		if got != want {
+			t.Fatalf("trial %d (cfg %+v, opts %+v):\n got  %+v\n want %+v",
+				trial, m.Config(), opts, got, want)
+		}
+		// A rewound stream must replay the run exactly, and a stream
+		// decoded into a recycled backing array must match a fresh one.
+		if bg != nil {
+			bg.Reset()
+			scratch = m.PrerouteInto(scratch, bgBuild(), drain)
+			if len(scratch.reqs) != len(bg.reqs) {
+				t.Fatalf("trial %d: recycled preroute length %d, fresh %d",
+					trial, len(scratch.reqs), len(bg.reqs))
+			}
+			for i := range scratch.reqs {
+				if scratch.reqs[i] != bg.reqs[i] {
+					t.Fatalf("trial %d: recycled preroute diverges at %d: %+v vs %+v",
+						trial, i, scratch.reqs[i], bg.reqs[i])
+				}
+			}
+		}
+		if pr != nil {
+			pr.Reset()
+		}
+		if again := m.ServiceLoadedRouted(bg, pr, opts); again != got {
+			t.Fatalf("trial %d: rewound replay diverged:\n got  %+v\n want %+v",
+				trial, again, got)
+		}
+	}
+}

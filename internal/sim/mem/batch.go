@@ -1,0 +1,188 @@
+package mem
+
+// Batch generation: the allocation-free fast path the simulator hot
+// loop drains requests through. A Source's Next is one interface call
+// plus one walk-state switch per request; on streams of millions of
+// requests that dispatch dominates. Batcher lets a generator fill a
+// caller-owned arena slice with a single call, with the per-kind walk
+// loop monomorphized, and Fill routes through it when available.
+//
+// Every NextBatch must emit exactly the sequence repeated Next calls
+// would: the two paths are interchangeable mid-stream and the parity
+// tests hold each implementation to that.
+
+// Batcher is the optional bulk-generation extension of Source.
+type Batcher interface {
+	Source
+	// NextBatch fills dst from the stream and returns the count filled.
+	// A short count (< len(dst)) means the stream is exhausted for now,
+	// exactly as Next returning ok == false.
+	NextBatch(dst []Request) int
+}
+
+// Fill pulls up to len(dst) requests from s, using the bulk path when s
+// provides one. A short count means the source is exhausted.
+func Fill(s Source, dst []Request) int {
+	if b, ok := s.(Batcher); ok {
+		return b.NextBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = r
+		n++
+	}
+	return n
+}
+
+// NextBatch bulk-emits the walk with one monomorphic loop per pattern
+// kind (see Batcher).
+func (it *Iter) NextBatch(dst []Request) int {
+	n := 0
+	switch it.pattern.Kind {
+	case Contiguous:
+		eb := uint64(it.elemBytes)
+		for n < len(dst) && it.emitted < it.elems {
+			dst[n] = Request{
+				Addr:   it.base + uint64(it.emitted)*eb,
+				Size:   it.elemBytes,
+				Op:     it.op,
+				Stream: it.stream,
+			}
+			it.emitted++
+			n++
+		}
+	case Strided:
+		eb := uint64(it.elemBytes)
+		stride := it.pattern.StrideElems
+		for n < len(dst) && it.emitted < it.elems {
+			dst[n] = Request{
+				Addr:   it.base + uint64(it.idx)*eb,
+				Size:   it.elemBytes,
+				Op:     it.op,
+				Stream: it.stream,
+			}
+			it.idx += stride
+			if it.idx >= it.elems {
+				it.lane++
+				it.idx = it.lane
+			}
+			it.emitted++
+			n++
+		}
+	case ColMajor2D:
+		eb := uint64(it.elemBytes)
+		for n < len(dst) && it.emitted < it.elems {
+			dst[n] = Request{
+				Addr:   it.base + uint64(it.idx*it.cols+it.lane)*eb,
+				Size:   it.elemBytes,
+				Op:     it.op,
+				Stream: it.stream,
+			}
+			it.idx++
+			if it.idx >= it.rows {
+				it.idx = 0
+				it.lane++
+			}
+			it.emitted++
+			n++
+		}
+	}
+	return n
+}
+
+// NextBatch bulk-emits chase hops: one LCG step per request, no
+// dispatch (see Batcher).
+func (c *ChaseIter) NextBatch(dst []Request) int {
+	n := 0
+	state, elems, eb := c.state, uint64(c.elems), uint64(c.elemBytes)
+	mask := c.mask
+	for n < len(dst) && c.emitted < c.count {
+		state = state*chaseMul + chaseInc
+		var idx uint64
+		if mask != 0 {
+			idx = (state >> 33) & mask
+		} else {
+			idx = (state >> 33) % elems
+		}
+		dst[n] = Request{
+			Addr:   c.base + idx*eb,
+			Size:   c.elemBytes,
+			Op:     Read,
+			Stream: c.stream,
+		}
+		c.emitted++
+		n++
+	}
+	c.state = state
+	return n
+}
+
+// NextBatch bulk-emits within the budget (see Batcher).
+func (l *Limit) NextBatch(dst []Request) int {
+	if l.left < len(dst) {
+		dst = dst[:l.left]
+	}
+	n := Fill(l.src, dst)
+	l.left -= n
+	return n
+}
+
+// NextBatch bulk-emits the scheduled same-direction groups: each group
+// run is one Fill into the destination instead of per-request dispatch.
+// The dry-side fallbacks reproduce Next's exact behaviour, including
+// its quirk of not charging the substitute request against the
+// stand-in side's group quota (see Batcher).
+func (m *Mix) NextBatch(dst []Request) int {
+	n := 0
+	for n < len(dst) {
+		if m.readLeft == 0 && m.writeLeft == 0 {
+			m.acc += m.readFrac * float64(m.group)
+			m.readLeft = int(m.acc)
+			if m.readLeft > m.group {
+				m.readLeft = m.group
+			}
+			m.acc -= float64(m.readLeft)
+			m.writeLeft = m.group - m.readLeft
+		}
+		if m.readLeft > 0 {
+			want := m.readLeft
+			if room := len(dst) - n; want > room {
+				want = room
+			}
+			got := Fill(m.reads, dst[n:n+want])
+			n += got
+			m.readLeft -= got
+			if got < want {
+				m.readLeft = 0
+				r, ok := m.writes.Next()
+				if !ok {
+					return n
+				}
+				dst[n] = r
+				n++
+			}
+			continue
+		}
+		want := m.writeLeft
+		if room := len(dst) - n; want > room {
+			want = room
+		}
+		got := Fill(m.writes, dst[n:n+want])
+		n += got
+		m.writeLeft -= got
+		if got < want {
+			m.writeLeft = 0
+			r, ok := m.reads.Next()
+			if !ok {
+				return n
+			}
+			dst[n] = r
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package mem
+
+// Batch-vs-Next parity: every Batcher must emit exactly the sequence its
+// Next method produces, across the combinator chains the device models
+// actually build (interleave over coalescers over iterators, limits,
+// mixes, chases). The dst sizes deliberately include awkward chunk
+// lengths so batch boundaries land mid-merge and mid-rotation.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drainNext pulls src dry via Next.
+func drainNext(s Source) []Request {
+	var out []Request
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// drainBatch pulls src dry via Fill with varying chunk sizes.
+func drainBatch(s Source, rng *rand.Rand) []Request {
+	var out []Request
+	buf := make([]Request, 97)
+	for {
+		dst := buf[:1+rng.Intn(len(buf))]
+		n := Fill(s, dst)
+		out = append(out, dst[:n]...)
+		if n < len(dst) {
+			return out
+		}
+	}
+}
+
+// chainBuilders returns named constructors producing two identical
+// fresh sources per call, covering every Batcher implementation.
+func chainBuilders(rng *rand.Rand) map[string]func() Source {
+	elems := 64 + rng.Intn(1500)
+	stride := 1 + rng.Intn(24)
+	mixFrac := rng.Float64()
+	mixGroup := 1 + rng.Intn(32)
+	chaseHops := 200 + rng.Intn(800)
+	iter := func(p Pattern, base uint64, eb uint32, op Op, st uint8) Source {
+		it, err := NewIter(p, base, elems, eb, op, st)
+		if err != nil {
+			panic(err)
+		}
+		return it
+	}
+	return map[string]func() Source{
+		"iter-contig": func() Source {
+			return iter(ContiguousPattern(), 0, 8, Read, 1)
+		},
+		"iter-strided": func() Source {
+			return iter(StridedPattern(stride), 0, 4, Write, 0)
+		},
+		"iter-colmajor": func() Source {
+			return iter(ColMajorPattern(), 1<<20, 8, Read, 2)
+		},
+		"coalescer-contig": func() Source {
+			return NewCoalescer(iter(ContiguousPattern(), 0, 4, Read, 1), 64)
+		},
+		"coalescer-strided": func() Source {
+			return NewCoalescer(iter(StridedPattern(stride), 0, 4, Read, 1), 64)
+		},
+		"interleave-coalesced": func() Source {
+			return NewInterleave(
+				NewCoalescer(iter(ContiguousPattern(), 1<<31, 8, Read, 1), 64),
+				NewCoalescer(iter(ContiguousPattern(), 2<<31, 8, Read, 2), 64),
+				NewCoalescer(iter(ContiguousPattern(), 0, 8, Write, 0), 64),
+			)
+		},
+		"interleave-uneven": func() Source {
+			short, err := NewIter(ContiguousPattern(), 0, elems/3+1, 8, Read, 1)
+			if err != nil {
+				panic(err)
+			}
+			return NewInterleave(short, iter(StridedPattern(stride), 1<<31, 8, Write, 0))
+		},
+		"limit-interleave": func() Source {
+			return NewLimit(NewInterleave(
+				iter(ContiguousPattern(), 0, 8, Read, 1),
+				iter(ContiguousPattern(), 1<<31, 8, Write, 0),
+			), elems/2+3)
+		},
+		"mix": func() Source {
+			r := iter(ContiguousPattern(), 0, 8, Read, 1)
+			w := iter(ContiguousPattern(), 1<<31, 8, Write, 0)
+			return NewMix(r, w, mixFrac, mixGroup)
+		},
+		"chase": func() Source {
+			c, err := NewChaseIter(3<<31, elems, 64, chaseHops, 3)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		},
+	}
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		for name, build := range chainBuilders(rng) {
+			want := drainNext(build())
+			got := drainBatch(build(), rng)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: batch drained %d requests, Next drained %d",
+					trial, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: request %d diverged: batch %+v next %+v",
+						trial, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMixedNextAndBatch interleaves single pulls with batch pulls on one
+// source; the combined stream must still match the pure-Next stream.
+func TestMixedNextAndBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		for name, build := range chainBuilders(rng) {
+			want := drainNext(build())
+			s := build()
+			var got []Request
+			buf := make([]Request, 41)
+			for {
+				if rng.Intn(2) == 0 {
+					r, ok := s.Next()
+					if !ok {
+						break
+					}
+					got = append(got, r)
+					continue
+				}
+				dst := buf[:1+rng.Intn(len(buf))]
+				n := Fill(s, dst)
+				got = append(got, dst[:n]...)
+				if n < len(dst) {
+					break
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: mixed drained %d requests, Next drained %d",
+					trial, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s: request %d diverged: mixed %+v next %+v",
+						trial, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package mem
+
+// Fuzz coverage for the surface's background and probe generators. The
+// properties fuzzed here are the ones the bandwidth–latency methodology
+// leans on: Mix holds its read/write ratio to within one scheduling
+// granule by error diffusion, ChaseIter's LCG walk never leaves its
+// array, and both are bit-deterministic for a fixed seed (the whole
+// caching and fleet-merge story rests on that).
+//
+// Run with: go test -fuzz FuzzMix ./internal/sim/mem (etc.); the f.Add
+// seeds below run on every plain `go test`.
+
+import (
+	"testing"
+)
+
+// fuzzSource is an endless generator with recognizable reads/writes.
+type fuzzSource struct {
+	op   Op
+	next uint64
+}
+
+func (s *fuzzSource) Remaining() int { return 1 << 30 }
+func (s *fuzzSource) Next() (Request, bool) {
+	r := Request{Addr: s.next, Size: 64, Op: s.op}
+	s.next += 64
+	return r, true
+}
+
+func FuzzMix(f *testing.F) {
+	f.Add(0.5, 16, uint16(1000))
+	f.Add(1.0, 16, uint16(100))
+	f.Add(0.0, 16, uint16(100))
+	f.Add(2.0/3, 4, uint16(999))
+	f.Add(0.123456, 64, uint16(5000))
+	f.Add(-1.5, 0, uint16(300))
+	f.Add(0.9999, 1, uint16(777))
+	f.Fuzz(func(t *testing.T, readFrac float64, group int, n16 uint16) {
+		if readFrac != readFrac { // NaN clamps to 0 via the < 0 branch? No: NaN fails both clamps.
+			t.Skip("NaN ratio is not a meaningful input")
+		}
+		if group > 1<<20 {
+			t.Skip("absurd group size")
+		}
+		n := int(n16)
+		if n == 0 {
+			return
+		}
+		mix := NewMix(&fuzzSource{op: Read}, &fuzzSource{op: Write}, readFrac, group)
+
+		wantFrac := readFrac
+		if wantFrac < 0 {
+			wantFrac = 0
+		}
+		if wantFrac > 1 {
+			wantFrac = 1
+		}
+		g := group
+		if g <= 0 {
+			g = DefaultMixGroup
+		}
+
+		reads := 0
+		var firstSeq []Request
+		for i := 0; i < n; i++ {
+			r, ok := mix.Next()
+			if !ok {
+				t.Fatalf("mix of endless sources ran dry at %d", i)
+			}
+			if r.Op == Read {
+				reads++
+			}
+			firstSeq = append(firstSeq, r)
+
+			// Ratio property: error diffusion keeps the emitted read count
+			// within one scheduling granule of the exact quota at every
+			// group boundary (mid-group the run structure allows a full
+			// group of drift).
+			if (i+1)%g == 0 {
+				want := wantFrac * float64(i+1)
+				if diff := float64(reads) - want; diff > float64(g) || diff < -float64(g) {
+					t.Fatalf("after %d requests: %d reads, want %.2f ± %d (frac %g group %d)",
+						i+1, reads, want, g, wantFrac, g)
+				}
+			}
+		}
+
+		// Determinism: an identical mix replays the identical sequence.
+		mix2 := NewMix(&fuzzSource{op: Read}, &fuzzSource{op: Write}, readFrac, group)
+		for i, want := range firstSeq {
+			got, ok := mix2.Next()
+			if !ok || got != want {
+				t.Fatalf("replay diverged at %d: got %+v ok=%v want %+v", i, got, ok, want)
+			}
+		}
+
+		// Batch parity: NextBatch must emit the same sequence as Next.
+		mix3 := NewMix(&fuzzSource{op: Read}, &fuzzSource{op: Write}, readFrac, group)
+		buf := make([]Request, n)
+		got := 0
+		for got < n {
+			k := mix3.NextBatch(buf[got : got+min(n-got, 37)]) // odd chunk crosses group bounds
+			if k == 0 {
+				t.Fatalf("batch replay ran dry at %d", got)
+			}
+			got += k
+		}
+		for i := range firstSeq {
+			if buf[i] != firstSeq[i] {
+				t.Fatalf("batch replay diverged at %d: got %+v want %+v", i, buf[i], firstSeq[i])
+			}
+		}
+	})
+}
+
+func FuzzChase(f *testing.F) {
+	f.Add(uint64(0), 1024, uint32(64), uint16(512))
+	f.Add(uint64(3)<<31, 1, uint32(64), uint16(64))
+	f.Add(uint64(1<<40), 7777, uint32(16), uint16(2000))
+	f.Add(uint64(64), 65536, uint32(128), uint16(100))
+	f.Fuzz(func(t *testing.T, base uint64, elems int, elemBytes uint32, hops16 uint16) {
+		hops := int(hops16)
+		if elems <= 0 || elems > 1<<24 || elemBytes == 0 || elemBytes > 1<<12 {
+			t.Skip("out of model range")
+		}
+		if base > 1<<48 {
+			t.Skip("address overflow territory is not meaningful")
+		}
+		c, err := NewChaseIter(base, elems, elemBytes, hops, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := base + uint64(elems)*uint64(elemBytes)
+		var firstSeq []Request
+		for i := 0; i < hops; i++ {
+			r, ok := c.Next()
+			if !ok {
+				t.Fatalf("chase of %d hops ran dry at %d", hops, i)
+			}
+			// In-range: every hop lands on an element inside the array.
+			if r.Addr < base || r.Addr+uint64(r.Size) > limit {
+				t.Fatalf("hop %d at %#x (+%d) escapes [%#x, %#x)", i, r.Addr, r.Size, base, limit)
+			}
+			if (r.Addr-base)%uint64(elemBytes) != 0 {
+				t.Fatalf("hop %d at %#x not element-aligned", i, r.Addr)
+			}
+			// The probe is read-only: a chase that wrote would turn the
+			// latency measurement into bandwidth traffic.
+			if r.Op != Read {
+				t.Fatalf("hop %d is a %v; the chase must only read", i, r.Op)
+			}
+			firstSeq = append(firstSeq, r)
+		}
+		if r, ok := c.Next(); ok {
+			t.Fatalf("chase emitted extra hop %+v past its count", r)
+		}
+
+		// Determinism: same geometry, same walk.
+		c2, _ := NewChaseIter(base, elems, elemBytes, hops, 3)
+		for i, want := range firstSeq {
+			got, ok := c2.Next()
+			if !ok || got != want {
+				t.Fatalf("replay diverged at hop %d: got %+v ok=%v want %+v", i, got, ok, want)
+			}
+		}
+
+		// Batch parity: NextBatch emits the identical walk.
+		c3, _ := NewChaseIter(base, elems, elemBytes, hops, 3)
+		buf := make([]Request, hops)
+		got := 0
+		for got < hops {
+			k := c3.NextBatch(buf[got:min(hops, got+17)])
+			if k == 0 {
+				break
+			}
+			got += k
+		}
+		if got != hops {
+			t.Fatalf("batch walk emitted %d of %d hops", got, hops)
+		}
+		for i := range firstSeq {
+			if buf[i] != firstSeq[i] {
+				t.Fatalf("batch walk diverged at hop %d: got %+v want %+v", i, buf[i], firstSeq[i])
+			}
+		}
+	})
+}

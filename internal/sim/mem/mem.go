@@ -303,24 +303,50 @@ type Source interface {
 type Interleave struct {
 	srcs []Source
 	next int
+
+	// Batch state, created on the first NextBatch call: per-source
+	// prefetch buffers so round-robin emission reads arrays instead of
+	// making an interface call per request. A source whose refill comes
+	// back empty is permanently done (the Source contract: once Next
+	// reports false it keeps reporting false).
+	bufs [][]Request
+	pos  []int
+	lens []int
+	done []bool
 }
+
+// interleaveBatch is the per-source prefetch depth for batched pulls.
+const interleaveBatch = 64
 
 // NewInterleave builds a round-robin combinator over srcs.
 func NewInterleave(srcs ...Source) *Interleave {
 	return &Interleave{srcs: srcs}
 }
 
-// Remaining sums the remaining requests over all sources.
+// Remaining sums the remaining requests over all sources, plus anything
+// already prefetched into the batch buffers.
 func (in *Interleave) Remaining() int {
 	n := 0
 	for _, s := range in.srcs {
 		n += s.Remaining()
+	}
+	for i := range in.bufs {
+		n += in.lens[i] - in.pos[i]
 	}
 	return n
 }
 
 // Next emits from the next non-exhausted source in round-robin order.
 func (in *Interleave) Next() (Request, bool) {
+	if in.bufs != nil {
+		// Batch mode was engaged; stay on the buffered path so already
+		// prefetched requests keep their place in the rotation.
+		var one [1]Request
+		if in.NextBatch(one[:]) == 1 {
+			return one[0], true
+		}
+		return Request{}, false
+	}
 	for tries := 0; tries < len(in.srcs); tries++ {
 		s := in.srcs[in.next]
 		in.next = (in.next + 1) % len(in.srcs)
@@ -329,6 +355,51 @@ func (in *Interleave) Next() (Request, bool) {
 		}
 	}
 	return Request{}, false
+}
+
+// NextBatch bulk-emits the round-robin stream (Batcher). The sequence is
+// exactly what repeated Next calls produce; sources are merely pulled a
+// batch at a time.
+func (in *Interleave) NextBatch(dst []Request) int {
+	if in.bufs == nil {
+		in.bufs = make([][]Request, len(in.srcs))
+		for i := range in.bufs {
+			in.bufs[i] = make([]Request, interleaveBatch)
+		}
+		in.pos = make([]int, len(in.srcs))
+		in.lens = make([]int, len(in.srcs))
+		in.done = make([]bool, len(in.srcs))
+	}
+	n := 0
+	for n < len(dst) {
+		emitted := false
+		for tries := 0; tries < len(in.srcs); tries++ {
+			i := in.next
+			if in.next++; in.next == len(in.srcs) {
+				in.next = 0
+			}
+			if in.done[i] {
+				continue
+			}
+			if in.pos[i] >= in.lens[i] {
+				k := Fill(in.srcs[i], in.bufs[i])
+				in.pos[i], in.lens[i] = 0, k
+				if k == 0 {
+					in.done[i] = true
+					continue
+				}
+			}
+			dst[n] = in.bufs[i][in.pos[i]]
+			in.pos[i]++
+			n++
+			emitted = true
+			break
+		}
+		if !emitted {
+			break
+		}
+	}
+	return n
 }
 
 // Coalescer merges physically consecutive same-op same-stream requests
@@ -343,7 +414,17 @@ type Coalescer struct {
 	pending  Request
 	havePend bool
 	done     bool
+
+	// Upstream prefetch buffer, created on the first NextBatch call; the
+	// merge loop then runs over an array instead of an interface call per
+	// upstream request. Next drains it first so mixed use stays exact.
+	buf    []Request
+	bufPos int
+	bufLen int
 }
+
+// coalesceBatch is the upstream prefetch depth for batched pulls.
+const coalesceBatch = 128
 
 // NewCoalescer wraps src with a coalescing window of maxBytes.
 func NewCoalescer(src Source, maxBytes uint32) *Coalescer {
@@ -354,13 +435,149 @@ func NewCoalescer(src Source, maxBytes uint32) *Coalescer {
 }
 
 // Remaining is an upper bound: the source's remaining plus any pending
-// merged transaction.
+// merged transaction and prefetched upstream requests.
 func (c *Coalescer) Remaining() int {
-	n := c.src.Remaining()
+	n := c.src.Remaining() + (c.bufLen - c.bufPos)
 	if c.havePend {
 		n++
 	}
 	return n
+}
+
+// pull takes the next upstream request, draining the prefetch buffer
+// before going back to the source.
+func (c *Coalescer) pull() (Request, bool) {
+	if c.bufPos < c.bufLen {
+		r := c.buf[c.bufPos]
+		c.bufPos++
+		return r, true
+	}
+	return c.src.Next()
+}
+
+// NextBatch bulk-emits merged transactions (Batcher), identical in
+// sequence to repeated Next calls.
+func (c *Coalescer) NextBatch(dst []Request) int {
+	if c.done && !c.havePend {
+		return 0
+	}
+	if it, ok := c.src.(*Iter); ok && it.pattern.Kind == Contiguous {
+		if n, handled := c.contigBatch(it, dst); handled {
+			return n
+		}
+	}
+	if c.buf == nil {
+		c.buf = make([]Request, coalesceBatch)
+	}
+	n := 0
+	pending, have := c.pending, c.havePend
+	for n < len(dst) {
+		if c.bufPos >= c.bufLen {
+			if c.done {
+				break
+			}
+			c.bufLen = Fill(c.src, c.buf)
+			c.bufPos = 0
+			if c.bufLen == 0 {
+				c.done = true
+				break
+			}
+		}
+		maxBytes := c.maxBytes
+		for c.bufPos < c.bufLen && n < len(dst) {
+			r := c.buf[c.bufPos]
+			c.bufPos++
+			if !have {
+				pending, have = r, true
+				continue
+			}
+			if pending.Op == r.Op &&
+				pending.Stream == r.Stream &&
+				pending.End() == r.Addr &&
+				pending.Size+r.Size <= maxBytes {
+				pending.Size += r.Size
+				continue
+			}
+			dst[n] = pending
+			n++
+			pending = r
+		}
+	}
+	if c.done && have && n < len(dst) {
+		dst[n] = pending
+		n++
+		have = false
+	}
+	c.pending, c.havePend = pending, have
+	return n
+}
+
+// contigBatch is the fast path for a contiguous iterator upstream: the
+// merge of elemBytes-sized requests into maxBytes windows is pure
+// address arithmetic, so transactions are synthesized directly — one
+// loop iteration per emitted transaction instead of one per element.
+// The emitted sequence (including the held-back pending tail, flushed
+// only once the walk is known to be complete) is identical to the
+// generic path's. Returns handled=false when the state doesn't fit the
+// fast path (buffered slow-path input, a foreign pending transaction, or
+// a window smaller than one element).
+func (c *Coalescer) contigBatch(it *Iter, dst []Request) (int, bool) {
+	per := int(c.maxBytes / it.elemBytes)
+	if per < 1 || c.bufPos < c.bufLen || c.done {
+		return 0, false
+	}
+	pendElems := 0
+	if c.havePend {
+		if c.pending.Op != it.op || c.pending.Stream != it.stream ||
+			c.pending.Size%it.elemBytes != 0 ||
+			c.pending.End() != it.base+uint64(it.emitted)*uint64(it.elemBytes) {
+			return 0, false
+		}
+		pendElems = int(c.pending.Size / it.elemBytes)
+		if pendElems >= per {
+			return 0, false
+		}
+	}
+	eb := uint64(it.elemBytes)
+	n := 0
+	for n < len(dst) {
+		rem := it.elems - it.emitted
+		if rem == 0 {
+			// Source dry: flush the tail exactly as the generic path does.
+			c.done = true
+			if c.havePend {
+				c.havePend = false
+				dst[n] = c.pending
+				n++
+			}
+			return n, true
+		}
+		take := per - pendElems
+		if take > rem {
+			take = rem
+		}
+		if pendElems == 0 {
+			c.pending = Request{
+				Addr:   it.base + uint64(it.emitted)*eb,
+				Size:   uint32(take) * it.elemBytes,
+				Op:     it.op,
+				Stream: it.stream,
+			}
+			c.havePend = true
+		} else {
+			c.pending.Size += uint32(take) * it.elemBytes
+		}
+		pendElems += take
+		it.emitted += take
+		if pendElems == per && it.emitted < it.elems {
+			// Full window with a successor that cannot merge: emit.
+			dst[n] = c.pending
+			n++
+			c.havePend = false
+			pendElems = 0
+		}
+	}
+	return n, true
 }
 
 // Next emits the next (possibly merged) transaction.
@@ -369,7 +586,7 @@ func (c *Coalescer) Next() (Request, bool) {
 		return Request{}, false
 	}
 	for {
-		r, ok := c.src.Next()
+		r, ok := c.pull()
 		if !ok {
 			c.done = true
 			if c.havePend {
@@ -453,6 +670,7 @@ type ChaseIter struct {
 	count   int
 	emitted int
 	state   uint64
+	mask    uint64 // elems-1 when elems is a power of two (the common case), else 0
 }
 
 // chase LCG constants (Knuth's MMIX).
@@ -473,14 +691,25 @@ func NewChaseIter(base uint64, elems int, elemBytes uint32, count int, stream ui
 	if count < 0 {
 		count = 0
 	}
-	return &ChaseIter{
+	c := &ChaseIter{
 		base:      base,
 		elems:     elems,
 		elemBytes: elemBytes,
 		stream:    stream,
 		count:     count,
 		state:     uint64(elems) ^ chaseInc,
-	}, nil
+	}
+	if elems > 1 && elems&(elems-1) == 0 {
+		c.mask = uint64(elems) - 1
+	}
+	return c, nil
+}
+
+// Reset rewinds the chase to its first hop; the replayed walk is
+// identical to a freshly built one.
+func (c *ChaseIter) Reset() {
+	c.emitted = 0
+	c.state = uint64(c.elems) ^ chaseInc
 }
 
 // Remaining returns the hops not yet emitted.
@@ -492,7 +721,12 @@ func (c *ChaseIter) Next() (Request, bool) {
 		return Request{}, false
 	}
 	c.state = c.state*chaseMul + chaseInc
-	idx := int((c.state >> 33) % uint64(c.elems))
+	var idx int
+	if c.mask != 0 {
+		idx = int((c.state >> 33) & c.mask)
+	} else {
+		idx = int((c.state >> 33) % uint64(c.elems))
+	}
 	c.emitted++
 	return Request{
 		Addr:   c.base + uint64(idx)*uint64(c.elemBytes),
@@ -550,6 +784,19 @@ func (m *Mix) Remaining() int {
 		return sum
 	}
 	return math.MaxInt
+}
+
+// Reset restores the mixer to its initial schedule and rewinds both
+// sides, so the replayed mix is identical to a freshly built one.
+// Sides that cannot rewind are left untouched.
+func (m *Mix) Reset() {
+	m.acc, m.readLeft, m.writeLeft = 0, 0, 0
+	if r, ok := m.reads.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	if w, ok := m.writes.(interface{ Reset() }); ok {
+		w.Reset()
+	}
 }
 
 // Next emits the next request of the scheduled direction.

@@ -32,6 +32,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"mpstream/internal/device"
 	"mpstream/internal/report"
@@ -253,8 +255,22 @@ type Surface struct {
 
 // Observer is notified after each measured injection-ladder rung — the
 // hook the service layer uses to stream per-point job events. It is
-// called from the generating goroutine, in measurement order.
+// called from the generating goroutine, in ladder order: rungs may be
+// simulated concurrently (each on its own model clone), but observation
+// and assembly always follow the deterministic ladder sequence, so a
+// parallel generation is indistinguishable from a sequential one.
 type Observer func(pat mem.Pattern, readFrac float64, p Point)
+
+// maxWorkers overrides the rung-generation worker count when positive;
+// tests pin it to compare sequential and parallel generation directly.
+var maxWorkers = 0
+
+func workerCount() int {
+	if maxWorkers > 0 {
+		return maxWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Generate measures the surface of dev, which must expose its memory
 // system (device.MemorySystem — every simulated target does).
@@ -311,14 +327,19 @@ func GenerateShardWith(ctx context.Context, dev device.Device, cfg Config, lo, h
 	// measurement serves every curve.
 	burst := model.Config().BurstBytes
 	idle := model.ServiceLoaded(nil, chase(elems, burst, cfg.ProbeHops), dram.LoadedOptions{})
+	idleNs := idle.ProbeAvgNs()
 
 	s := &Surface{Device: info, Config: cfg}
+	if workers := workerCount(); workers > 1 {
+		return generateParallel(ctx, s, model, cfg, lo, hi, peak, idleNs, workers, observe)
+	}
+	var scr rungScratch
 	for pi, pat := range cfg.Patterns {
 		for ri, frac := range cfg.RWRatios {
 			if ci := pi*len(cfg.RWRatios) + ri; ci < lo || ci >= hi {
 				continue
 			}
-			curve, err := generateCurve(ctx, model, cfg, pat, frac, peak, idle.ProbeAvgNs(), observe)
+			curve, err := generateCurve(ctx, model, cfg, pat, frac, peak, idleNs, observe, &scr)
 			if err != nil {
 				return nil, err
 			}
@@ -332,6 +353,127 @@ func GenerateShardWith(ctx context.Context, dev device.Device, cfg Config, lo, h
 				return s, nil
 			}
 		}
+	}
+	return s, nil
+}
+
+// rungJob is one injection-ladder rung of one curve, in ladder order.
+type rungJob struct {
+	ci   int // curve index in pattern-major order
+	pat  mem.Pattern
+	frac float64
+	rate float64
+}
+
+// generateParallel measures a shard's rungs with a worker pool. Every
+// rung is an independent simulation (each worker owns a model clone and
+// every ServiceLoaded call starts cold), so the rungs of all curves
+// fan out freely; the collector then observes and assembles them in
+// strict ladder order, which keeps the output — including partial,
+// canceled output — identical to the sequential path's.
+func generateParallel(ctx context.Context, s *Surface, model *dram.Model, cfg Config, lo, hi int, peak, idleNs float64, workers int, observe Observer) (*Surface, error) {
+	var jobs []rungJob
+	for pi, pat := range cfg.Patterns {
+		for ri, frac := range cfg.RWRatios {
+			ci := pi*len(cfg.RWRatios) + ri
+			if ci < lo || ci >= hi {
+				continue
+			}
+			for _, rate := range cfg.Rates {
+				jobs = append(jobs, rungJob{ci: ci, pat: pat, frac: frac, rate: rate})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return s, nil
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// stop cancels the uncollected tail: on context end or on the first
+	// rung error, workers skip their remaining claims.
+	ctx2, stop := context.WithCancel(ctx)
+	defer stop()
+
+	points := make([]Point, len(jobs))
+	measured := make([]bool, len(jobs))
+	errs := make([]error, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			wm := model.Clone() // worker-private arena: allocation-free rungs
+			var scr rungScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				if ctx2.Err() == nil {
+					p, err := measureRung(wm, cfg, jobs[i], peak, &scr)
+					if err != nil {
+						errs[i] = err
+						stop()
+					} else {
+						points[i], measured[i] = p, true
+					}
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	// Collect in ladder order: a cancellation (possibly issued by the
+	// observer itself) stops collection at the rung boundary, exactly
+	// like the sequential path — rungs simulated beyond it are discarded.
+	kept := 0
+	var firstErr error
+	for i := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		<-done[i]
+		if errs[i] != nil {
+			firstErr = errs[i]
+			break
+		}
+		if !measured[i] {
+			break
+		}
+		kept = i + 1
+		if observe != nil {
+			observe(jobs[i].pat, jobs[i].frac, points[i])
+		}
+	}
+	stop()
+	for i := range jobs {
+		<-done[i] // join: closed channels drain instantly
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i := 0; i < kept; {
+		j := i
+		for j < kept && jobs[j].ci == jobs[i].ci {
+			j++
+		}
+		curve := Curve{
+			Pattern:       jobs[i].pat,
+			ReadFrac:      jobs[i].frac,
+			IdleLatencyNs: idleNs,
+			Points:        append([]Point(nil), points[i:j]...),
+		}
+		curve.Knee = detectKnee(curve, cfg.KneeFactor)
+		s.Curves = append(s.Curves, curve)
+		i = j
+	}
+	if st := runstate.FromContext(ctx); st != "" {
+		s.Stopped = st
 	}
 	return s, nil
 }
@@ -367,51 +509,97 @@ const (
 	probeStream = 3
 )
 
-// generateCurve measures one (pattern, read-fraction) ladder against
-// the shared idle latency, stopping between rungs when ctx ends (the
-// caller inspects ctx to tag the partial surface).
-func generateCurve(ctx context.Context, model *dram.Model, cfg Config, pat mem.Pattern, readFrac, peakGBps, idleNs float64, observe Observer) (Curve, error) {
+// rungScratch caches the address-decoded request streams between rung
+// measurements, so a ladder sweep pays stream construction and DRAM
+// address decode per curve instead of per rung: the background walk is
+// redecoded only when the (pattern, read-fraction) pair changes and
+// the probe chase never, with both rewound before every rung. The
+// generators are deterministic and the decode timing-independent, so a
+// rewound stream replays exactly what per-rung construction would
+// produce (mem's reset parity and dram's routed parity tests pin
+// this), and a scratch-backed sweep reproduces it bit for bit.
+type rungScratch struct {
+	pat   mem.Pattern
+	frac  float64
+	bg    *dram.Prerouted
+	probe *dram.Prerouted
+}
+
+// sources returns the rewound background and probe streams for job,
+// rebuilding what the previous rung cannot serve.
+func (s *rungScratch) sources(model *dram.Model, cfg Config, job rungJob) (bg, probe *dram.Prerouted, err error) {
 	burst := model.Config().BurstBytes
 	elems := int(cfg.ArrayBytes / int64(burst))
-
-	curve := Curve{Pattern: pat, ReadFrac: readFrac, IdleLatencyNs: idleNs}
-
+	if s.probe == nil {
+		s.probe = model.Preroute(chase(elems, burst, cfg.WindowTxns), cfg.WindowTxns)
+	} else {
+		s.probe.Reset()
+	}
+	if s.bg != nil && job.pat == s.pat && job.frac == s.frac {
+		s.bg.Reset()
+		return s.bg, s.probe, nil
+	}
 	// Same-direction scheduling runs mirror the controller's own
 	// write-buffering depth, so the mixed stream pays turnarounds at the
 	// rate the closed-loop model does.
 	mixGroup := model.Config().BatchSize * model.Config().Channels
+	src, err := background(job.pat, elems, burst, job.frac, mixGroup)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The background wraps endlessly; a window's service consumes at most
+	// MaxTxns requests plus one transaction of lookahead.
+	s.bg, s.pat, s.frac = model.PrerouteInto(s.bg, src, cfg.WindowTxns+1), job.pat, job.frac
+	return s.bg, s.probe, nil
+}
 
+// measureRung simulates one injection-ladder rung cold on model: the
+// mixed background stream at the rung's offered rate with the probe
+// chase threading through it.
+func measureRung(model *dram.Model, cfg Config, job rungJob, peakGBps float64, scr *rungScratch) (Point, error) {
+	burst := model.Config().BurstBytes
+	bg, probe, err := scr.sources(model, cfg, job)
+	if err != nil {
+		return Point{}, err
+	}
+	interNs := float64(burst) / (job.rate * peakGBps) // GB/s == B/ns
+	res := model.ServiceLoadedRouted(bg, probe, dram.LoadedOptions{
+		InterArrivalNs: interNs,
+		MaxTxns:        uint64(cfg.WindowTxns),
+		// Measure the steady state, not the cold ramp into it.
+		WarmupTxns: uint64(cfg.WindowTxns / 4),
+	})
+	lat, maxLat := res.ProbeAvgNs(), res.ProbeMaxNs
+	if res.ProbeTxns == 0 {
+		// The system was so congested that not one probe hop finished
+		// inside the measured window: the loaded latency is at least
+		// the window itself. Report that bound instead of a bogus 0.
+		lat = res.Seconds * 1e9
+		maxLat = lat
+	}
+	return Point{
+		Rate:         job.rate,
+		OfferedGBps:  job.rate * peakGBps,
+		AchievedGBps: res.RequestedGBps(),
+		LatencyNs:    lat,
+		MaxLatencyNs: maxLat,
+		RowHitRate:   res.RowHitRate(),
+		Occupancy:    res.AvgOccupancy(),
+	}, nil
+}
+
+// generateCurve measures one (pattern, read-fraction) ladder against
+// the shared idle latency, stopping between rungs when ctx ends (the
+// caller inspects ctx to tag the partial surface).
+func generateCurve(ctx context.Context, model *dram.Model, cfg Config, pat mem.Pattern, readFrac, peakGBps, idleNs float64, observe Observer, scr *rungScratch) (Curve, error) {
+	curve := Curve{Pattern: pat, ReadFrac: readFrac, IdleLatencyNs: idleNs}
 	for _, rate := range cfg.Rates {
 		if ctx.Err() != nil {
 			break
 		}
-		bg, err := background(pat, elems, burst, readFrac, mixGroup)
+		p, err := measureRung(model, cfg, rungJob{pat: pat, frac: readFrac, rate: rate}, peakGBps, scr)
 		if err != nil {
 			return Curve{}, err
-		}
-		interNs := float64(burst) / (rate * peakGBps) // GB/s == B/ns
-		res := model.ServiceLoaded(bg, chase(elems, burst, cfg.WindowTxns), dram.LoadedOptions{
-			InterArrivalNs: interNs,
-			MaxTxns:        uint64(cfg.WindowTxns),
-			// Measure the steady state, not the cold ramp into it.
-			WarmupTxns: uint64(cfg.WindowTxns / 4),
-		})
-		lat, maxLat := res.ProbeAvgNs(), res.ProbeMaxNs
-		if res.ProbeTxns == 0 {
-			// The system was so congested that not one probe hop finished
-			// inside the measured window: the loaded latency is at least
-			// the window itself. Report that bound instead of a bogus 0.
-			lat = res.Seconds * 1e9
-			maxLat = lat
-		}
-		p := Point{
-			Rate:         rate,
-			OfferedGBps:  rate * peakGBps,
-			AchievedGBps: res.RequestedGBps(),
-			LatencyNs:    lat,
-			MaxLatencyNs: maxLat,
-			RowHitRate:   res.RowHitRate(),
-			Occupancy:    res.AvgOccupancy(),
 		}
 		curve.Points = append(curve.Points, p)
 		if observe != nil {
@@ -425,7 +613,7 @@ func generateCurve(ctx context.Context, model *dram.Model, cfg Config, pat mem.P
 // chase builds the probe walk: hops covers both the idle measurement
 // and a whole loaded window (the probe chain never runs dry before the
 // window's transaction budget is spent).
-func chase(elems int, burst uint32, hops int) mem.Source {
+func chase(elems int, burst uint32, hops int) *mem.ChaseIter {
 	// The chase array lives far from the traffic arrays (stream bases are
 	// 2 GiB apart, see device.StreamBases).
 	ch, err := mem.NewChaseIter(uint64(probeStream)<<31, elems, burst, hops, probeStream)
@@ -465,6 +653,9 @@ type repeat struct{ it *mem.Iter }
 // Remaining reports a window-dwarfing count (the walk never drains).
 func (r repeat) Remaining() int { return math.MaxInt }
 
+// Reset rewinds the cycling walk to its start.
+func (r repeat) Reset() { r.it.Reset() }
+
 // Next emits the next request, rewinding at the end of the walk.
 func (r repeat) Next() (mem.Request, bool) {
 	req, ok := r.it.Next()
@@ -473,6 +664,23 @@ func (r repeat) Next() (mem.Request, bool) {
 		req, ok = r.it.Next()
 	}
 	return req, ok
+}
+
+// NextBatch bulk-emits the cycling walk (mem.Batcher), rewinding at
+// each wrap so the stream never reports exhaustion.
+func (r repeat) NextBatch(dst []mem.Request) int {
+	n := 0
+	for n < len(dst) {
+		got := r.it.NextBatch(dst[n:])
+		if got == 0 {
+			r.it.Reset()
+			if got = r.it.NextBatch(dst[n:]); got == 0 {
+				break
+			}
+		}
+		n += got
+	}
+	return n
 }
 
 // detectKnee picks the highest-bandwidth point within the latency

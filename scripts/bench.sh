@@ -1,48 +1,140 @@
 #!/usr/bin/env bash
-# Run every benchmark once and write a machine-readable summary to
-# BENCH_0.json: [{"name": ..., "ns_per_op": ..., "allocs_per_op": ...}].
+# Benchmark trajectory tool: run the benchmark suite, write a
+# machine-readable artifact [{"name", "ns_per_op", "allocs_per_op"}],
+# and report deltas against the previous trajectory point.
 #
-# -benchtime=1x keeps this a smoke-grade artifact — one iteration per
-# benchmark pins the shape (compiles, runs, allocation profile) without
-# pretending to be a statistically meaningful measurement. Pass a
-# different -benchtime through BENCHTIME for real numbers:
+# Usage:
+#   ./scripts/bench.sh             # write the next free BENCH_<N>.json
+#   ./scripts/bench.sh 1           # write BENCH_1.json (a trajectory point)
+#   ./scripts/bench.sh ci.json     # write an explicit file (CI scratch run)
 #
-#   ./scripts/bench.sh               # 1 iteration per benchmark
-#   BENCHTIME=100x ./scripts/bench.sh
+# Trajectory points are committed BENCH_<N>.json files; passing an index
+# (or letting the script pick the next free one) lands a new point
+# instead of overwriting history.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime (default 1x: a smoke-grade artifact —
+#              one iteration pins the shape without pretending to be a
+#              statistically meaningful measurement; use e.g. 100x for
+#              real numbers)
+#   BENCH      regex of benchmarks to run (default ".")
+#   BASELINE   artifact to diff against (default: the highest-numbered
+#              BENCH_<N>.json other than the output)
+#   CHECK      non-empty: exit 1 when a watched benchmark's ns/op
+#              regresses beyond TOLERANCE vs the baseline
+#   WATCH      regex of benchmarks the CHECK gate watches
+#              (default "^Benchmark(Fig|Surface)")
+#   TOLERANCE  relative ns/op regression band for CHECK — the one place
+#              the tolerance is configured (default 0.05)
+#
+# The delta table goes to stdout and, when the variable is set, is
+# appended to $GITHUB_STEP_SUMMARY.
 #
 # Run from the repository root.
 set -euo pipefail
 
-OUT=${OUT:-BENCH_0.json}
+OUT=${1:-}
 BENCHTIME=${BENCHTIME:-1x}
+BENCH=${BENCH:-.}
 RAW=$(mktemp)
 
-go test -run '^$' -bench . -benchtime="$BENCHTIME" -benchmem ./... | tee "$RAW"
+go test -run '^$' -bench "$BENCH" -benchtime="$BENCHTIME" -benchmem ./... | tee "$RAW"
 
-python3 - "$RAW" "$OUT" <<'EOF'
-import json, re, sys
+OUT="$OUT" BASELINE=${BASELINE:-} CHECK=${CHECK:-} WATCH=${WATCH:-} \
+TOLERANCE=${TOLERANCE:-} python3 - "$RAW" <<'EOF'
+import glob, json, os, re, sys
 
-rows = []
-# Benchmark lines are "name iterations <value unit>..." with the
-# value/unit pairs in any order (custom metrics like "x-paper" may sit
-# between ns/op and the -benchmem pairs), so scan by unit.
-for line in open(sys.argv[1]):
-    fields = line.split()
-    if len(fields) < 4 or not fields[0].startswith("Benchmark"):
-        continue
-    units = {}
-    for value, unit in zip(fields[2::2], fields[3::2]):
-        units[unit] = value
-    if "ns/op" not in units:
-        continue
-    row = {"name": fields[0], "ns_per_op": float(units["ns/op"])}
-    if "allocs/op" in units:
-        row["allocs_per_op"] = int(units["allocs/op"])
-    rows.append(row)
+def parse(path):
+    rows = []
+    # Benchmark lines are "name iterations <value unit>..." with the
+    # value/unit pairs in any order (custom metrics like "x-paper" may
+    # sit between ns/op and the -benchmem pairs), so scan by unit.
+    for line in open(path):
+        fields = line.split()
+        if len(fields) < 4 or not fields[0].startswith("Benchmark"):
+            continue
+        units = dict(zip(fields[3::2], fields[2::2]))
+        if "ns/op" not in units:
+            continue
+        row = {"name": fields[0], "ns_per_op": float(units["ns/op"])}
+        if "allocs/op" in units:
+            row["allocs_per_op"] = int(units["allocs/op"])
+        rows.append(row)
+    assert rows, "no benchmark result lines parsed"
+    return rows
 
-assert rows, "no benchmark result lines parsed"
-with open(sys.argv[2], "w") as f:
+def trajectory_index(path):
+    m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+    return int(m.group(1)) if m else None
+
+out = os.environ.get("OUT") or ""
+if out.isdigit():
+    out = "BENCH_%s.json" % out
+elif not out:
+    taken = [trajectory_index(p) for p in glob.glob("BENCH_*.json")]
+    taken = [i for i in taken if i is not None]
+    out = "BENCH_%d.json" % (max(taken) + 1 if taken else 0)
+
+rows = parse(sys.argv[1])
+with open(out, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")
-print("bench: wrote %d results to %s" % (len(rows), sys.argv[2]))
+print("bench: wrote %d results to %s" % (len(rows), out))
+
+baseline = os.environ.get("BASELINE")
+if not baseline:
+    points = {trajectory_index(p): p for p in glob.glob("BENCH_*.json")}
+    points.pop(trajectory_index(out), None)
+    points.pop(None, None)
+    baseline = points[max(points)] if points else ""
+if not baseline or not os.path.exists(baseline):
+    print("bench: no baseline artifact to diff against")
+    sys.exit(0)
+
+old = {r["name"]: r for r in json.load(open(baseline))}
+lines = [
+    "## Benchmark deltas: %s vs %s" % (out, baseline),
+    "",
+    "| benchmark | ns/op | was | Δ | allocs/op | was | Δ |",
+    "|---|---|---|---|---|---|---|",
+]
+def delta(new, was):
+    if not was:
+        return "n/a"
+    return "%+.1f%%" % (100.0 * (new - was) / was)
+for r in rows:
+    o = old.get(r["name"])
+    if o is None:
+        lines.append("| %s | %.0f | — | new | %s | — | |"
+                     % (r["name"], r["ns_per_op"], r.get("allocs_per_op", "")))
+        continue
+    lines.append("| %s | %.0f | %.0f | %s | %s | %s | %s |" % (
+        r["name"], r["ns_per_op"], o["ns_per_op"],
+        delta(r["ns_per_op"], o["ns_per_op"]),
+        r.get("allocs_per_op", ""), o.get("allocs_per_op", ""),
+        delta(r.get("allocs_per_op", 0), o.get("allocs_per_op", 0))))
+table = "\n".join(lines)
+print(table)
+summary = os.environ.get("GITHUB_STEP_SUMMARY")
+if summary:
+    with open(summary, "a") as f:
+        f.write(table + "\n")
+
+if os.environ.get("CHECK"):
+    watch = re.compile(os.environ.get("WATCH") or "^Benchmark(Fig|Surface)")
+    tol = float(os.environ.get("TOLERANCE") or "0.05")
+    bad = []
+    for r in rows:
+        o = old.get(r["name"])
+        if o is None or not watch.search(r["name"]):
+            continue
+        if r["ns_per_op"] > o["ns_per_op"] * (1 + tol):
+            bad.append("%s: %.0f ns/op vs %.0f (>%+.0f%%)"
+                       % (r["name"], r["ns_per_op"], o["ns_per_op"], 100 * tol))
+    if bad:
+        print("bench: ns/op regression beyond tolerance:", file=sys.stderr)
+        for b in bad:
+            print("  " + b, file=sys.stderr)
+        sys.exit(1)
+    print("bench: regression gate passed (tolerance %.0f%%)" % (100 * tol))
 EOF

@@ -1,0 +1,66 @@
+package mpstream_test
+
+// The recorded bench trajectory: committed BENCH_<N>.json artifacts
+// are data, so a test keeps them parseable and keeps the recorded
+// headline improvements at or above their floors — the trajectory
+// cannot silently rot or be overwritten with regressed numbers.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func loadBenchArtifact(t *testing.T, path string) map[string]benchRow {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trajectory artifact missing: %v", err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("%s does not parse: %v", path, err)
+	}
+	m := make(map[string]benchRow, len(rows))
+	for _, r := range rows {
+		if r.Name == "" || r.NsPerOp <= 0 {
+			t.Fatalf("%s has a malformed row: %+v", path, r)
+		}
+		m[r.Name] = r
+	}
+	return m
+}
+
+func TestBenchTrajectory(t *testing.T) {
+	seed := loadBenchArtifact(t, "BENCH_0.json")
+	cur := loadBenchArtifact(t, "BENCH_1.json")
+	// The watched headline pair and the improvement floors the
+	// optimization wave recorded: ns/op at least 5x down, allocs/op at
+	// least 10x down from the seed.
+	for _, name := range []string{"BenchmarkFig2", "BenchmarkSurface"} {
+		was, ok := seed[name]
+		if !ok {
+			t.Errorf("BENCH_0.json lost its %s row", name)
+			continue
+		}
+		now, ok := cur[name]
+		if !ok {
+			t.Errorf("BENCH_1.json lost its %s row", name)
+			continue
+		}
+		if now.NsPerOp*5 > was.NsPerOp {
+			t.Errorf("%s trajectory regressed: %.0f ns/op recorded, need <= %.0f (5x under seed %.0f)",
+				name, now.NsPerOp, was.NsPerOp/5, was.NsPerOp)
+		}
+		if now.AllocsPerOp*10 > was.AllocsPerOp {
+			t.Errorf("%s trajectory regressed: %d allocs/op recorded, need <= %d (10x under seed %d)",
+				name, now.AllocsPerOp, was.AllocsPerOp/10, was.AllocsPerOp)
+		}
+	}
+}
