@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
@@ -31,6 +32,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/report"
 )
 
@@ -54,6 +56,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full search result as JSON")
 		asCSV     = flag.Bool("csv", false, "emit the ranked points as CSV")
 		trace     = flag.Bool("trace", false, "print the evaluation trace")
+		timeline  = flag.Bool("timeline", false, "after a -server search, fetch the job's span timeline and print it to stderr")
 	)
 	flag.Parse()
 
@@ -66,14 +69,14 @@ func main() {
 	go func() { <-ctx.Done(); stop() }()
 
 	if err := run(ctx, *target, *op, *strategy, *budget, *seed, *size, *ntimes,
-		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *server, *asJSON, *asCSV, *trace); err != nil {
+		*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *objective, *server, *asJSON, *asCSV, *trace, *timeline); err != nil {
 		fmt.Fprintln(os.Stderr, "mpopt:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, target, opName, strategy string, budget int, seed int64, size string, ntimes int,
-	vecs, loops, unrolls, simds, cus, dtypes, objective, server string, asJSON, asCSV, trace bool) error {
+	vecs, loops, unrolls, simds, cus, dtypes, objective, server string, asJSON, asCSV, trace, timeline bool) error {
 	if asJSON && asCSV {
 		return fmt.Errorf("-json and -csv are mutually exclusive")
 	}
@@ -101,6 +104,9 @@ func run(ctx context.Context, target, opName, strategy string, budget int, seed 
 		view, err := submitRemote(ctx, server, target, base, space, op, opts)
 		if err != nil {
 			return err
+		}
+		if timeline {
+			printTimeline(strings.TrimRight(server, "/"), view.ID, "mpopt")
 		}
 		if view.Status == "failed" {
 			return fmt.Errorf("server: %s", view.Error)
@@ -156,6 +162,20 @@ func submitRemote(ctx context.Context, server, target string, base core.Config, 
 		Async:     true,
 	}
 	return client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/optimize", req, nil)
+}
+
+// printTimeline fetches a finished job's span timeline and renders it
+// to stderr, under its own deadline so it still works after Ctrl-C
+// killed the main context.
+func printTimeline(server, id, prog string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tv, err := cluster.NewClient().JobTrace(ctx, server, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: timeline: %v\n", prog, err)
+		return
+	}
+	obs.WriteTimeline(os.Stderr, tv)
 }
 
 // rankingTable renders the ranked exploration, one row per feasible

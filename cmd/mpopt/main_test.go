@@ -37,7 +37,7 @@ func captureStdout(t *testing.T, f func() error) string {
 
 func TestRunText(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(context.Background(), "aocl", "triad", "hillclimb", 10, 1, "64KB", 2, "1, 2, 4", "", "1, 2", "", "", "int, double", "", "", false, false, true)
+		return run(context.Background(), "aocl", "triad", "hillclimb", 10, 1, "64KB", 2, "1, 2, 4", "", "1, 2", "", "", "int, double", "", "", false, false, true, false)
 	})
 	for _, want := range []string{"strategy=hillclimb", "best:", "pareto point", "step"} {
 		if !strings.Contains(out, want) {
@@ -48,7 +48,7 @@ func TestRunText(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return run(context.Background(), "cpu", "copy", "random", 4, 2, "64KB", 2, "1, 2, 4, 8", "", "", "", "", "", "", "", true, false, false)
+		return run(context.Background(), "cpu", "copy", "random", 4, 2, "64KB", 2, "1, 2, 4, 8", "", "", "", "", "", "", "", true, false, false, false)
 	})
 	var res struct {
 		Strategy    string `json:"strategy"`
@@ -71,22 +71,22 @@ func TestRunErrors(t *testing.T) {
 		f    func() error
 	}{
 		{"unknown target", func() error {
-			return run(context.Background(), "tpu", "copy", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "tpu", "copy", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false, false)
 		}},
 		{"unknown op", func() error {
-			return run(context.Background(), "cpu", "transpose", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "cpu", "transpose", "random", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false, false)
 		}},
 		{"unknown strategy", func() error {
-			return run(context.Background(), "cpu", "copy", "bogo", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "cpu", "copy", "bogo", 1, 0, "64KB", 2, "1", "", "", "", "", "", "", "", false, false, false, false)
 		}},
 		{"bad size", func() error {
-			return run(context.Background(), "cpu", "copy", "random", 1, 0, "nope", 2, "1", "", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "cpu", "copy", "random", 1, 0, "nope", 2, "1", "", "", "", "", "", "", "", false, false, false, false)
 		}},
 		{"bad axis value", func() error {
-			return run(context.Background(), "cpu", "copy", "random", 1, 0, "64KB", 2, "one", "", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "cpu", "copy", "random", 1, 0, "64KB", 2, "one", "", "", "", "", "", "", "", false, false, false, false)
 		}},
 		{"bad loop mode", func() error {
-			return run(context.Background(), "cpu", "copy", "random", 1, 0, "64KB", 2, "1", "spiral", "", "", "", "", "", "", false, false, false)
+			return run(context.Background(), "cpu", "copy", "random", 1, 0, "64KB", 2, "1", "spiral", "", "", "", "", "", "", false, false, false, false)
 		}},
 	}
 	for _, tc := range cases {
@@ -102,7 +102,7 @@ func TestRunCSVRoundTrip(t *testing.T) {
 	args := func(asJSON, asCSV bool) func() error {
 		return func() error {
 			return run(context.Background(), "aocl", "triad", "exhaustive", 0, 0, "64KB", 2,
-				"1,2,4", "", "", "", "", "int", "", "", asJSON, asCSV, false)
+				"1,2,4", "", "", "", "", "int", "", "", asJSON, asCSV, false, false)
 		}
 	}
 	csvOut := captureStdout(t, args(false, true))
@@ -137,7 +137,7 @@ func TestRunCSVRoundTrip(t *testing.T) {
 
 func TestRunCSVExclusive(t *testing.T) {
 	err := run(context.Background(), "aocl", "copy", "exhaustive", 0, 0, "64KB", 2,
-		"1", "", "", "", "", "int", "", "", true, true, false)
+		"1", "", "", "", "", "int", "", "", true, true, false, false)
 	if err == nil {
 		t.Error("-json with -csv must error")
 	}
@@ -148,7 +148,7 @@ func TestRunCSVExclusive(t *testing.T) {
 func TestRunKneeObjective(t *testing.T) {
 	out := captureStdout(t, func() error {
 		return run(context.Background(), "gpu", "copy", "exhaustive", 0, 0, "64KB", 2,
-			"1,4", "", "", "", "", "int", "knee", "", false, true, false)
+			"1,4", "", "", "", "", "int", "knee", "", false, true, false, false)
 	})
 	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
 	if err != nil {

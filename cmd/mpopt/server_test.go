@@ -21,7 +21,7 @@ func TestRunServerMode(t *testing.T) {
 	args := func(server string) func() error {
 		return func() error {
 			return run(context.Background(), "cpu", "copy", "exhaustive", 0, 0, "64KB", 2,
-				"1,2,4", "", "", "", "", "int", "", server, true, false, false)
+				"1,2,4", "", "", "", "", "int", "", server, true, false, false, false)
 		}
 	}
 	local := captureStdout(t, args(""))
@@ -49,7 +49,7 @@ func TestRunServerModeErrors(t *testing.T) {
 	defer ts.Close()
 
 	err := run(context.Background(), "tpu", "copy", "exhaustive", 0, 0, "64KB", 2,
-		"1", "", "", "", "", "int", "", ts.URL, false, false, false)
+		"1", "", "", "", "", "int", "", ts.URL, false, false, false, false)
 	if err == nil {
 		t.Error("unknown target accepted through -server")
 	}

@@ -221,14 +221,15 @@ func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan
 		defer coord.Close()
 		coord.WatchPeers(fleet.peers)
 		opts.Cluster = coord
+		// Origin tags this process's spans in merged fleet traces and
+		// its own samples in the federated exposition.
+		opts.Origin = "coordinator"
 		log.Info("mpserved: coordinating", "static_peers", len(fleet.peers))
 	}
 
-	svc := service.New(opts)
-	defer svc.Close()
-
+	var self cluster.WorkerInfo
 	if fleet.worker {
-		self := cluster.WorkerInfo{
+		self = cluster.WorkerInfo{
 			ID:       fleet.workerID,
 			Addr:     advertiseURL(fleet.advertise, ln),
 			Capacity: fleet.capacity,
@@ -242,6 +243,15 @@ func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan
 		for _, dev := range targets.All() {
 			self.Targets = append(self.Targets, dev.Info().ID)
 		}
+		// A worker's spans carry its fleet identity, so the coordinator's
+		// assembled trace names which worker ran each shard.
+		opts.Origin = self.ID
+	}
+
+	svc := service.New(opts)
+	defer svc.Close()
+
+	if fleet.worker {
 		joinCtx, joinCancel := context.WithCancel(context.Background())
 		defer joinCancel()
 		go cluster.Join(joinCtx, cluster.JoinOptions{

@@ -23,10 +23,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
+	"mpstream/internal/obs"
 	"mpstream/internal/report"
 	"mpstream/internal/sim/mem"
 	"mpstream/internal/surface"
@@ -47,6 +49,7 @@ func main() {
 		asCSV      = flag.Bool("csv", false, "emit the ladder as CSV")
 		asJSON     = flag.Bool("json", false, "emit the full surface as JSON")
 		chart      = flag.Bool("chart", false, "append an ASCII latency chart per curve (text mode)")
+		trace      = flag.Bool("trace", false, "after a -server run, fetch the job's span timeline and print it to stderr")
 	)
 	flag.Parse()
 
@@ -59,14 +62,14 @@ func main() {
 	go func() { <-ctx.Done(); stop() }()
 
 	if err := run(ctx, os.Stdout, *target, *patterns, *ratios, *rates, *size,
-		*window, *probe, *kneeFactor, *server, *markdown, *asCSV, *asJSON, *chart); err != nil {
+		*window, *probe, *kneeFactor, *server, *markdown, *asCSV, *asJSON, *chart, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsurf:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size string,
-	window, probe int, kneeFactor float64, server string, markdown, asCSV, asJSON, chart bool) error {
+	window, probe int, kneeFactor float64, server string, markdown, asCSV, asJSON, chart, trace bool) error {
 	exclusive := 0
 	for _, f := range []bool{markdown, asCSV, asJSON} {
 		if f {
@@ -93,6 +96,9 @@ func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size
 		view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/surface", req, nil)
 		if err != nil {
 			return err
+		}
+		if trace {
+			printTrace(client, strings.TrimRight(server, "/"), view.ID, "mpsurf")
 		}
 		if view.Status == "failed" {
 			return fmt.Errorf("server: %s", view.Error)
@@ -227,4 +233,18 @@ func parseFloats(axis, s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// printTrace fetches a finished job's span timeline and renders it to
+// stderr, under its own deadline so it still works after Ctrl-C killed
+// the main context.
+func printTrace(client *cluster.Client, server, id, prog string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tv, err := client.JobTrace(ctx, server, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace: %v\n", prog, err)
+		return
+	}
+	obs.WriteTimeline(os.Stderr, tv)
 }

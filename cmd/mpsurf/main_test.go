@@ -47,7 +47,7 @@ const (
 func runSmall(markdown, asCSV, asJSON, chart bool) func() error {
 	return func() error {
 		return run(context.Background(), os.Stdout, "gpu", testPatterns, testRatios, testRates, testSize,
-			2048, 128, 0, "", markdown, asCSV, asJSON, chart)
+			2048, 128, 0, "", markdown, asCSV, asJSON, chart, false)
 	}
 }
 
@@ -115,25 +115,25 @@ func TestRunCSVRoundTrip(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	sink := os.Stdout
-	if err := run(context.Background(), sink, "tpu", "", "", "", "", 0, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(context.Background(), sink, "tpu", "", "", "", "", 0, 0, 0, "", false, false, false, false, false); err == nil {
 		t.Error("unknown target must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "zigzag", "", "", "", 0, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(context.Background(), sink, "gpu", "zigzag", "", "", "", 0, 0, 0, "", false, false, false, false, false); err == nil {
 		t.Error("unknown pattern must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "", "2", "", "", 0, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(context.Background(), sink, "gpu", "", "2", "", "", 0, 0, 0, "", false, false, false, false, false); err == nil {
 		t.Error("read fraction above 1 must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "", "", "abc", "", 0, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(context.Background(), sink, "gpu", "", "", "abc", "", 0, 0, 0, "", false, false, false, false, false); err == nil {
 		t.Error("unparsable rate must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "", "", "", "nonsense", 0, 0, 0, "", false, false, false, false); err == nil {
+	if err := run(context.Background(), sink, "gpu", "", "", "", "nonsense", 0, 0, 0, "", false, false, false, false, false); err == nil {
 		t.Error("unparsable size must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "", "", "", "", 0, 0, 0, "", false, true, true, false); err == nil {
+	if err := run(context.Background(), sink, "gpu", "", "", "", "", 0, 0, 0, "", false, true, true, false, false); err == nil {
 		t.Error("-csv with -json must error")
 	}
-	if err := run(context.Background(), sink, "gpu", "", "", "", "", 0, 0, 0, "", false, false, true, true); err == nil {
+	if err := run(context.Background(), sink, "gpu", "", "", "", "", 0, 0, 0, "", false, false, true, true, false); err == nil {
 		t.Error("-chart with -json must error")
 	}
 }

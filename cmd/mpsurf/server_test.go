@@ -21,7 +21,7 @@ func TestRunServerMode(t *testing.T) {
 	render := func(server string) string {
 		var sb strings.Builder
 		if err := run(context.Background(), &sb, "gpu", "contiguous", "1", "0.25,0.9", "4MB",
-			1024, 64, 0, server, false, true, false, false); err != nil {
+			1024, 64, 0, server, false, true, false, false, false); err != nil {
 			t.Fatal(err)
 		}
 		return sb.String()
@@ -35,7 +35,7 @@ func TestRunServerMode(t *testing.T) {
 	// Server-side rejections surface as errors.
 	var sb strings.Builder
 	if err := run(context.Background(), &sb, "tpu", "", "", "", "",
-		0, 0, 0, ts.URL, false, false, false, false); err == nil {
+		0, 0, 0, ts.URL, false, false, false, false, false); err == nil {
 		t.Error("unknown target accepted through -server")
 	}
 }

@@ -33,12 +33,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
 	"mpstream/internal/experiments"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/report"
 	"mpstream/internal/runstate"
 )
@@ -62,6 +64,7 @@ func main() {
 		simds   = flag.String("simds", "", "num_simd_work_items axis (with -server; empty omits)")
 		cus     = flag.String("cus", "", "num_compute_units axis (with -server; empty omits)")
 		dtypes  = flag.String("types", "int,double", "data-type axis (with -server; empty omits)")
+		trace   = flag.Bool("trace", false, "after the sweep, fetch the job's span timeline and print it to stderr (with -server)")
 	)
 	flag.Parse()
 
@@ -76,7 +79,7 @@ func main() {
 	var err error
 	if *server != "" {
 		err = runServer(ctx, os.Stdout, *server, *target, *op, *size, *ntimes,
-			*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *markdown, *asJSON, *asCSV)
+			*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *markdown, *asJSON, *asCSV, *trace)
 	} else {
 		err = run(ctx, *exp, *all, *markdown, *asJSON, *asCSV)
 	}
@@ -93,7 +96,7 @@ func main() {
 // the ranked exploration it returns. Ctrl-C cancels the job
 // server-side; the partial ranking still renders.
 func runServer(ctx context.Context, w io.Writer, server, target, opName, size string, ntimes int,
-	vecs, loops, unrolls, simds, cus, dtypes string, markdown, asJSON, asCSV bool) error {
+	vecs, loops, unrolls, simds, cus, dtypes string, markdown, asJSON, asCSV, trace bool) error {
 	exclusive := 0
 	for _, f := range []bool{markdown, asJSON, asCSV} {
 		if f {
@@ -121,6 +124,9 @@ func runServer(ctx context.Context, w io.Writer, server, target, opName, size st
 	view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/sweep", req, nil)
 	if err != nil {
 		return err
+	}
+	if trace {
+		printTrace(client, strings.TrimRight(server, "/"), view.ID, "mpsweep")
 	}
 	if view.Status == "failed" {
 		return fmt.Errorf("server: %s", view.Error)
@@ -157,6 +163,21 @@ func runServer(ctx context.Context, w io.Writer, server, target, opName, size st
 		fmt.Fprintf(w, "best: %s at %.3f GB/s\n\n", best.Label, best.GBps(op))
 	}
 	return tb.WriteText(w)
+}
+
+// printTrace fetches a finished job's span timeline and renders it to
+// stderr (stderr so -json/-csv stdout stays machine-parseable). It runs
+// under its own deadline: the job is already terminal, and the fetch
+// must still work after a Ctrl-C canceled the main context.
+func printTrace(client *cluster.Client, server, id, prog string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tv, err := client.JobTrace(ctx, server, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: trace: %v\n", prog, err)
+		return
+	}
+	obs.WriteTimeline(os.Stderr, tv)
 }
 
 func run(ctx context.Context, exp string, all, markdown, asJSON, asCSV bool) error {

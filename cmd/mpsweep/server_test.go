@@ -20,7 +20,7 @@ func TestRunServerSweep(t *testing.T) {
 
 	var sb strings.Builder
 	err := runServer(context.Background(), &sb, ts.URL, "cpu", "copy", "64KB", 2,
-		"1,2,4", "", "", "", "", "int", false, false, true)
+		"1,2,4", "", "", "", "", "int", false, false, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRunServerSweep(t *testing.T) {
 	// Text mode names the best point.
 	sb.Reset()
 	err = runServer(context.Background(), &sb, ts.URL, "cpu", "copy", "64KB", 2,
-		"1,2", "", "", "", "", "int", false, false, false)
+		"1,2", "", "", "", "", "int", false, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestRunServerSweep(t *testing.T) {
 
 	// Server-side rejections surface as errors.
 	if err := runServer(context.Background(), &sb, ts.URL, "tpu", "copy", "64KB", 2,
-		"1", "", "", "", "", "int", false, false, false); err == nil {
+		"1", "", "", "", "", "int", false, false, false, false); err == nil {
 		t.Error("unknown target accepted through -server")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -80,6 +81,9 @@ func (c *Client) do(ctx context.Context, method, url string, body, out any) erro
 	req.Header.Set("Content-Type", "application/json")
 	if trace := obs.TraceID(ctx); trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
+	}
+	if parent := obs.SpanParent(ctx); parent != "" {
+		req.Header.Set(obs.SpanHeader, parent)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -247,6 +251,9 @@ func (c *Client) AwaitJob(ctx context.Context, worker, id string, onPoint func(P
 	if trace := obs.TraceID(ctx); trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
 	}
+	if parent := obs.SpanParent(ctx); parent != "" {
+		req.Header.Set(obs.SpanHeader, parent)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return JobView{}, fmt.Errorf("cluster: await %s: %w", url, err)
@@ -282,6 +289,41 @@ func (c *Client) AwaitJob(ctx context.Context, worker, id string, onPoint func(P
 		return JobView{}, fmt.Errorf("cluster: await %s: stream broke: %w", url, err)
 	}
 	return JobView{}, fmt.Errorf("cluster: await %s: stream ended without a result", url)
+}
+
+// Metrics scrapes a server's /v1/metrics exposition as plain text.
+// The transport decompresses gzip transparently, so the body is
+// always the uncompressed exposition.
+func (c *Client) Metrics(ctx context.Context, addr string) (string, error) {
+	url := addr + "/v1/metrics"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", fmt.Errorf("cluster: scrape %s: %w", url, err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("cluster: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", statusErr(resp, http.MethodGet, url)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("cluster: scrape %s: %w", url, err)
+	}
+	return string(b), nil
+}
+
+// JobTrace fetches a job's assembled span tree from
+// GET /v1/jobs/{id}/trace — how the CLIs render a timeline after a
+// server-side run.
+func (c *Client) JobTrace(ctx context.Context, server, id string) (*obs.TraceView, error) {
+	var out obs.TraceView
+	if err := c.do(ctx, http.MethodGet, server+"/v1/jobs/"+id+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // probeHealth is the healthz subset a peer probe reads.

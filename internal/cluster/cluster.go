@@ -29,6 +29,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/surface"
 )
 
@@ -173,6 +174,11 @@ type JobView struct {
 	Optimize     *search.Result   `json:"optimize,omitempty"`
 	Surface      *surface.Surface `json:"surface,omitempty"`
 	Error        string           `json:"error,omitempty"`
+	// Spans piggybacks the worker's recorded spans for this job when it
+	// was submitted under a remote parent span (the coordinator's shard
+	// span); the coordinator ingests them to assemble one fleet-wide
+	// trace tree.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // Terminal reports whether the view shows a finished job.
@@ -215,4 +221,8 @@ type ShardUpdate struct {
 	// streamed; a retry re-runs them, so aggregate progress must take
 	// them back.
 	RewindPoints int `json:"rewind_points,omitempty"`
+	// ElapsedMS is the attempt's wall-clock duration on done, failed
+	// and lost updates (0 on assigned) — the raw material of the
+	// shard tail-latency histogram.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,6 +182,37 @@ func (c *Coordinator) HasWorkers(target string) bool {
 	return n > 0
 }
 
+// ScrapeWorkers fetches every alive worker's /v1/metrics exposition
+// concurrently, bounding each scrape with timeout so one stuck worker
+// cannot stall the federated response. Failed scrapes are returned
+// with Err set (not dropped) so the merged exposition can report
+// per-worker scrape health.
+func (c *Coordinator) ScrapeWorkers(ctx context.Context, timeout time.Duration) []obs.Exposition {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	var alive []WorkerView
+	for _, w := range c.reg.snapshot() {
+		if w.Alive {
+			alive = append(alive, w)
+		}
+	}
+	parts := make([]obs.Exposition, len(alive))
+	var wg sync.WaitGroup
+	for i, w := range alive {
+		wg.Add(1)
+		go func(i int, w WorkerView) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			body, err := c.client.Metrics(sctx, w.Addr)
+			parts[i] = obs.Exposition{Worker: w.ID, Body: body, Err: err}
+		}(i, w)
+	}
+	wg.Wait()
+	return parts
+}
+
 // WatchPeers keeps static peers (mpserved -peers) registered: each
 // address is probed immediately and then on a ticker at a third of the
 // heartbeat TTL, standing in for the register/heartbeat loop a dynamic
@@ -314,6 +346,15 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 		c.shardsAssigned.Add(1)
 		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "assigned"})
 
+		// One span per attempt — a retried shard keeps every attempt in
+		// the trace, tagged with its outcome, so retry cost is explicit.
+		// The span context rides into submit/await: the client stamps the
+		// span ID onto the worker request (SpanHeader), and the worker's
+		// own spans come back parented under it.
+		attemptStart := time.Now()
+		actx, sp := obs.StartSpan(ctx, "shard.execute",
+			"shard", strconv.Itoa(i), "worker", w.ID, "attempt", strconv.Itoa(attempt))
+
 		// Points streamed by this attempt; a retry re-runs them, so they
 		// are reported back for the aggregate progress rewind.
 		points := 0
@@ -322,9 +363,9 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 			hooks.point(p)
 		}
 		var view JobView
-		queued, err := submit(ctx, w.Addr, i)
+		queued, err := submit(actx, w.Addr, i)
 		if err == nil {
-			view, err = c.awaitWithWatchdog(ctx, w, queued.ID, onPoint)
+			view, err = c.awaitWithWatchdog(actx, w, queued.ID, onPoint)
 		}
 
 		if st := runstate.FromContext(ctx); st != "" {
@@ -333,20 +374,29 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 			if queued.ID != "" {
 				view, err = c.client.CancelAndFetch(w.Addr, queued.ID)
 			}
+			c.ingestSpans(ctx, &view)
+			sp.SetAttr("state", "canceled")
+			sp.End()
 			c.reg.release(w.ID, err == nil)
 			return shardOutcome{view: view, got: err == nil, stopped: st}
 		}
 
+		elapsed := time.Since(attemptStart).Milliseconds()
 		var se *StatusError
 		switch {
 		case err == nil && view.Status == "done":
+			c.ingestSpans(ctx, &view)
+			sp.SetAttr("state", "done")
+			sp.End()
 			c.reg.release(w.ID, true)
 			c.shardsDone.Add(1)
-			hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "done"})
+			hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "done",
+				ElapsedMS: elapsed})
 			return shardOutcome{view: view, got: true}
 		case err == nil:
 			// failed or canceled on the worker side while the fleet is
 			// alive (bad factory, worker-local timeout): retry elsewhere.
+			c.ingestSpans(ctx, &view)
 			lastErr = fmt.Errorf("worker %s: shard job %s: %s", w.ID, view.Status, view.Error)
 		case errors.As(err, &se):
 			// A well-formed refusal (queue full, validation) from a live
@@ -360,6 +410,7 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 			// and best-effort cancel the orphaned job in case the worker is
 			// actually alive behind a broken stream.
 			lastErr = err
+			sp.SetAttr("lost", "true")
 			c.reg.markDown(w.ID)
 			c.log.Warn("cluster: marking worker down after transport failure",
 				"worker", w.ID, "addr", w.Addr, "shard", i, "attempt", attempt,
@@ -368,6 +419,9 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 				_ = c.client.Cancel(w.Addr, queued.ID)
 			}
 		}
+		sp.SetAttr("state", "failed")
+		sp.SetAttr("error", lastErr.Error())
+		sp.End()
 		c.reg.release(w.ID, false)
 		excluded[w.ID] = true
 		c.shardsRetried.Add(1)
@@ -375,7 +429,7 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 			"worker", w.ID, "shard", i, "attempt", attempt,
 			"trace", obs.TraceID(ctx), "err", lastErr)
 		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "failed",
-			Error: lastErr.Error(), RewindPoints: points})
+			Error: lastErr.Error(), RewindPoints: points, ElapsedMS: elapsed})
 		if attempt < c.opts.MaxAttempts && !c.backoff(ctx, attempt) {
 			return shardOutcome{stopped: runstate.FromContext(ctx)}
 		}
@@ -386,6 +440,18 @@ func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks 
 		"trace", obs.TraceID(ctx), "err", lastErr)
 	hooks.shard(ShardUpdate{Shard: i, Attempt: c.opts.MaxAttempts, State: "lost", Error: lastErr.Error()})
 	return shardOutcome{err: fmt.Errorf("shard %d lost after %d attempts: %w", i, c.opts.MaxAttempts, lastErr)}
+}
+
+// ingestSpans grafts a worker view's piggybacked spans into the
+// recorder carried by the fleet job's context (no-op without one),
+// then strips them so the coordinator's own payloads never re-ship
+// another node's spans.
+func (c *Coordinator) ingestSpans(ctx context.Context, view *JobView) {
+	if len(view.Spans) == 0 {
+		return
+	}
+	obs.RecorderFrom(ctx).Ingest(view.Spans...)
+	view.Spans = nil
 }
 
 // awaitWithWatchdog follows a shard job's event stream, abandoning the
@@ -489,6 +555,8 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SweepSpec, hooks FleetHook
 	}
 	outcomes := c.runShards(ctx, len(ranges), spec.Target, hooks, submit)
 
+	_, msp := obs.StartSpan(ctx, "fleet.merge", "shards", strconv.Itoa(len(ranges)))
+	defer msp.End()
 	stopped := ""
 	var pts []dse.Point
 	infeasible, cached := 0, 0
@@ -542,6 +610,8 @@ func (c *Coordinator) Surface(ctx context.Context, spec SurfaceSpec, hooks Fleet
 	}
 	outcomes := c.runShards(ctx, len(shards), spec.Target, hooks, submit)
 
+	_, msp := obs.StartSpan(ctx, "fleet.merge", "shards", strconv.Itoa(len(shards)))
+	defer msp.End()
 	stopped := ""
 	var parts []*surface.Surface
 	for _, o := range outcomes {
@@ -589,22 +659,37 @@ func (c *Coordinator) Eval(ctx context.Context, target string, cfg core.Config, 
 			break
 		}
 		cc := cfg
-		view, err := c.client.Run(ctx, w.Addr, RunRequest{Target: target, Config: &cc, TimeoutMS: timeoutMS})
+		// Same contract as shard.execute: one span per attempt, the span
+		// ID stamped onto the worker request so the worker's job spans
+		// graft under it.
+		ectx, sp := obs.StartSpan(ctx, "cluster.eval",
+			"worker", w.ID, "attempt", strconv.Itoa(attempt))
+		view, err := c.client.Run(ectx, w.Addr, RunRequest{Target: target, Config: &cc, TimeoutMS: timeoutMS})
+		c.ingestSpans(ctx, &view)
 		switch {
 		case err == nil && view.Status == "done" && view.Result != nil:
+			sp.SetAttr("state", "done")
+			sp.End()
 			c.reg.release(w.ID, true)
 			c.remoteEvals.Add(1)
 			return view.Result, nil
 		case err == nil && view.Status == "failed":
 			// The worker evaluated the point and the simulator rejected it:
 			// an infeasible design, not a fleet problem.
+			sp.SetAttr("state", "infeasible")
+			sp.End()
 			c.reg.release(w.ID, true)
 			return nil, errors.New(view.Error)
 		case err == nil:
+			sp.SetAttr("state", "failed")
+			sp.End()
 			c.reg.release(w.ID, false)
 			lastErr = fmt.Errorf("worker %s: run job %s", w.ID, view.Status)
 			excluded[w.ID] = true
 		default:
+			sp.SetAttr("state", "failed")
+			sp.SetAttr("lost", "true")
+			sp.End()
 			if ctx.Err() != nil {
 				c.reg.release(w.ID, false)
 				return nil, ctx.Err()

@@ -9,6 +9,7 @@ import (
 	"mpstream/internal/core"
 	"mpstream/internal/device"
 	"mpstream/internal/kernel"
+	"mpstream/internal/obs"
 	"mpstream/internal/runstate"
 )
 
@@ -103,7 +104,12 @@ func EvalParallelContext(ctx context.Context, newDev DeviceFactory, cfgs []core.
 						continue
 					}
 				}
+				_, sp := obs.StartSpan(ctx, "sweep.point", "label", label(i))
 				pts[i] = evalOne(dev, i)
+				if pts[i].Err != nil {
+					sp.SetAttr("error", pts[i].Err.Error())
+				}
+				sp.End()
 				if onPoint != nil {
 					onPoint(i, pts[i])
 				}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: `GET /v1/jobs/{id}/trace?format=chrome`
+// emits the classic trace-event JSON (ph:"X" complete events) that
+// Perfetto and chrome://tracing load directly. Each span origin
+// (coordinator, worker) becomes a process row; overlapping sibling
+// spans are packed into lanes (threads) greedily so parallel sweep
+// points and shards render side by side instead of stacked.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`            // µs, relative to trace start
+	Dur  int64          `json:"dur,omitempty"` // µs
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		return json.NewEncoder(w).Encode(map[string]any{"traceEvents": []chromeEvent{}})
+	}
+	// Origins → pids, sorted for stable output; the local process
+	// (empty origin) renders as "local".
+	originName := func(o string) string {
+		if o == "" {
+			return "local"
+		}
+		return o
+	}
+	pids := make(map[string]int)
+	var names []string
+	for _, sp := range spans {
+		n := originName(sp.Origin)
+		if _, ok := pids[n]; !ok {
+			pids[n] = 0
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		pids[n] = i + 1
+	}
+
+	t0 := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(names))
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+
+	// Lane packing per process: sort by start, assign each span the
+	// first lane whose previous occupant has ended.
+	byPID := make(map[int][]Span)
+	for _, sp := range spans {
+		pid := pids[originName(sp.Origin)]
+		byPID[pid] = append(byPID[pid], sp)
+	}
+	for pid, ss := range byPID {
+		sort.SliceStable(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
+		var laneEnd []time.Time
+		for _, sp := range ss {
+			lane := -1
+			for i, end := range laneEnd {
+				if !sp.Start.Before(end) {
+					lane = i
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, time.Time{})
+			}
+			laneEnd[lane] = sp.End()
+			args := map[string]any{"span": sp.ID}
+			if sp.Parent != "" {
+				args["parent"] = sp.Parent
+			}
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Cat:  spanCategory(sp.Name),
+				Ph:   "X",
+				TS:   sp.Start.Sub(t0).Microseconds(),
+				Dur:  sp.Duration.Microseconds(),
+				PID:  pid,
+				TID:  lane + 1,
+				Args: args,
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// spanCategory groups spans by their name prefix (job, sweep,
+// surface, shard, fleet, cluster) for Perfetto filtering.
+func spanCategory(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics federation: the coordinator scrapes every live worker's
+// /v1/metrics and re-renders the fleet as ONE exposition, each sample
+// gaining a `worker` label, each family's HELP/TYPE emitted exactly
+// once — so a single Prometheus scrape of GET /v1/cluster/metrics
+// observes the whole fleet without per-worker scrape configs.
+
+// Exposition is one node's scrape: its worker label, the Prometheus
+// text body, and the scrape error if the fetch failed (the body is
+// then empty and the node reports mpstream_federation_up 0).
+type Exposition struct {
+	Worker string
+	Body   string
+	Err    error
+}
+
+// MergeExpositions merges per-node scrapes into one exposition.
+// Every sample line gains worker="<id>"; a pre-existing worker label
+// (the coordinator's own fleet gauges describe its peers) is renamed
+// to peer="..." so label names stay unique. A synthesized
+// mpstream_federation_up gauge reports scrape success per node.
+func MergeExpositions(parts []Exposition) string {
+	type fam struct {
+		name, help, kind string
+		samples          []string
+	}
+	fams := make(map[string]*fam)
+	get := func(name string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{name: name}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, p := range parts {
+		hists := make(map[string]bool)
+		for _, line := range strings.Split(p.Body, "\n") {
+			switch {
+			case line == "":
+			case strings.HasPrefix(line, "# HELP "):
+				if name, rest, ok := strings.Cut(line[len("# HELP "):], " "); ok {
+					if f := get(name); f.help == "" {
+						f.help = rest
+					}
+				}
+			case strings.HasPrefix(line, "# TYPE "):
+				if name, kind, ok := strings.Cut(line[len("# TYPE "):], " "); ok {
+					if f := get(name); f.kind == "" {
+						f.kind = kind
+					}
+					if kind == "histogram" {
+						hists[name] = true
+					}
+				}
+			case strings.HasPrefix(line, "#"):
+			default:
+				name := line
+				if i := strings.IndexAny(line, "{ "); i >= 0 {
+					name = line[:i]
+				}
+				base := name
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if t := strings.TrimSuffix(name, suf); t != name && hists[t] {
+						base = t
+						break
+					}
+				}
+				f := get(base)
+				f.samples = append(f.samples, injectWorkerLabel(line, p.Worker))
+			}
+		}
+	}
+	up := get("mpstream_federation_up")
+	up.help = "Whether the federation scrape of each node succeeded."
+	up.kind = "gauge"
+	for _, p := range parts {
+		v := "1"
+		if p.Err != nil {
+			v = "0"
+		}
+		up.samples = append(up.samples,
+			fmt.Sprintf(`mpstream_federation_up{worker="%s"} %s`, escapeLabel(p.Worker), v))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		if f.kind != "" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		}
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// injectWorkerLabel rewrites one sample line to carry worker="id" as
+// its first label, renaming any pre-existing worker label to peer.
+func injectWorkerLabel(line, worker string) string {
+	lab := `worker="` + escapeLabel(worker) + `"`
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace == -1 || (sp != -1 && sp < brace) {
+		if sp == -1 {
+			return line
+		}
+		return line[:sp] + "{" + lab + "}" + line[sp:]
+	}
+	// Label values may themselves contain '}' (route patterns like
+	// /v1/jobs/{id}); the block's closing brace is the LAST '}' since
+	// only the numeric value follows it.
+	end := strings.LastIndexByte(line, '}')
+	if end < brace {
+		return line
+	}
+	inner := renameLabel(line[brace+1:end], "worker", "peer")
+	if inner == "" {
+		return line[:brace+1] + lab + line[end:]
+	}
+	return line[:brace+1] + lab + "," + inner + line[end:]
+}
+
+// renameLabel renames label `from` to `to` within a label block body,
+// splitting on top-level commas (quote- and escape-aware).
+func renameLabel(inner, from, to string) string {
+	if !strings.Contains(inner, from+`="`) {
+		return inner
+	}
+	var out []string
+	for _, kv := range splitLabels(inner) {
+		if strings.HasPrefix(kv, from+`="`) {
+			kv = to + kv[len(from):]
+		}
+		out = append(out, kv)
+	}
+	return strings.Join(out, ",")
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var (
+		out     []string
+		start   int
+		inQuote bool
+		escaped bool
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+)
+
+// gzipWriter routes the body through a gzip stream while headers and
+// status pass straight through.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w gzipWriter) Write(b []byte) (int, error) { return w.gz.Write(b) }
+
+// GzipHandler compresses responses when the client advertises
+// Accept-Encoding: gzip. Scrapes of a large fleet exposition are
+// chatty and almost pure text — compression is nearly free bandwidth.
+func GzipHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		next.ServeHTTP(gzipWriter{ResponseWriter: w, gz: gz}, r)
+	})
+}

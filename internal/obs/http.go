@@ -59,7 +59,16 @@ func Middleware(reg *Registry, log *slog.Logger, mux *http.ServeMux) http.Handle
 		if trace == "" {
 			trace = NewTraceID()
 		}
-		r = r.WithContext(WithTrace(r.Context(), trace))
+		ctx := WithTrace(r.Context(), trace)
+		// An upstream hop (coordinator shard submit) may name the span
+		// this request's work should parent under; validated like
+		// trace IDs before it can reach logs or span payloads.
+		if parent := SanitizeTraceID(r.Header.Get(SpanHeader)); parent != "" {
+			ctx = WithSpanParent(ctx, parent)
+		}
+		r = r.WithContext(ctx)
+		// Set before the mux runs so every response — including 4xx/5xx
+		// error payloads — echoes the trace.
 		w.Header().Set(TraceHeader, trace)
 
 		if reg == nil && log == nil {

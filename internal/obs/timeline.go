@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTimeline renders a trace view as an indented text timeline for
+// the CLIs' -trace flag: per-span offset and duration, origin tags
+// for remote spans, then the critical path and slowest shard.
+func WriteTimeline(w io.Writer, tv *TraceView) {
+	if tv == nil || len(tv.Roots) == 0 {
+		fmt.Fprintln(w, "trace: no spans recorded")
+		return
+	}
+	fmt.Fprintf(w, "trace %s", tv.Trace)
+	if tv.Job != "" {
+		fmt.Fprintf(w, " job %s", tv.Job)
+	}
+	fmt.Fprintf(w, ": %d spans, wall %.1fms, coverage %.1f%%\n",
+		tv.SpanCount, tv.WallMS, tv.Coverage*100)
+	t0 := tv.Roots[0].Start
+	for _, r := range tv.Roots {
+		if r.Start.Before(t0) {
+			t0 = r.Start
+		}
+	}
+	// Deep per-point/rung listings would drown the terminal; cap the
+	// children printed per node and summarize the remainder.
+	const maxChildren = 12
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		off := float64(n.Start.Sub(t0).Microseconds()) / 1000
+		dur := float64(n.Duration.Microseconds()) / 1000
+		line := fmt.Sprintf("%9.1fms %s%s %.1fms", off, strings.Repeat("  ", depth), n.Name, dur)
+		if n.Origin != "" {
+			line += " @" + n.Origin
+		}
+		if keys := describeAttrs(n.Attrs); keys != "" {
+			line += " {" + keys + "}"
+		}
+		fmt.Fprintln(w, line)
+		kids := n.Children
+		if len(kids) > maxChildren {
+			fmt.Fprintf(w, "%9s %s… %d of %d children shown\n",
+				"", strings.Repeat("  ", depth+1), maxChildren, len(kids))
+			kids = kids[:maxChildren]
+		}
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range tv.Roots {
+		walk(r, 0)
+	}
+	if len(tv.CriticalPath) > 0 {
+		var parts []string
+		for _, s := range tv.CriticalPath {
+			p := fmt.Sprintf("%s %.1fms", s.Name, s.DurMS)
+			if s.Origin != "" {
+				p += " @" + s.Origin
+			}
+			parts = append(parts, p)
+		}
+		fmt.Fprintf(w, "critical path: %s\n", strings.Join(parts, " → "))
+	}
+	if s := tv.SlowestShard; s != nil {
+		fmt.Fprintf(w, "slowest shard: %s shard=%s attempt=%s %.1fms @%s\n",
+			s.Name, s.Attrs["shard"], s.Attrs["attempt"], s.DurMS, s.Origin)
+	}
+}
+
+// describeAttrs renders a handful of interesting attrs compactly.
+func describeAttrs(attrs map[string]string) string {
+	var parts []string
+	for _, k := range []string{"kind", "status", "state", "shard", "worker", "attempt", "lost", "error"} {
+		if v, ok := attrs[k]; ok {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -53,6 +53,9 @@ func newFleetEnv(t *testing.T, n int, workerOpts func(i int) service.Options) *f
 		if workerOpts != nil {
 			opts = workerOpts(i)
 		}
+		if opts.Origin == "" {
+			opts.Origin = fmt.Sprintf("w%d", i)
+		}
 		we := newEnv(t, opts)
 		fe.workers = append(fe.workers, we)
 		coord.Register(cluster.WorkerInfo{
@@ -62,7 +65,7 @@ func newFleetEnv(t *testing.T, n int, workerOpts func(i int) service.Options) *f
 			Capacity: 2,
 		})
 	}
-	fe.testEnv = newEnv(t, service.Options{Cluster: coord})
+	fe.testEnv = newEnv(t, service.Options{Cluster: coord, Origin: "coordinator"})
 	return fe
 }
 

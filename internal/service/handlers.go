@@ -145,6 +145,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	GET    /v1/jobs/{id}        poll one job (live progress snapshot included)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream NDJSON progress/point/result events
+//	GET    /v1/jobs/{id}/trace  span timeline of a job (?format=chrome for Perfetto)
 //	GET    /v1/targets          list benchmark targets
 //	GET    /v1/version          build info, registered targets, strategies, objectives
 //	GET    /v1/healthz          liveness, queue, job and cache telemetry (+ worker counts on coordinators)
@@ -155,6 +156,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	POST   /v1/cluster/register      worker registration (coordinators only)
 //	POST   /v1/cluster/heartbeat     worker liveness refresh (coordinators only)
 //	GET    /v1/cluster/workers       registry snapshot (coordinators only)
+//	GET    /v1/cluster/metrics       federated fleet metrics, one exposition with a worker label (coordinators only)
 //	POST   /v1/cluster/shard/sweep   execute one sweep grid shard [lo, hi)
 //	POST   /v1/cluster/shard/surface execute one surface curve shard [lo, hi)
 func (s *Server) Handler() http.Handler {
@@ -167,12 +169,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	if s.reg != nil {
-		mux.Handle("GET /v1/metrics", s.reg.Handler())
+		// Scrape bodies compress an order of magnitude; gzip is
+		// negotiated per request via Accept-Encoding.
+		mux.Handle("GET /v1/metrics", obs.GzipHandler(s.reg.Handler()))
 	}
+	mux.Handle("GET /v1/cluster/metrics", obs.GzipHandler(http.HandlerFunc(s.handleClusterMetrics)))
 	mux.HandleFunc("POST /v1/cluster/register", s.handleClusterRegister)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
 	mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
@@ -201,6 +207,18 @@ func submitCode(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// writeSubmitError reports a failed submission. Refusals for load
+// (queue full → 503) are warned with the request's trace ID so an
+// operator can line shed requests up against client-side retries.
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
+	code := submitCode(err)
+	if code == http.StatusServiceUnavailable {
+		s.log.Warn("submission refused",
+			"path", r.URL.Path, "code", code, "trace", obs.TraceID(r.Context()), "err", err)
+	}
+	writeError(w, code, err)
 }
 
 // respond waits for a synchronous job (or returns immediately for an
@@ -232,7 +250,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitRun(r.Context(), req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -272,7 +290,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitSweep(r.Context(), req.Target, base, req.Space, op, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -295,7 +313,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	opts := search.Options{Strategy: req.Strategy, Budget: req.Budget, Seed: req.Seed, Objective: req.Objective}
 	j, err := s.SubmitOptimize(r.Context(), req.Target, base, req.Space, op, opts, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -313,7 +331,7 @@ func (s *Server) handleSurface(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitSurface(r.Context(), req.Target, cfg, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -595,7 +613,7 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitSweepShard(r.Context(), req.Target, base, req.Space, op, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -616,7 +634,7 @@ func (s *Server) handleSurfaceShard(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitSurfaceShard(r.Context(), req.Target, cfg, req.Lo, req.Hi, msToDuration(req.TimeoutMS))
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	s.respond(w, r, j, req.Async)
@@ -624,4 +642,66 @@ func (s *Server) handleSurfaceShard(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's assembled span
+// tree — queue wait, run, per-point and per-shard spans, including
+// spans ingested from workers — as a TraceView with the critical path
+// and coverage, or as Chrome trace-event JSON with ?format=chrome
+// (load in Perfetto or chrome://tracing). 404 when telemetry is
+// disabled or the span ring has already evicted the job's spans.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled on this server"))
+		return
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	snap := j.Snapshot()
+	spans := obs.Descendants(s.rec.Spans(snap.Trace), j.rootSpanID())
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no spans retained for job %q (evicted from the span ring)", snap.ID))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.NewTraceView(snap.ID, snap.Trace, spans, j.rootSpanID()))
+}
+
+// scrapeTimeout bounds each worker scrape a federated metrics request
+// fans out; one stuck worker costs at most this much latency and is
+// reported as a failed part rather than stalling the response.
+const scrapeTimeout = 2 * time.Second
+
+// handleClusterMetrics is GET /v1/cluster/metrics: the coordinator's
+// own exposition merged with a live concurrent scrape of every alive
+// worker's /v1/metrics, re-rendered as one exposition in which every
+// sample carries a worker label ("coordinator" for local samples). A
+// synthesized mpstream_federation_up gauge reports per-worker scrape
+// health so a dead scrape is visible rather than silently absent.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.coordinator(w)
+	if c == nil {
+		return
+	}
+	self := "coordinator"
+	if s.opts.Origin != "" {
+		self = s.opts.Origin
+	}
+	parts := []obs.Exposition{}
+	if s.reg != nil {
+		var buf strings.Builder
+		s.reg.WritePrometheus(&buf)
+		parts = append(parts, obs.Exposition{Worker: self, Body: buf.String()})
+	}
+	parts = append(parts, c.ScrapeWorkers(r.Context(), scrapeTimeout)...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(obs.MergeExpositions(parts)))
 }

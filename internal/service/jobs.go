@@ -97,6 +97,15 @@ type View struct {
 	// characterization — partial (Stopped tagged) for a canceled one.
 	Surface *surface.Surface `json:"surface,omitempty"`
 	Error   string           `json:"error,omitempty"`
+	// Timing digests the job's recorded span tree once it finishes:
+	// wall/queue/run split, critical path, slowest shard. Absent when
+	// tracing is disabled.
+	Timing *obs.TraceSummary `json:"timing,omitempty"`
+	// Spans piggybacks the job's recorded spans on the final view —
+	// only for jobs submitted under a remote parent span (a fleet
+	// shard or remote eval), so the coordinator can graft the worker's
+	// subtree into its own trace. Plain jobs never ship span payloads.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // Job is one queued unit of work. All mutation goes through the job's
@@ -154,6 +163,20 @@ type Job struct {
 	// Immutable after add.
 	onFinish func(View)
 
+	// Span tracing (all nil when the server records no spans). The job
+	// root span covers submit→finish, the queue span submit→start, the
+	// run span start→finish; executors hang their own spans under the
+	// run span through the context start() returns. remoteParent is
+	// the upstream span ID this job was submitted under (a
+	// coordinator's shard span) — when set, the final view piggybacks
+	// the job's spans back to the submitter. rec is the server's
+	// recorder; immutable after add.
+	rec          *obs.Recorder
+	remoteParent string
+	spanJob      *obs.ActiveSpan
+	spanQueue    *obs.ActiveSpan
+	spanRun      *obs.ActiveSpan
+
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
 }
@@ -182,6 +205,10 @@ func (j *Job) Context() context.Context {
 
 // Progress returns the live progress snapshot.
 func (j *Job) Progress() progress.Snapshot { return j.prog.Snapshot() }
+
+// rootSpanID names the job's root span ("" when tracing is off) — the
+// anchor the trace endpoint filters the process-wide span store by.
+func (j *Job) rootSpanID() string { return j.spanJob.ID() }
 
 // terminal reports whether the job has reached a final state.
 func (j *Job) terminal() bool {
@@ -212,6 +239,11 @@ func (j *Job) start() (context.Context, bool) {
 	}
 	j.view.Status = StatusRunning
 	j.view.Started = time.Now().UTC()
+	// The queue span ends here; executor work nests under the run span
+	// via the context returned below (StartSpan is a no-op without a
+	// recorder and leaves j.ctx untouched).
+	j.spanQueue.End()
+	j.ctx, j.spanRun = obs.StartSpan(j.ctx, "job.run")
 	if j.timeout > 0 {
 		j.ctx, j.timerCancel = context.WithTimeout(j.ctx, j.timeout)
 	}
@@ -257,6 +289,21 @@ func (j *Job) finish(status Status, mutate func(v *View)) {
 	j.view.Finished = time.Now().UTC()
 	if mutate != nil {
 		mutate(&j.view)
+	}
+	// Close out the lifecycle spans (End is idempotent — a job
+	// canceled while queued ends its queue span here instead of in
+	// start) and digest the recorded tree into the view.
+	j.spanRun.SetAttr("status", string(status))
+	j.spanRun.End()
+	j.spanQueue.End()
+	j.spanJob.SetAttr("status", string(status))
+	j.spanJob.End()
+	if j.rec != nil {
+		spans := obs.Descendants(j.rec.Spans(j.view.Trace), j.spanJob.ID())
+		j.view.Timing = obs.Summarize(spans, j.spanJob.ID())
+		if j.remoteParent != "" {
+			j.view.Spans = spans
+		}
 	}
 	timerCancel := j.timerCancel
 	j.mu.Unlock()
@@ -305,6 +352,10 @@ type jobStore struct {
 	// onFinish is copied into every job at add; see Job.onFinish. Set
 	// once before the store serves submissions.
 	onFinish func(View)
+	// rec is the server's span recorder, copied into every job at add;
+	// nil (no span recording) when telemetry is disabled. Set once
+	// before the store serves submissions.
+	rec *obs.Recorder
 }
 
 func newJobStore(maxRetained int) *jobStore {
@@ -316,14 +367,28 @@ func newJobStore(maxRetained int) *jobStore {
 // when the job starts running. trace is the request-scoped trace ID
 // the job carries through its lifetime (the job context, every event,
 // and fleet fan-out all read it back).
-func (s *jobStore) add(kind Kind, target string, timeout time.Duration, trace string) *Job {
+func (s *jobStore) add(kind Kind, target string, timeout time.Duration, trace, parentSpan string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	ctx, cancel := context.WithCancel(obs.WithTrace(context.Background(), trace))
+	id := fmt.Sprintf("j%06d", s.seq)
+	base := obs.WithTrace(context.Background(), trace)
+	if s.rec != nil {
+		base = obs.WithRecorder(base, s.rec)
+		if parentSpan != "" {
+			base = obs.WithSpanParent(base, parentSpan)
+		}
+	}
+	ctx, cancel := context.WithCancel(base)
+	// The job root span opens at submit; the queue span nests under it
+	// and ends when the job starts running. Both are no-ops when the
+	// store records no spans.
+	ctx, spanJob := obs.StartSpan(ctx, "job",
+		"job", id, "kind", string(kind), "target", target)
+	_, spanQueue := obs.StartSpan(ctx, "job.queue")
 	j := &Job{
 		view: View{
-			ID:        fmt.Sprintf("j%06d", s.seq),
+			ID:        id,
 			Kind:      kind,
 			Status:    StatusQueued,
 			Target:    target,
@@ -331,12 +396,16 @@ func (s *jobStore) add(kind Kind, target string, timeout time.Duration, trace st
 			Created:   time.Now().UTC(),
 			TimeoutMS: timeout.Milliseconds(),
 		},
-		seq:        s.seq,
-		timeout:    timeout,
-		ctx:        ctx,
-		baseCancel: cancel,
-		onFinish:   s.onFinish,
-		done:       make(chan struct{}),
+		seq:          s.seq,
+		timeout:      timeout,
+		ctx:          ctx,
+		baseCancel:   cancel,
+		onFinish:     s.onFinish,
+		rec:          s.rec,
+		remoteParent: parentSpan,
+		spanJob:      spanJob,
+		spanQueue:    spanQueue,
+		done:         make(chan struct{}),
 	}
 	j.events.job = j.view.ID
 	j.events.trace = trace

@@ -156,6 +156,15 @@ type Options struct {
 	// Logger receives the server's structured diagnostics; nil discards
 	// them.
 	Logger *slog.Logger
+	// Origin labels this process's spans in merged fleet traces (the
+	// worker ID on workers, "coordinator" on a coordinator); "" means
+	// the spans carry no origin (standalone server).
+	Origin string
+	// SpanCapacity bounds the in-memory span ring; <= 0 means
+	// obs.DefaultSpanCapacity. Ignored when DisableMetrics is set
+	// (span recording rides the same switch as the metrics registry,
+	// keeping the uninstrumented benchmark baseline honest).
+	SpanCapacity int
 	// DisableMetrics turns all metric instrumentation off (Server.
 	// Metrics returns nil and /v1/metrics serves 404) — the
 	// uninstrumented baseline the overhead benchmark compares against.
@@ -227,6 +236,7 @@ type Server struct {
 	surfCache *surfaceCache
 	start     time.Time
 	reg       *obs.Registry // nil when Options.DisableMetrics
+	rec       *obs.Recorder // span recorder; nil when Options.DisableMetrics
 	log       *slog.Logger  // never nil; NopLogger by default
 
 	// flight deduplicates concurrently executing identical run jobs:
@@ -340,6 +350,16 @@ func traceFor(ctx context.Context) string {
 	return obs.NewTraceID()
 }
 
+// spanParentFor reads the upstream parent span ID from a submission
+// context — set by the HTTP middleware when a coordinator stamped its
+// shard span onto the request. "" for direct submissions.
+func spanParentFor(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	return obs.SpanParent(ctx)
+}
+
 // SubmitRun validates and enqueues one configuration on one target.
 // timeout bounds the job's execution once it starts running (clamped to
 // Options.MaxTimeout; 0 means none). ctx scopes the submission itself
@@ -360,7 +380,7 @@ func (s *Server) SubmitRun(ctx context.Context, target string, cfg core.Config, 
 	if err := s.checkLimits(info, cfg); err != nil {
 		return nil, err
 	}
-	j := s.jobs.add(KindRun, target, timeout, traceFor(ctx))
+	j := s.jobs.add(KindRun, target, timeout, traceFor(ctx), spanParentFor(ctx))
 	j.mu.Lock()
 	j.cfg = cfg
 	j.view.Fingerprint = cfg.Fingerprint(target)
@@ -413,7 +433,7 @@ func (s *Server) submitSweep(ctx context.Context, target string, base core.Confi
 	if n := hi - lo; n > s.opts.MaxSweepPoints {
 		return nil, fmt.Errorf("service: sweep grid has %d points, limit %d", n, s.opts.MaxSweepPoints)
 	}
-	j := s.jobs.add(KindSweep, target, timeout, traceFor(ctx))
+	j := s.jobs.add(KindSweep, target, timeout, traceFor(ctx), spanParentFor(ctx))
 	j.mu.Lock()
 	j.base, j.space, j.op = base, space, op
 	j.lo, j.hi = lo, hi
@@ -474,7 +494,7 @@ func (s *Server) SubmitOptimize(ctx context.Context, target string, base core.Co
 		return nil, fmt.Errorf("service: optimize budget %d exceeds limit %d (pass an explicit budget)",
 			opts.Budget, s.opts.MaxOptimizeBudget)
 	}
-	j := s.jobs.add(KindOptimize, target, timeout, traceFor(ctx))
+	j := s.jobs.add(KindOptimize, target, timeout, traceFor(ctx), spanParentFor(ctx))
 	j.mu.Lock()
 	j.base, j.space, j.op, j.sopts = base, space, op, opts
 	j.view.Fingerprint = optimizeFingerprint(target, base, space, op, opts)
@@ -530,7 +550,7 @@ func (s *Server) submitSurface(ctx context.Context, target string, cfg surface.C
 		return nil, fmt.Errorf("service: surface probe of %d hops exceeds limit %d",
 			cfg.ProbeHops, DefaultMaxSurfaceWindowTxns)
 	}
-	j := s.jobs.add(KindSurface, target, timeout, traceFor(ctx))
+	j := s.jobs.add(KindSurface, target, timeout, traceFor(ctx), spanParentFor(ctx))
 	j.mu.Lock()
 	j.scfg = cfg
 	j.clo, j.chi = lo, hi
@@ -678,7 +698,14 @@ func (s *Server) execute(j *Job) {
 		// Canceled while queued: already terminal, nothing to run.
 		return
 	}
-	switch j.Snapshot().Kind {
+	snap := j.Snapshot()
+	if s.reg != nil && !snap.Started.Before(snap.Created) {
+		s.reg.Histogram("mpstream_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker claimed them.",
+			obs.DurationBuckets, "kind", string(snap.Kind)).
+			Observe(snap.Started.Sub(snap.Created).Seconds())
+	}
+	switch snap.Kind {
 	case KindRun:
 		s.executeRun(ctx, j)
 	case KindSweep:
@@ -802,7 +829,9 @@ func (s *Server) executeRun(ctx context.Context, j *Job) {
 		j.finish(StatusFailed, func(v *View) { v.Error = err.Error() })
 		return
 	}
-	res, err := core.RunContext(ctx, dev, j.cfg)
+	rctx, sp := obs.StartSpan(ctx, "run.eval", "label", dse.ConfigLabel(j.cfg))
+	res, err := core.RunContext(rctx, dev, j.cfg)
+	sp.End()
 	if err != nil {
 		// A canceled or deadline-expired run lands in canceled — a single
 		// run is one evaluation unit, so there is no partial payload.
@@ -890,7 +919,12 @@ func (s *Server) executeSweep(ctx context.Context, j *Job) {
 			j.publishPoint(pe)
 		}
 		var fresh []dse.Point
-		fresh, stopped = dse.EvalParallelContext(ctx, factory, missCfgs, missLabels, s.opts.SweepWorkers, onPoint)
+		// The batch span brackets the whole parallel fan-out; each grid
+		// point records its own child span inside the dse workers.
+		bctx, bsp := obs.StartSpan(ctx, "sweep.batch",
+			"points", fmt.Sprint(len(missCfgs)), "workers", fmt.Sprint(s.opts.SweepWorkers))
+		fresh, stopped = dse.EvalParallelContext(bctx, factory, missCfgs, missLabels, s.opts.SweepWorkers, onPoint)
+		bsp.End()
 		if errp := factoryErr.Load(); errp != nil {
 			// EvalParallelContext marks the claimed point whenever the
 			// factory fails, so a recorded error always means unevaluated
@@ -942,6 +976,14 @@ func (s *Server) fleetHooks(j *Job) cluster.FleetHooks {
 		OnShard: func(u cluster.ShardUpdate) {
 			if u.RewindPoints > 0 {
 				j.prog.Step(-u.RewindPoints)
+			}
+			// Shard tail latency: one observation per finished attempt,
+			// split by outcome so the tail of retried shards is visible.
+			if s.reg != nil && u.ElapsedMS > 0 && u.State != "assigned" {
+				s.reg.Histogram("mpstream_cluster_shard_seconds",
+					"Wall-clock duration of fleet shard attempts, by outcome.",
+					obs.DurationBuckets, "state", string(u.State)).
+					Observe(float64(u.ElapsedMS) / 1000)
 			}
 			j.publishShard(u)
 		},
@@ -1094,10 +1136,13 @@ func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 	lastCached := false
 	eval := func(cfg core.Config, label, fp string) dse.Point {
 		lastCached = false
+		ectx, sp := obs.StartSpan(ctx, "optimize.eval", "label", label)
+		defer sp.End()
 		if s.cache.enabled() {
 			if res, ok := s.cache.get(fp); ok {
 				cachedPoints++
 				lastCached = true
+				sp.SetAttr("cached", "true")
 				return dse.Point{Label: label, Config: cfg, Result: rehome(res, cfg)}
 			}
 		}
@@ -1109,7 +1154,8 @@ func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 		// local device; a worker-reported evaluation error is a real
 		// outcome (infeasible design, or this job's context ending).
 		if fl := s.opts.Cluster; fl != nil && fl.HasWorkers(snap.Target) {
-			res, err := fl.Eval(ctx, snap.Target, cfg, 0)
+			sp.SetAttr("remote", "true")
+			res, err := fl.Eval(ectx, snap.Target, cfg, 0)
 			switch {
 			case err == nil:
 				s.cache.put(fp, res)
@@ -1117,8 +1163,9 @@ func (s *Server) executeOptimize(ctx context.Context, j *Job) {
 			case !errors.Is(err, cluster.ErrUnavailable):
 				return dse.Point{Label: label, Config: cfg, Err: err}
 			}
+			sp.SetAttr("remote", "fallback")
 		}
-		res, err := core.RunContext(ctx, dev, cfg)
+		res, err := core.RunContext(ectx, dev, cfg)
 		if err != nil {
 			return dse.Point{Label: label, Config: cfg, Err: err}
 		}

@@ -33,9 +33,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"mpstream/internal/device"
+	"mpstream/internal/obs"
 	"mpstream/internal/report"
 	"mpstream/internal/runstate"
 	"mpstream/internal/shard"
@@ -326,8 +328,10 @@ func GenerateShardWith(ctx context.Context, dev device.Device, cfg Config, lo, h
 	// walk is independent of the background pattern and ratio, so one
 	// measurement serves every curve.
 	burst := model.Config().BurstBytes
+	_, isp := obs.StartSpan(ctx, "surface.idle", "hops", strconv.Itoa(cfg.ProbeHops))
 	idle := model.ServiceLoaded(nil, chase(elems, burst, cfg.ProbeHops), dram.LoadedOptions{})
 	idleNs := idle.ProbeAvgNs()
+	isp.End()
 
 	s := &Surface{Device: info, Config: cfg}
 	if workers := workerCount(); workers > 1 {
@@ -414,13 +418,18 @@ func generateParallel(ctx context.Context, s *Surface, model *dram.Model, cfg Co
 					return
 				}
 				if ctx2.Err() == nil {
+					_, sp := obs.StartSpan(ctx2, "surface.rung",
+						"curve", strconv.Itoa(jobs[i].ci),
+						"rate", strconv.FormatFloat(jobs[i].rate, 'g', -1, 64))
 					p, err := measureRung(wm, cfg, jobs[i], peak, &scr)
 					if err != nil {
+						sp.SetAttr("error", err.Error())
 						errs[i] = err
 						stop()
 					} else {
 						points[i], measured[i] = p, true
 					}
+					sp.End()
 				}
 				close(done[i])
 			}
@@ -597,10 +606,16 @@ func generateCurve(ctx context.Context, model *dram.Model, cfg Config, pat mem.P
 		if ctx.Err() != nil {
 			break
 		}
+		_, sp := obs.StartSpan(ctx, "surface.rung",
+			"rate", strconv.FormatFloat(rate, 'g', -1, 64),
+			"read_frac", strconv.FormatFloat(readFrac, 'g', -1, 64))
 		p, err := measureRung(model, cfg, rungJob{pat: pat, frac: readFrac, rate: rate}, peakGBps, scr)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return Curve{}, err
 		}
+		sp.End()
 		curve.Points = append(curve.Points, p)
 		if observe != nil {
 			observe(pat, readFrac, p)

@@ -15,6 +15,12 @@
 # surviving worker, asserting the job, fleet-shard, cache and
 # simulator counters are nonzero after the runs above.
 #
+# Part 4 (tracing + federation): boot a replacement worker, run a
+# fresh sharded sweep, fetch the coordinator's merged span tree and
+# assert it contains worker-origin spans from both workers with a
+# nonempty critical path; then scrape /v1/cluster/metrics and assert
+# per-worker labeled families for every live worker.
+#
 # Run from the repository root; requires curl and python3.
 set -euo pipefail
 
@@ -239,4 +245,83 @@ EVALS=$(metric /tmp/worker_metrics.txt 'mpstream_sim_evaluations_total')
 [ "${ENTRIES%.*}" -ge 1 ] || { echo "worker run-cache entries $ENTRIES, want >= 1"; exit 1; }
 [ "${EVALS%.*}" -ge 1 ] || { echo "worker sim evaluations $EVALS, want >= 1"; exit 1; }
 echo "smoke: worker metrics: $ENTRIES cached runs, $EVALS simulator evaluations"
+
+# ---------------------------------------------------------------------
+# Part 4: span tracing across the fleet + coordinator metrics federation.
+# ---------------------------------------------------------------------
+# Worker 2 died in part 2; boot a replacement so the fleet is two
+# workers again.
+W3ADDR=127.0.0.1:8784
+W3LOG=$(mktemp)
+"$BIN" -addr "$W3ADDR" -worker -worker-id w3 -join "http://$CADDR" >"$W3LOG" 2>&1 &
+PIDS+=($!)
+wait_healthy "http://$W3ADDR/v1" "$W3LOG"
+for i in $(seq 1 100); do
+  ALIVE=$(curl -sf "$CBASE/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin).get("cluster",{}).get("workers_alive",0))')
+  if [ "$ALIVE" = 2 ]; then break; fi
+  if [ "$i" = 100 ]; then echo "fleet never recovered to 2 alive workers (have $ALIVE)"; cat "$CLOG"; exit 1; fi
+  sleep 0.1
+done
+echo "smoke: fleet recovered to 2 alive workers"
+
+# A fresh sharded sweep (different op, so nothing answers from cache).
+TJOB=$(curl -sf "$CBASE/sweep" -H "$JSON" -d '{
+  "target": "cpu", "op": "scale", "timeout_ms": 600000,
+  "base": {"array_bytes": 4194304, "ntimes": 2, "verify": false,
+           "optimal_loop": true, "type": "int", "vec_width": 1,
+           "pattern": {"kind": "contiguous"}},
+  "space": {"vec_widths": [1,2,4,8], "unrolls": [1,2], "types": ["int","double"]}
+}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+echo "smoke: traced fleet sweep $TJOB done"
+
+# The merged span tree: spans from both workers, a nonempty critical
+# path, and coverage of the job's wall clock.
+curl -sf "$CBASE/jobs/$TJOB/trace" >/tmp/fleet_trace.json
+python3 -c '
+import json
+tv = json.load(open("/tmp/fleet_trace.json"))
+workers = [o for o in tv.get("origins", []) if o != "coordinator"]
+assert len(workers) >= 2, "trace has worker origins %s, want >= 2" % workers
+assert tv.get("critical_path"), "critical path empty"
+assert tv["coverage"] >= 0.95, "coverage %.3f < 0.95" % tv["coverage"]
+names = set()
+def walk(n):
+    names.add(n["name"])
+    for c in n.get("children", []):
+        walk(c)
+for r in tv["roots"]:
+    walk(r)
+assert "shard.execute" in names and "sweep.point" in names, names
+print("smoke: trace has %d spans from %s, coverage %.3f, critical path %d steps"
+      % (tv["span_count"], "+".join(sorted(workers)), tv["coverage"], len(tv["critical_path"])))
+'
+
+# The Chrome export renders each origin as a process row.
+curl -sf "$CBASE/jobs/$TJOB/trace?format=chrome" >/tmp/fleet_trace_chrome.json
+python3 -c '
+import json
+ev = json.load(open("/tmp/fleet_trace_chrome.json"))["traceEvents"]
+rows = {e["args"]["name"] for e in ev if e["ph"] == "M" and e["name"] == "process_name"}
+assert len(rows - {"coordinator"}) >= 2, "chrome process rows %s" % rows
+assert any(e["ph"] == "X" for e in ev), "no complete events"
+print("smoke: chrome trace has process rows", ",".join(sorted(rows)))
+'
+
+# Federation: one scrape on the coordinator covers the whole fleet,
+# every sample labeled by worker, with a synthesized up gauge.
+curl -sf "$CBASE/cluster/metrics" >/tmp/fed_metrics.txt
+python3 -c '
+import re
+body = open("/tmp/fed_metrics.txt").read()
+up = {m.group(1): m.group(2)
+      for m in re.finditer(r"(?m)^mpstream_federation_up\{worker=\"([^\"]+)\"\} (\S+)$", body)}
+live = [w for w, v in up.items() if v == "1" and w != "coordinator"]
+assert len(live) >= 2, "federation_up reports %s" % up
+for w in live:
+    pat = r"(?m)^mpstream_jobs_finished_total\{worker=\"%s\"," % re.escape(w)
+    assert re.search(pat, body), "no per-worker jobs_finished series for %s" % w
+assert re.search(r"(?m)^mpstream_jobs_finished_total\{worker=\"coordinator\",", body), \
+    "coordinator series missing from federation"
+print("smoke: federation covers coordinator + %d live workers" % len(live))
+'
 echo "smoke: OK"
