@@ -78,6 +78,8 @@ func main() {
 		join        = flag.String("join", "", "coordinator base URL to register with, e.g. http://10.0.0.1:8774")
 		advertise   = flag.String("advertise", "", "base URL other nodes reach this server at (default: derived from -addr)")
 		workerID    = flag.String("worker-id", "", "stable fleet identity (default: the advertised address)")
+		shardUnit   = flag.Int("shard-unit", 0, "fleet scheduler: minimum work units (grid points, curves) per shard (0 = default 4)")
+		speculation = flag.Bool("speculation", true, "fleet scheduler: speculatively re-execute straggling tail shards on idle workers")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
@@ -152,6 +154,8 @@ func main() {
 		advertise:   *advertise,
 		workerID:    *workerID,
 		capacity:    *workers,
+		shardUnit:   *shardUnit,
+		speculation: *speculation,
 		log:         log,
 	}
 
@@ -172,6 +176,8 @@ type fleetConfig struct {
 	advertise   string
 	workerID    string
 	capacity    int
+	shardUnit   int
+	speculation bool
 	// log receives fleet diagnostics; nil discards them.
 	log *slog.Logger
 }
@@ -217,7 +223,11 @@ func serve(ln net.Listener, opts service.Options, fleet fleetConfig, stop <-chan
 		log = obs.NopLogger()
 	}
 	if fleet.coordinator {
-		coord := cluster.New(cluster.Options{Logger: log})
+		coord := cluster.New(cluster.Options{
+			Logger:             log,
+			ShardUnit:          fleet.shardUnit,
+			DisableSpeculation: !fleet.speculation,
+		})
 		defer coord.Close()
 		coord.WatchPeers(fleet.peers)
 		opts.Cluster = coord

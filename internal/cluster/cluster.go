@@ -4,13 +4,18 @@
 // capacity), heartbeats, and executes shard jobs through the same
 // /v1/* HTTP API it serves to everyone else. The coordinator partitions
 // sweep grids (dse.Space.Partition) and surface ladders
-// (surface.Config.PartitionCurves) into contiguous shards, schedules
-// them onto workers with locality (prefer workers advertising the
-// requested target) and load awareness, retries failed or lost shards
-// on other workers with capped exponential backoff, and merges the
-// partial results back into the canonical order — a distributed sweep
-// is byte-identical to a single-node one because the simulator is
-// deterministic and the shard merge is order-preserving.
+// (surface.Config.PartitionCurves) into many small contiguous shards
+// (sized by a per-shard work floor, not by fleet size) and feeds them
+// through a pull-based bounded queue: whichever worker frees a
+// capacity slot takes the next shard, so fast workers absorb more of
+// the grid, workers joining mid-job start pulling immediately, and a
+// dead worker's in-flight shards re-queue onto the survivors. At the
+// job's tail, straggling attempts are speculatively re-executed on
+// idle workers with first-result-wins dedup. The partial results merge
+// back into the canonical order — a distributed sweep is
+// byte-identical to a single-node one because the simulator is
+// deterministic and the shard merge is order-preserving, which is also
+// what makes stealing and speculation safe.
 //
 // The package deliberately does not import internal/service: the
 // service layer embeds a Coordinator and translates between its own
@@ -60,6 +65,9 @@ type WorkerView struct {
 	WorkerInfo
 	// Alive reports a heartbeat within the TTL.
 	Alive bool `json:"alive"`
+	// FirstSeen is the time of the worker's first registration — the
+	// base of its shards-completed rate.
+	FirstSeen time.Time `json:"first_seen"`
 	// LastSeen is the time of the last register or heartbeat.
 	LastSeen time.Time `json:"last_seen"`
 	// Inflight counts shards currently assigned to the worker.
@@ -206,23 +214,36 @@ type PointEvent struct {
 // payload behind the merged stream's "shard" events and the hook the
 // service uses to keep aggregate progress honest across retries.
 type ShardUpdate struct {
-	// Shard indexes the shard within its fleet job, 0-based.
+	// Shard indexes the shard within its fleet job, 0-based. -1 marks a
+	// job-wide update (the "waiting" state, when the queue has work but
+	// the fleet has no alive worker to pull it).
 	Shard int `json:"shard"`
 	// Worker is the assigned worker's ID.
 	Worker string `json:"worker,omitempty"`
-	// Attempt counts assignments of this shard, starting at 1.
+	// Attempt counts real (non-speculative) executions of this shard,
+	// starting at 1. A speculative duplicate shares its primary's
+	// attempt number.
 	Attempt int `json:"attempt"`
-	// State is "assigned", "done", "failed" (this attempt; the shard
-	// will retry if attempts remain) or "lost" (attempts exhausted).
+	// State is "assigned" (pulled from the queue), "speculated" (a
+	// duplicate tail attempt launched on an idle worker), "done",
+	// "failed" (this attempt; the shard re-queues if attempts remain),
+	// "lost-race" (the other attempt of a speculation race finished
+	// first; this one is being canceled), "waiting" (queued work but no
+	// alive worker) or "lost" (attempts exhausted).
 	State string `json:"state"`
-	// Error carries the failure reason on failed/lost updates.
+	// Speculative marks updates about a speculative duplicate attempt.
+	Speculative bool `json:"speculative,omitempty"`
+	// Queued is the job's shard-queue depth after this update — how
+	// many shards are still waiting to be pulled.
+	Queued int `json:"queued,omitempty"`
+	// Error carries the failure reason on failed/waiting/lost updates.
 	Error string `json:"error,omitempty"`
 	// RewindPoints counts evaluation units the failed attempt already
 	// streamed; a retry re-runs them, so aggregate progress must take
 	// them back.
 	RewindPoints int `json:"rewind_points,omitempty"`
-	// ElapsedMS is the attempt's wall-clock duration on done, failed
-	// and lost updates (0 on assigned) — the raw material of the
-	// shard tail-latency histogram.
+	// ElapsedMS is the attempt's wall-clock duration on done, failed,
+	// lost-race and lost updates (0 on assigned/speculated/waiting) —
+	// the raw material of the shard tail-latency histogram.
 	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 }

@@ -14,7 +14,7 @@ import (
 	"mpstream/internal/dse"
 	"mpstream/internal/kernel"
 	"mpstream/internal/obs"
-	"mpstream/internal/runstate"
+	"mpstream/internal/shard"
 	"mpstream/internal/surface"
 )
 
@@ -25,22 +25,33 @@ var ErrUnavailable = errors.New("cluster: fleet unavailable")
 
 // Defaults for Options zero values.
 const (
-	// DefaultShardsPerWorker over-partitions the grid relative to the
-	// alive worker count so faster workers absorb more shards and a
-	// retried shard re-runs a fraction, not half, of the job.
-	DefaultShardsPerWorker = 2
-	// DefaultMaxShards bounds one fleet job's shard count regardless of
-	// fleet size.
-	DefaultMaxShards = 16
-	// DefaultMaxAttempts bounds how many workers one shard is tried on
+	// DefaultShardUnit is the per-shard work floor: a fleet job is
+	// partitioned into the largest shard count that still leaves at
+	// least this many work units (grid points, surface curves) per
+	// shard. Small shards are what make the pull queue elastic — the
+	// unit of stealing, re-queueing and speculation is one shard.
+	DefaultShardUnit = 4
+	// DefaultMaxAttempts bounds how many real executions one shard gets
 	// before the fleet job fails.
 	DefaultMaxAttempts = 3
 	// DefaultRetryBackoff is the base of the capped exponential backoff
-	// between a shard's attempts.
+	// a re-queued shard waits before it may be dispatched again.
 	DefaultRetryBackoff = 100 * time.Millisecond
 	// DefaultMaxBackoff caps the backoff growth.
 	DefaultMaxBackoff = 2 * time.Second
+	// DefaultSpecFactor scales the completed-shard mean latency into
+	// the speculation threshold: a tail attempt running longer than
+	// factor x mean gets a duplicate on an idle worker.
+	DefaultSpecFactor = 2.0
+	// DefaultSpecMinSamples is how many completed shards the latency
+	// estimate needs before speculation may trigger.
+	DefaultSpecMinSamples = 3
 )
+
+// specFloorMS floors the speculation threshold so sub-millisecond
+// shard latencies (tiny grids, warm caches) don't turn scheduling
+// jitter into duplicate executions.
+const specFloorMS = 25.0
 
 // Options configures a Coordinator. The zero value is production-
 // shaped.
@@ -50,14 +61,18 @@ type Options struct {
 	// HeartbeatTTL is how long a registration lives without a
 	// heartbeat; <= 0 means DefaultHeartbeatTTL.
 	HeartbeatTTL time.Duration
-	// ShardsPerWorker, MaxShards, MaxAttempts, RetryBackoff and
-	// MaxBackoff tune the shard scheduler; <= 0 means the defaults
-	// above.
-	ShardsPerWorker int
-	MaxShards       int
-	MaxAttempts     int
-	RetryBackoff    time.Duration
-	MaxBackoff      time.Duration
+	// ShardUnit, MaxAttempts, RetryBackoff and MaxBackoff tune the
+	// shard scheduler; <= 0 means the defaults above.
+	ShardUnit    int
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// DisableSpeculation turns off speculative tail re-execution;
+	// SpecFactor and SpecMinSamples tune its trigger (<= 0 means the
+	// defaults above).
+	DisableSpeculation bool
+	SpecFactor         float64
+	SpecMinSamples     int
 	// Now is the liveness clock; nil means time.Now. Tests inject fake
 	// clocks here.
 	Now func() time.Time
@@ -74,11 +89,8 @@ func (o Options) withDefaults() Options {
 	if o.HeartbeatTTL <= 0 {
 		o.HeartbeatTTL = DefaultHeartbeatTTL
 	}
-	if o.ShardsPerWorker <= 0 {
-		o.ShardsPerWorker = DefaultShardsPerWorker
-	}
-	if o.MaxShards <= 0 {
-		o.MaxShards = DefaultMaxShards
+	if o.ShardUnit <= 0 {
+		o.ShardUnit = DefaultShardUnit
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = DefaultMaxAttempts
@@ -88,6 +100,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.SpecFactor <= 0 {
+		o.SpecFactor = DefaultSpecFactor
+	}
+	if o.SpecMinSamples <= 0 {
+		o.SpecMinSamples = DefaultSpecMinSamples
 	}
 	return o
 }
@@ -104,11 +122,17 @@ type Coordinator struct {
 
 	// Shard scheduling counters, exposed through Stats for the service
 	// metrics collector. Cheap unconditional atomics.
-	shardsAssigned atomic.Uint64
-	shardsDone     atomic.Uint64
-	shardsRetried  atomic.Uint64
-	shardsLost     atomic.Uint64
-	remoteEvals    atomic.Uint64
+	shardsAssigned    atomic.Uint64
+	shardsDone        atomic.Uint64
+	shardsRetried     atomic.Uint64
+	shardsWaited      atomic.Uint64
+	shardsLost        atomic.Uint64
+	shardsStolen      atomic.Uint64
+	shardsSpeculated  atomic.Uint64
+	speculationWins   atomic.Uint64
+	speculationWasted atomic.Uint64
+	remoteEvals       atomic.Uint64
+	queueDepth        atomic.Int64
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -136,19 +160,43 @@ func New(opts Options) *Coordinator {
 type FleetStats struct {
 	ShardsAssigned uint64 `json:"shards_assigned"`
 	ShardsDone     uint64 `json:"shards_done"`
-	ShardsRetried  uint64 `json:"shards_retried"`
-	ShardsLost     uint64 `json:"shards_lost"`
-	RemoteEvals    uint64 `json:"remote_evals"`
+	// ShardsRetried counts real re-executions: a shard re-queued after
+	// a failed attempt. ShardsWaited counts scheduler rounds spent with
+	// queued work but no alive worker — idle waits, not attempts.
+	ShardsRetried uint64 `json:"shards_retried"`
+	ShardsWaited  uint64 `json:"shards_waited"`
+	ShardsLost    uint64 `json:"shards_lost"`
+	// ShardsStolen counts shards completed by a different worker than
+	// the one first assigned — the pull queue absorbing a failure or a
+	// dead worker's in-flight work. Speculation wins are counted
+	// separately, not as steals.
+	ShardsStolen uint64 `json:"shards_stolen"`
+	// ShardsSpeculated counts duplicate tail attempts launched;
+	// SpeculationWins those that finished first, SpeculationWasted
+	// those that lost the race or failed.
+	ShardsSpeculated  uint64 `json:"shards_speculated"`
+	SpeculationWins   uint64 `json:"speculation_wins"`
+	SpeculationWasted uint64 `json:"speculation_wasted"`
+	RemoteEvals       uint64 `json:"remote_evals"`
+	// QueueDepth is the current number of queued shards across all
+	// in-flight fleet jobs — a gauge, not a counter.
+	QueueDepth int64 `json:"queue_depth"`
 }
 
 // Stats reads the lifetime shard-scheduling counters.
 func (c *Coordinator) Stats() FleetStats {
 	return FleetStats{
-		ShardsAssigned: c.shardsAssigned.Load(),
-		ShardsDone:     c.shardsDone.Load(),
-		ShardsRetried:  c.shardsRetried.Load(),
-		ShardsLost:     c.shardsLost.Load(),
-		RemoteEvals:    c.remoteEvals.Load(),
+		ShardsAssigned:    c.shardsAssigned.Load(),
+		ShardsDone:        c.shardsDone.Load(),
+		ShardsRetried:     c.shardsRetried.Load(),
+		ShardsWaited:      c.shardsWaited.Load(),
+		ShardsLost:        c.shardsLost.Load(),
+		ShardsStolen:      c.shardsStolen.Load(),
+		ShardsSpeculated:  c.shardsSpeculated.Load(),
+		SpeculationWins:   c.speculationWins.Load(),
+		SpeculationWasted: c.speculationWasted.Load(),
+		RemoteEvals:       c.remoteEvals.Load(),
+		QueueDepth:        c.queueDepth.Load(),
 	}
 }
 
@@ -266,22 +314,15 @@ func (h FleetHooks) shard(u ShardUpdate) {
 	}
 }
 
-// shardCount sizes a fleet job's partition: enough shards to spread
-// over the alive workers with headroom for rebalancing, bounded by the
-// configured ceiling and by the amount of work itself.
-func (c *Coordinator) shardCount(target string, units int) int {
-	workers, _ := c.reg.aliveSlots(target)
-	n := workers * c.opts.ShardsPerWorker
-	if n > c.opts.MaxShards {
-		n = c.opts.MaxShards
-	}
-	if n > units {
-		n = units
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
+// shardCount sizes a fleet job's partition: as many shards as the
+// per-shard work floor allows, independent of fleet size. The pull
+// queue, not the partition, decides which worker executes what, so
+// over-partitioning is how fast workers absorb more of the job. The
+// floor is per job kind — sweeps floor at ShardUnit grid points, while
+// surfaces floor at one curve per shard (a curve is already a coarse
+// unit: a full rate ladder of measured points).
+func (c *Coordinator) shardCount(units, unit int) int {
+	return shard.UnitCount(units, unit)
 }
 
 // shardOutcome is one shard's final state inside a fleet job.
@@ -292,154 +333,17 @@ type shardOutcome struct {
 	err     error  // attempts exhausted
 }
 
-// runShards executes n shards concurrently: each shard is assigned to
-// the best available worker, awaited over its event stream, and
-// retried on other workers (capped exponential backoff, the failing
-// worker marked down and excluded) until it completes or attempts run
-// out. A canceled fleet context fans the cancellation out: every
-// in-flight worker job gets a DELETE and its terminal partial view is
-// collected. submit dispatches shard i to one worker and returns the
-// queued job's view.
+// runShards drives n shards to outcomes through the pull-based
+// dispatcher in scheduler.go: shards queue in index (locality) order,
+// workers with free capacity pull the next shard, failed or lost
+// attempts re-queue, and straggling tail attempts are speculatively
+// duplicated on idle workers. A canceled fleet context fans the
+// cancellation out: every in-flight worker job gets a DELETE and its
+// terminal partial view is collected. submit dispatches shard i to one
+// worker and returns the queued job's view.
 func (c *Coordinator) runShards(ctx context.Context, n int, target string, hooks FleetHooks,
 	submit func(ctx context.Context, workerAddr string, shard int) (JobView, error)) []shardOutcome {
-	outcomes := make([]shardOutcome, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			outcomes[i] = c.runShard(ctx, i, target, hooks, submit)
-		}(i)
-	}
-	wg.Wait()
-	return outcomes
-}
-
-// runShard drives one shard to an outcome. See runShards.
-func (c *Coordinator) runShard(ctx context.Context, i int, target string, hooks FleetHooks,
-	submit func(ctx context.Context, workerAddr string, shard int) (JobView, error)) shardOutcome {
-	excluded := make(map[string]bool)
-	var lastErr error
-	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
-		if st := runstate.FromContext(ctx); st != "" {
-			return shardOutcome{stopped: st}
-		}
-		w, ok := c.reg.acquire(target, excluded)
-		if !ok {
-			if len(excluded) > 0 {
-				// Every candidate failed this shard already; clear the
-				// exclusions so a recovered worker can be retried after the
-				// backoff instead of failing the job with idle capacity.
-				excluded = make(map[string]bool)
-			}
-			lastErr = ErrNoWorkers
-			c.shardsRetried.Add(1)
-			c.log.Warn("cluster: no worker available for shard",
-				"shard", i, "attempt", attempt, "target", target,
-				"trace", obs.TraceID(ctx))
-			hooks.shard(ShardUpdate{Shard: i, Attempt: attempt, State: "failed", Error: ErrNoWorkers.Error()})
-			if !c.backoff(ctx, attempt) {
-				return shardOutcome{stopped: runstate.FromContext(ctx)}
-			}
-			continue
-		}
-		c.shardsAssigned.Add(1)
-		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "assigned"})
-
-		// One span per attempt — a retried shard keeps every attempt in
-		// the trace, tagged with its outcome, so retry cost is explicit.
-		// The span context rides into submit/await: the client stamps the
-		// span ID onto the worker request (SpanHeader), and the worker's
-		// own spans come back parented under it.
-		attemptStart := time.Now()
-		actx, sp := obs.StartSpan(ctx, "shard.execute",
-			"shard", strconv.Itoa(i), "worker", w.ID, "attempt", strconv.Itoa(attempt))
-
-		// Points streamed by this attempt; a retry re-runs them, so they
-		// are reported back for the aggregate progress rewind.
-		points := 0
-		onPoint := func(p PointEvent) {
-			points++
-			hooks.point(p)
-		}
-		var view JobView
-		queued, err := submit(actx, w.Addr, i)
-		if err == nil {
-			view, err = c.awaitWithWatchdog(actx, w, queued.ID, onPoint)
-		}
-
-		if st := runstate.FromContext(ctx); st != "" {
-			// Fleet job canceled (or deadline-expired): fan the cancel out
-			// to the worker and collect its terminal partial view.
-			if queued.ID != "" {
-				view, err = c.client.CancelAndFetch(w.Addr, queued.ID)
-			}
-			c.ingestSpans(ctx, &view)
-			sp.SetAttr("state", "canceled")
-			sp.End()
-			c.reg.release(w.ID, err == nil)
-			return shardOutcome{view: view, got: err == nil, stopped: st}
-		}
-
-		elapsed := time.Since(attemptStart).Milliseconds()
-		var se *StatusError
-		switch {
-		case err == nil && view.Status == "done":
-			c.ingestSpans(ctx, &view)
-			sp.SetAttr("state", "done")
-			sp.End()
-			c.reg.release(w.ID, true)
-			c.shardsDone.Add(1)
-			hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "done",
-				ElapsedMS: elapsed})
-			return shardOutcome{view: view, got: true}
-		case err == nil:
-			// failed or canceled on the worker side while the fleet is
-			// alive (bad factory, worker-local timeout): retry elsewhere.
-			c.ingestSpans(ctx, &view)
-			lastErr = fmt.Errorf("worker %s: shard job %s: %s", w.ID, view.Status, view.Error)
-		case errors.As(err, &se):
-			// A well-formed refusal (queue full, validation) from a live
-			// worker: retry elsewhere, but the worker stays alive — marking
-			// it down would let the liveness watchdog reap its other,
-			// perfectly healthy in-flight shards.
-			lastErr = err
-		default:
-			// Transport-level failure: the worker is likely gone. Mark it
-			// down so other shards stop picking it before its TTL expires,
-			// and best-effort cancel the orphaned job in case the worker is
-			// actually alive behind a broken stream.
-			lastErr = err
-			sp.SetAttr("lost", "true")
-			c.reg.markDown(w.ID)
-			c.log.Warn("cluster: marking worker down after transport failure",
-				"worker", w.ID, "addr", w.Addr, "shard", i, "attempt", attempt,
-				"trace", obs.TraceID(ctx), "err", err)
-			if queued.ID != "" {
-				_ = c.client.Cancel(w.Addr, queued.ID)
-			}
-		}
-		sp.SetAttr("state", "failed")
-		sp.SetAttr("error", lastErr.Error())
-		sp.End()
-		c.reg.release(w.ID, false)
-		excluded[w.ID] = true
-		c.shardsRetried.Add(1)
-		c.log.Warn("cluster: shard attempt failed, retrying elsewhere",
-			"worker", w.ID, "shard", i, "attempt", attempt,
-			"trace", obs.TraceID(ctx), "err", lastErr)
-		hooks.shard(ShardUpdate{Shard: i, Worker: w.ID, Attempt: attempt, State: "failed",
-			Error: lastErr.Error(), RewindPoints: points, ElapsedMS: elapsed})
-		if attempt < c.opts.MaxAttempts && !c.backoff(ctx, attempt) {
-			return shardOutcome{stopped: runstate.FromContext(ctx)}
-		}
-	}
-	c.shardsLost.Add(1)
-	c.log.Error("cluster: shard lost, failing fleet job",
-		"shard", i, "attempts", c.opts.MaxAttempts,
-		"trace", obs.TraceID(ctx), "err", lastErr)
-	hooks.shard(ShardUpdate{Shard: i, Attempt: c.opts.MaxAttempts, State: "lost", Error: lastErr.Error()})
-	return shardOutcome{err: fmt.Errorf("shard %d lost after %d attempts: %w", i, c.opts.MaxAttempts, lastErr)}
+	return newDispatcher(c, ctx, n, target, hooks, submit).run()
 }
 
 // ingestSpans grafts a worker view's piggybacked spans into the
@@ -496,21 +400,17 @@ func (c *Coordinator) awaitWithWatchdog(ctx context.Context, w WorkerInfo, id st
 	return view, err
 }
 
-// backoff sleeps the capped exponential delay for attempt; false means
-// ctx ended first.
-func (c *Coordinator) backoff(ctx context.Context, attempt int) bool {
+// backoffDelay is the capped exponential delay before a shard's next
+// execution (attempt counts the executions already made).
+func (c *Coordinator) backoffDelay(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
 	d := c.opts.RetryBackoff << (attempt - 1)
 	if d > c.opts.MaxBackoff || d <= 0 {
 		d = c.opts.MaxBackoff
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
+	return d
 }
 
 // SweepSpec describes one fleet sweep: the same parameters a local
@@ -538,7 +438,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SweepSpec, hooks FleetHook
 	if !c.HasWorkers(spec.Target) {
 		return nil, 0, "", fmt.Errorf("%w for target %q", ErrUnavailable, spec.Target)
 	}
-	ranges := spec.Space.Partition(c.shardCount(spec.Target, spec.Space.Size()))
+	ranges := spec.Space.Partition(c.shardCount(spec.Space.Size(), c.opts.ShardUnit))
 	submit := func(ctx context.Context, workerAddr string, shard int) (JobView, error) {
 		r := ranges[shard]
 		base := spec.Base
@@ -596,7 +496,7 @@ func (c *Coordinator) Surface(ctx context.Context, spec SurfaceSpec, hooks Fleet
 	if !c.HasWorkers(spec.Target) {
 		return nil, "", fmt.Errorf("%w for target %q", ErrUnavailable, spec.Target)
 	}
-	shards := spec.Config.PartitionCurves(c.shardCount(spec.Target, spec.Config.CurveCount()))
+	shards := spec.Config.PartitionCurves(c.shardCount(spec.Config.CurveCount(), 1))
 	submit := func(ctx context.Context, workerAddr string, shard int) (JobView, error) {
 		sh := shards[shard]
 		cfg := spec.Config

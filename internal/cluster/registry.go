@@ -14,6 +14,7 @@ const DefaultHeartbeatTTL = 10 * time.Second
 // registry mutex.
 type workerState struct {
 	info       WorkerInfo
+	firstSeen  time.Time
 	lastSeen   time.Time
 	inflight   int
 	shardsDone uint64
@@ -51,7 +52,7 @@ func (r *registry) upsert(info WorkerInfo) {
 	defer r.mu.Unlock()
 	w, ok := r.workers[info.ID]
 	if !ok {
-		w = &workerState{}
+		w = &workerState{firstSeen: r.now()}
 		r.workers[info.ID] = w
 	}
 	w.info = info
@@ -119,6 +120,7 @@ func (r *registry) snapshot() []WorkerView {
 		out = append(out, WorkerView{
 			WorkerInfo: w.info,
 			Alive:      r.aliveLocked(w),
+			FirstSeen:  w.firstSeen,
 			LastSeen:   w.lastSeen,
 			Inflight:   w.inflight,
 			ShardsDone: w.shardsDone,
@@ -188,6 +190,53 @@ func (r *registry) acquire(target string, excluded map[string]bool) (WorkerInfo,
 	return best.info, true
 }
 
+// acquireSlot is acquire with backpressure: only workers with a free
+// capacity slot are eligible, so the shard dispatcher hands out at
+// most Capacity shards per worker and keeps the rest queued — the
+// "bounded" half of the pull-based queue. idleOnly further restricts
+// the pick to completely idle workers (inflight == 0); speculation
+// uses it so duplicate attempts only ever consume capacity nothing
+// else wants.
+func (r *registry) acquireSlot(target string, excluded map[string]bool, idleOnly bool) (WorkerInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *workerState
+	for _, id := range r.sortedIDsLocked() {
+		w := r.workers[id]
+		if excluded[id] || !r.aliveLocked(w) || !serves(w.info, target) {
+			continue
+		}
+		if w.inflight >= w.info.Capacity || (idleOnly && w.inflight > 0) {
+			continue
+		}
+		if best == nil || betterPick(w, best) {
+			best = w
+		}
+	}
+	if best == nil {
+		return WorkerInfo{}, false
+	}
+	best.inflight++
+	return best.info, true
+}
+
+// hasSlot reports whether acquireSlot would succeed, without reserving
+// anything — the dispatcher's probe for distinguishing "no capacity"
+// from "capacity exists but this shard's exclusions block it".
+func (r *registry) hasSlot(target string, excluded map[string]bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.workers {
+		if excluded[w.info.ID] || !r.aliveLocked(w) || !serves(w.info, target) {
+			continue
+		}
+		if w.inflight < w.info.Capacity {
+			return true
+		}
+	}
+	return false
+}
+
 // betterPick orders scheduler candidates: relative load first
 // (cross-multiplied to avoid float drift), then failure count.
 func betterPick(w, best *workerState) bool {
@@ -226,5 +275,16 @@ func (r *registry) release(id string, ok bool) {
 		w.shardsDone++
 	} else {
 		w.failures++
+	}
+}
+
+// releaseOnly returns an acquire'd slot without recording an outcome —
+// used for attempts that lost a speculation race, which are neither a
+// completion nor the worker's fault.
+func (r *registry) releaseOnly(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, found := r.workers[id]; found && w.inflight > 0 {
+		w.inflight--
 	}
 }

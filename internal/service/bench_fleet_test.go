@@ -1,0 +1,117 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpstream/internal/cluster"
+	"mpstream/internal/device"
+	"mpstream/internal/device/targets"
+	"mpstream/internal/service"
+)
+
+// benchmarkFleetSweep drives a whole 24-point sweep through a 3-worker
+// fleet where one worker compiles 4x slower than the others — the
+// heterogeneous-fleet scenario the elastic scheduler exists for. The
+// two variants below compare the schedulers through the same code
+// path:
+//
+//   - Static: one coarse shard per worker (ShardUnit = ceil(24/3)),
+//     speculation off — exactly the old static partitioning, so the
+//     slow worker pins a third of the grid and the wall clock.
+//   - Elastic: single-point shards (ShardUnit = 1) with speculation on
+//     — fast workers drain the queue and duplicate the straggling tail.
+//
+// Caches are disabled everywhere so every iteration pays for the full
+// distributed execution.
+func benchmarkFleetSweep(b *testing.B, shardUnit int, speculation bool) {
+	const (
+		workers   = 3
+		slow      = 2
+		fastDelay = 15 * time.Millisecond
+		slowDelay = 60 * time.Millisecond
+	)
+	coord := cluster.New(cluster.Options{
+		ShardUnit:          shardUnit,
+		DisableSpeculation: !speculation,
+		RetryBackoff:       time.Millisecond,
+		MaxBackoff:         5 * time.Millisecond,
+	})
+	defer coord.Close()
+	for i := 0; i < workers; i++ {
+		delay := fastDelay
+		if i == slow {
+			delay = slowDelay
+		}
+		d := delay
+		wsrv := service.New(service.Options{
+			Workers: 1, SweepWorkers: 1, CacheEntries: -1,
+			Origin: fmt.Sprintf("w%d", i),
+			NewDevice: func(id string) (device.Device, error) {
+				dev, err := targets.ByID(id)
+				if err != nil {
+					return nil, err
+				}
+				return delayDevice{Device: dev, delay: d}, nil
+			},
+		})
+		defer wsrv.Close()
+		wts := httptest.NewServer(wsrv.Handler())
+		defer wts.Close()
+		coord.Register(cluster.WorkerInfo{
+			ID:       fmt.Sprintf("w%d", i),
+			Addr:     wts.URL,
+			Targets:  targets.IDs(),
+			Capacity: 1,
+		})
+	}
+	csrv := service.New(service.Options{
+		Workers: 1, SweepWorkers: 1, CacheEntries: -1,
+		Cluster: coord, Origin: "coordinator",
+	})
+	defer csrv.Close()
+	cts := httptest.NewServer(csrv.Handler())
+	defer cts.Close()
+
+	body, err := json.Marshal(stragglerSweepReq())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(cts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("sweep status %d: %s", resp.StatusCode, data)
+		}
+	}
+}
+
+// BenchmarkFleetSweepStatic emulates the pre-queue static scheduler:
+// the grid is cut into exactly one shard per worker up front and no
+// shard ever moves, so the 4x-slow worker's third of the grid bounds
+// the wall clock.
+func BenchmarkFleetSweepStatic(b *testing.B) {
+	benchmarkFleetSweep(b, 8, false)
+}
+
+// BenchmarkFleetSweep is the elastic scheduler on the same fleet:
+// fine-grained shards pulled from the queue plus speculative tail
+// re-execution.
+func BenchmarkFleetSweep(b *testing.B) {
+	benchmarkFleetSweep(b, 1, true)
+}

@@ -36,8 +36,14 @@ type fleetEnv struct {
 // device factory); coordinator and workers otherwise count compiles
 // independently, so tests can prove where simulations ran.
 func newFleetEnv(t *testing.T, n int, workerOpts func(i int) service.Options) *fleetEnv {
+	return newFleetEnvOpts(t, n, nil, workerOpts)
+}
+
+// newFleetEnvOpts is newFleetEnv with a hook to tune the coordinator's
+// scheduler options (shard unit, speculation) before it is built.
+func newFleetEnvOpts(t *testing.T, n int, copts func(*cluster.Options), workerOpts func(i int) service.Options) *fleetEnv {
 	t.Helper()
-	coord := cluster.New(cluster.Options{
+	opts := cluster.Options{
 		// Tests register workers once and never heartbeat; a generous TTL
 		// keeps them alive for the whole test even under -race. Liveness
 		// transitions are driven explicitly (connection kills mark
@@ -45,7 +51,14 @@ func newFleetEnv(t *testing.T, n int, workerOpts func(i int) service.Options) *f
 		HeartbeatTTL: 5 * time.Minute,
 		RetryBackoff: time.Millisecond,
 		MaxBackoff:   5 * time.Millisecond,
-	})
+		// Speculation is timing-triggered; tests that don't opt in keep
+		// it off so scheduling stays deterministic under -race load.
+		DisableSpeculation: true,
+	}
+	if copts != nil {
+		copts(&opts)
+	}
+	coord := cluster.New(opts)
 	t.Cleanup(coord.Close)
 	fe := &fleetEnv{coord: coord}
 	for i := 0; i < n; i++ {
@@ -695,5 +708,272 @@ func TestContentTypeRejected(t *testing.T) {
 		if resp.StatusCode == http.StatusUnsupportedMediaType {
 			t.Errorf("content type %q rejected with 415", ct)
 		}
+	}
+}
+
+// delayDevice wraps a real target and sleeps before every kernel
+// compilation — an injectable per-worker slowdown that models a
+// heterogeneous or overloaded fleet node without changing any result
+// bytes.
+type delayDevice struct {
+	device.Device
+	delay time.Duration
+}
+
+func (d delayDevice) Compile(k kernel.Kernel) (device.Compiled, error) {
+	time.Sleep(d.delay)
+	return d.Device.Compile(k)
+}
+
+// delayedWorker builds worker options where worker `slow` compiles
+// with the given delay and every other worker runs at full speed.
+func delayedWorker(slow int, delay time.Duration) func(i int) service.Options {
+	return func(i int) service.Options {
+		if i != slow {
+			return service.Options{}
+		}
+		return service.Options{NewDevice: func(id string) (device.Device, error) {
+			d, err := targets.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			return delayDevice{Device: d, delay: delay}, nil
+		}}
+	}
+}
+
+// stragglerSweepReq is a 24-point cpu sweep — enough shards (at unit
+// granularity) for the pull queue's load skew to be unambiguous.
+func stragglerSweepReq() service.SweepRequest {
+	base := smallConfig()
+	op := kernel.Copy
+	return service.SweepRequest{
+		Target: "cpu",
+		Base:   &base,
+		Op:     &op,
+		Space: dse.Space{
+			VecWidths: []int{1, 2, 4, 8},
+			Unrolls:   []int{1, 2, 3},
+			Types:     []kernel.DataType{kernel.Int32, kernel.Float64},
+		},
+	}
+}
+
+// TestFleetSweepStragglerStealing: with one worker 50ms-per-point slow
+// and single-point shards, the pull queue lets the fast workers drain
+// almost the whole grid — wall clock stays under what a static
+// third-of-the-grid partition would pin on the straggler, the load
+// skews to the fast workers, and the merged bytes still match a single
+// node. Run with -race.
+func TestFleetSweepStragglerStealing(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	req := stragglerSweepReq()
+	want := singleNodeSweep(t, req)
+
+	fe := newFleetEnvOpts(t, 3,
+		func(o *cluster.Options) { o.ShardUnit = 1 },
+		delayedWorker(2, delay))
+
+	start := time.Now()
+	resp, data := fe.post(t, "/v1/sweep", req)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("fleet sweep job = %+v", job)
+	}
+	got, err := json.Marshal(job.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("straggler fleet sweep diverges from single node:\n got %s\nwant %s", got, want)
+	}
+
+	// A static 3-way partition would hand the straggler 8 points:
+	// >= 400ms of wall clock no matter what the fast workers do. The
+	// queue must beat that bound — the fast workers finish the grid
+	// while the straggler chews a shard or two.
+	if staticBound := 8 * delay; elapsed >= staticBound {
+		t.Errorf("sweep took %v, want < %v (static-partition straggler bound)", elapsed, staticBound)
+	}
+	var slowDone, fastDone uint64
+	for _, w := range fe.coord.Workers() {
+		if w.ID == "w2" {
+			slowDone += w.ShardsDone
+		} else {
+			fastDone += w.ShardsDone
+		}
+	}
+	if slowDone+fastDone == 0 || fastDone <= slowDone*2 {
+		t.Errorf("shard completion skew fast=%d slow=%d, want fast workers absorbing the queue", fastDone, slowDone)
+	}
+
+	// The merged stream carries queue depth on shard events.
+	_, events := fe.get(t, "/v1/jobs/"+job.ID+"/events")
+	queued := 0
+	for _, line := range bytes.Split(events, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad event %s: %v", line, err)
+		}
+		if ev.Type == service.EventShard && ev.Shard != nil && ev.Shard.Queued > 0 {
+			queued++
+		}
+	}
+	if queued == 0 {
+		t.Error("no shard event carried a queue depth")
+	}
+}
+
+// TestFleetSweepSpeculationDedup: a worker wedged inside its shards
+// never returns; once the queue is empty the dispatcher speculates
+// duplicates onto the idle fast worker, the first result settles each
+// shard, the wedged attempts are canceled as race losers, and the
+// merged bytes still match a single node. Run with -race.
+func TestFleetSweepSpeculationDedup(t *testing.T) {
+	req := sweepReq()
+	want := singleNodeSweep(t, req)
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	defer openGate()
+
+	fe := newFleetEnvOpts(t, 2,
+		func(o *cluster.Options) {
+			o.ShardUnit = 1
+			o.DisableSpeculation = false
+			o.SpecFactor = 1 // the 25ms floor governs; fast shards finish in ~1ms
+			o.SpecMinSamples = 3
+		},
+		func(i int) service.Options {
+			if i != 1 {
+				return service.Options{}
+			}
+			// Worker 1 wedges inside every compilation until the gate
+			// opens (after the job completes without it).
+			return service.Options{NewDevice: func(id string) (device.Device, error) {
+				d, err := targets.ByID(id)
+				if err != nil {
+					return nil, err
+				}
+				return signalGateDevice{Device: d, signal: func() {}, gate: gate}, nil
+			}}
+		})
+
+	resp, data := fe.post(t, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone || job.Sweep == nil {
+		t.Fatalf("fleet sweep job = %+v (error %q)", job.Status, job.Error)
+	}
+	got, err := json.Marshal(job.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("speculated fleet sweep diverges from single node:\n got %s\nwant %s", got, want)
+	}
+
+	st := fe.coord.Stats()
+	if st.ShardsSpeculated == 0 {
+		t.Error("no speculative attempt launched for the wedged shards")
+	}
+	if st.SpeculationWins == 0 {
+		t.Error("no speculative attempt won its race")
+	}
+
+	// The merged stream shows the race: speculated launches and the
+	// wedged primaries tagged as race losers.
+	_, events := fe.get(t, "/v1/jobs/"+job.ID+"/events")
+	speculated, lostRace := 0, 0
+	for _, line := range bytes.Split(events, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad event %s: %v", line, err)
+		}
+		if ev.Type == service.EventShard && ev.Shard != nil {
+			switch ev.Shard.State {
+			case "speculated":
+				speculated++
+			case "lost-race":
+				lostRace++
+			}
+		}
+	}
+	if speculated == 0 {
+		t.Error("no speculated shard event in the merged stream")
+	}
+	if lostRace == 0 {
+		t.Error("no lost-race shard event in the merged stream")
+	}
+	openGate()
+}
+
+// TestFleetSweepWorkerJoinsMidJob: a worker registered while a fleet
+// job is in flight starts pulling queued shards immediately — the
+// elastic half of the scheduler — and the merged bytes still match a
+// single node. Run with -race.
+func TestFleetSweepWorkerJoinsMidJob(t *testing.T) {
+	req := stragglerSweepReq()
+	want := singleNodeSweep(t, req)
+
+	// The lone starting worker is slow enough (20ms/point) that the
+	// job is still mostly queued when the second worker joins.
+	fe := newFleetEnvOpts(t, 1,
+		func(o *cluster.Options) { o.ShardUnit = 1 },
+		delayedWorker(0, 20*time.Millisecond))
+
+	resp, data := fe.post(t, "/v1/sweep", service.SweepRequest{
+		Target: req.Target, Base: req.Base, Op: req.Op, Space: req.Space, Async: true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, data)
+	}
+	job := decodeJob(t, data)
+
+	// Wait until the job has measurable progress, then join a fast
+	// replacement-grade worker mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, jd := fe.get(t, "/v1/jobs/"+job.ID)
+		v := decodeJob(t, jd)
+		if v.Progress != nil && v.Progress.Done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never made progress on the slow worker")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	joined := newEnv(t, service.Options{Origin: "w1"})
+	fe.coord.Register(cluster.WorkerInfo{
+		ID: "w1", Addr: joined.ts.URL, Targets: targets.IDs(), Capacity: 2,
+	})
+
+	final := fe.pollJob(t, job.ID)
+	if final.Status != service.StatusDone || final.Sweep == nil {
+		t.Fatalf("fleet sweep after join = %s (error %q)", final.Status, final.Error)
+	}
+	got, err := json.Marshal(final.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-join fleet sweep diverges from single node:\n got %s\nwant %s", got, want)
+	}
+	if len(workerJobs(t, joined)) == 0 {
+		t.Error("joined worker pulled no shards from the in-flight job")
 	}
 }

@@ -91,12 +91,28 @@ func (s *Server) initObs(opts Options) {
 				{"assigned", fs.ShardsAssigned},
 				{"done", fs.ShardsDone},
 				{"retried", fs.ShardsRetried},
+				{"waited", fs.ShardsWaited},
 				{"lost", fs.ShardsLost},
 			} {
 				emit(obs.Sample{Name: "mpstream_cluster_shards_total",
 					Help: "Fleet shard scheduling outcomes.", Kind: "counter",
 					Labels: []string{"state", sh.state}, Value: float64(sh.v)})
 			}
+			emit(obs.Sample{Name: "mpstream_cluster_shard_queue_depth",
+				Help: "Shards queued for dispatch across in-flight fleet jobs.", Kind: "gauge",
+				Value: float64(fs.QueueDepth)})
+			emit(obs.Sample{Name: "mpstream_cluster_shards_stolen_total",
+				Help: "Shards completed by a different worker than first assigned.", Kind: "counter",
+				Value: float64(fs.ShardsStolen)})
+			emit(obs.Sample{Name: "mpstream_cluster_shards_speculated_total",
+				Help: "Speculative duplicate attempts launched for tail stragglers.", Kind: "counter",
+				Value: float64(fs.ShardsSpeculated)})
+			emit(obs.Sample{Name: "mpstream_cluster_speculation_wins_total",
+				Help: "Speculative attempts that finished before their primary.", Kind: "counter",
+				Value: float64(fs.SpeculationWins)})
+			emit(obs.Sample{Name: "mpstream_cluster_speculation_wasted_total",
+				Help: "Speculative attempts that lost the race or failed.", Kind: "counter",
+				Value: float64(fs.SpeculationWasted)})
 			emit(obs.Sample{Name: "mpstream_cluster_remote_evals_total",
 				Help: "Optimizer evaluations served by fleet workers.", Kind: "counter",
 				Value: float64(fs.RemoteEvals)})
@@ -114,6 +130,11 @@ func (s *Server) initObs(opts Options) {
 				emit(obs.Sample{Name: "mpstream_cluster_worker_heartbeat_age_seconds",
 					Help: "Seconds since each worker was last seen.", Kind: "gauge",
 					Labels: l, Value: time.Since(w.LastSeen).Seconds()})
+				if age := time.Since(w.FirstSeen).Seconds(); age > 0 && !w.FirstSeen.IsZero() {
+					emit(obs.Sample{Name: "mpstream_cluster_worker_shard_rate",
+						Help: "Shards completed per second since the worker first registered.",
+						Kind: "gauge", Labels: l, Value: float64(w.ShardsDone) / age})
+				}
 			}
 		})
 	}

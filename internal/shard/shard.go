@@ -40,3 +40,20 @@ func Split(n, parts int) []Range {
 	}
 	return out
 }
+
+// UnitCount sizes a partition of n work units with a per-shard size
+// floor: the largest shard count such that every shard Split produces
+// still holds at least unit work units. This is how the fleet
+// scheduler over-partitions a job for its pull-based queue — many
+// small shards bounded from below by granularity, not from above by a
+// fleet-size cap. unit < 1 is treated as 1 (one shard per unit).
+func UnitCount(n, unit int) int {
+	if unit < 1 {
+		unit = 1
+	}
+	parts := n / unit
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}

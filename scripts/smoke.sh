@@ -21,6 +21,13 @@
 # nonempty critical path; then scrape /v1/cluster/metrics and assert
 # per-worker labeled families for every live worker.
 #
+# Part 5 (elastic scheduler): boot a fresh 2-worker fleet with
+# single-point shards, kill one worker mid-job AND join a replacement
+# while the job runs, then assert the job completes, at least one
+# shard was stolen (finished on a different worker than first
+# assigned), and the merged result is identical to a single-node
+# sweep.
+#
 # Run from the repository root; requires curl and python3.
 set -euo pipefail
 
@@ -323,5 +330,103 @@ for w in live:
 assert re.search(r"(?m)^mpstream_jobs_finished_total\{worker=\"coordinator\",", body), \
     "coordinator series missing from federation"
 print("smoke: federation covers coordinator + %d live workers" % len(live))
+'
+
+# ---------------------------------------------------------------------
+# Part 5: work-stealing under churn — kill AND join mid-job.
+# ---------------------------------------------------------------------
+# A fresh fleet with single-point shards, so the pull queue has many
+# shards to reassign when membership changes mid-job.
+EADDR=127.0.0.1:8785
+W4ADDR=127.0.0.1:8786
+W5ADDR=127.0.0.1:8787
+W6ADDR=127.0.0.1:8788
+EBASE="http://$EADDR/v1"
+ELOG=$(mktemp); W4LOG=$(mktemp); W5LOG=$(mktemp); W6LOG=$(mktemp)
+
+"$BIN" -addr "$EADDR" -coordinator -shard-unit 1 >"$ELOG" 2>&1 &
+PIDS+=($!)
+wait_healthy "$EBASE" "$ELOG"
+"$BIN" -addr "$W4ADDR" -worker -worker-id w4 -join "http://$EADDR" >"$W4LOG" 2>&1 &
+PIDS+=($!)
+"$BIN" -addr "$W5ADDR" -worker -worker-id w5 -join "http://$EADDR" >"$W5LOG" 2>&1 &
+W5PID=$!
+PIDS+=($W5PID)
+wait_healthy "http://$W4ADDR/v1" "$W4LOG"
+for i in $(seq 1 100); do
+  ALIVE=$(curl -sf "$EBASE/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin).get("cluster",{}).get("workers_alive",0))')
+  if [ "$ALIVE" = 2 ]; then break; fi
+  if [ "$i" = 100 ]; then echo "elastic fleet never reached 2 alive workers (have $ALIVE)"; cat "$ELOG"; exit 1; fi
+  sleep 0.1
+done
+echo "smoke: elastic fleet has 2 alive workers"
+
+# A 24-point grid: enough single-point shards that the job is still
+# mid-queue when the membership churns.
+ELASTIC_SWEEP='{
+  "target": "cpu", "op": "copy", "timeout_ms": 600000,
+  "base": {"array_bytes": 16777216, "ntimes": 3, "verify": false,
+           "optimal_loop": true, "type": "int", "vec_width": 1,
+           "pattern": {"kind": "contiguous"}},
+  "space": {"vec_widths": [1,2,4,8], "unrolls": [1,2,4], "types": ["int","double"]}
+}'
+EJOB=$(curl -sf "$EBASE/sweep" -H "$JSON" -d "$(echo "$ELASTIC_SWEEP" | python3 -c 'import json,sys; r=json.load(sys.stdin); r["async"]=True; print(json.dumps(r))')" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+echo "smoke: submitted elastic sweep $EJOB"
+
+# As soon as the sweep is visibly mid-grid: kill worker 5 (its
+# in-flight shards must re-queue and finish elsewhere — stolen) and
+# join worker 6 (a mid-job joiner starts pulling immediately).
+for i in $(seq 1 300); do
+  read -r DONE TOTAL STATE < <(curl -sf "$EBASE/jobs/$EJOB" | python3 -c '
+import json,sys
+j = json.load(sys.stdin)["job"]
+p = j.get("progress") or {}
+print(p.get("done",0), p.get("total",0), j["status"])')
+  if [ "$STATE" != running ] && [ "$STATE" != queued ]; then break; fi
+  if [ "$DONE" -gt 0 ] && [ "$DONE" -lt "$TOTAL" ]; then break; fi
+  sleep 0.05
+done
+kill -9 "$W5PID" 2>/dev/null || true
+"$BIN" -addr "$W6ADDR" -worker -worker-id w6 -join "http://$EADDR" >"$W6LOG" 2>&1 &
+PIDS+=($!)
+echo "smoke: killed worker 5 and joined worker 6 mid-sweep (at $DONE of $TOTAL points)"
+
+ESTATE=""
+for i in $(seq 1 600); do
+  ESTATE=$(curl -sf "$EBASE/jobs/$EJOB" | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["status"])')
+  case "$ESTATE" in done|failed|canceled) break ;; esac
+  sleep 0.1
+done
+if [ "$ESTATE" != done ]; then
+  echo "elastic sweep ended in '$ESTATE', want 'done'"
+  curl -s "$EBASE/jobs/$EJOB"
+  cat "$ELOG"
+  exit 1
+fi
+curl -sf "$EBASE/jobs/$EJOB" >/tmp/elastic_sweep.json
+python3 -c '
+import json
+j = json.load(open("/tmp/elastic_sweep.json"))["job"]
+p = j["progress"]
+assert p["done"] == p["total"] == 24, p
+print("smoke: elastic sweep done through the churn,", p["done"], "points merged")
+'
+
+# The kill forced re-queued shards onto other workers: stolen > 0.
+curl -sf "$EBASE/metrics" >/tmp/elastic_metrics.txt
+STOLEN=$(metric /tmp/elastic_metrics.txt 'mpstream_cluster_shards_stolen_total')
+[ "${STOLEN%.*}" -ge 1 ] || { echo "stolen-shard counter $STOLEN, want >= 1"; cat "$ELOG"; exit 1; }
+echo "smoke: $STOLEN shards stolen across the churn"
+
+# Byte-identity survives the churn: the merged result matches a
+# single-node sweep of the same request on the surviving worker.
+curl -sf "http://$W4ADDR/v1/sweep" -H "$JSON" -d "$ELASTIC_SWEEP" >/tmp/elastic_solo.json
+python3 -c '
+import json
+fleet = json.load(open("/tmp/elastic_sweep.json"))["job"]["sweep"]
+solo = json.load(open("/tmp/elastic_solo.json"))["job"]["sweep"]
+assert fleet == solo, "elastic fleet and single-node sweeps diverge"
+print("smoke: elastic sweep identical to single-node (%d ranked points)" % len(fleet["ranked"]))
 '
 echo "smoke: OK"

@@ -63,4 +63,31 @@ func TestBenchTrajectory(t *testing.T) {
 				name, now.AllocsPerOp, was.AllocsPerOp/10, was.AllocsPerOp)
 		}
 	}
+
+	// BENCH_2 records the elastic-scheduler point: the same 3-worker
+	// fleet with one 4x straggler, swept once with static one-shard-per-
+	// worker partitioning and once with the pull queue + speculation.
+	// Both rows live in the same artifact (same run, same machine), so
+	// the pinned improvement is self-normalizing — wall-clock noise
+	// moves both rows together.
+	fleet := loadBenchArtifact(t, "BENCH_2.json")
+	static, ok := fleet["BenchmarkFleetSweepStatic"]
+	if !ok {
+		t.Fatal("BENCH_2.json lost its BenchmarkFleetSweepStatic row")
+	}
+	elastic, ok := fleet["BenchmarkFleetSweep"]
+	if !ok {
+		t.Fatal("BENCH_2.json lost its BenchmarkFleetSweep row")
+	}
+	if elastic.NsPerOp*2 > static.NsPerOp {
+		t.Errorf("elastic scheduler trajectory regressed: %.0f ns/op recorded, need <= %.0f (2x under static %.0f)",
+			elastic.NsPerOp, static.NsPerOp/2, static.NsPerOp)
+	}
+	// BENCH_1's headline rows must survive into BENCH_2 — a trajectory
+	// point extends the record, it does not drop history.
+	for _, name := range []string{"BenchmarkFig2", "BenchmarkSurface"} {
+		if _, ok := fleet[name]; !ok {
+			t.Errorf("BENCH_2.json lost its %s row", name)
+		}
+	}
 }
