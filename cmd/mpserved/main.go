@@ -33,6 +33,18 @@
 //	curl -s localhost:8774/v1/healthz
 //	curl -s localhost:8774/v1/metrics
 //
+// Baseline drift monitoring: -data-dir persists named performance
+// baselines across restarts, POST /v1/check re-measures a baseline's
+// config and verdicts the drift, and -check-interval runs every
+// registered baseline on a schedule (the sentinel), feeding
+// /v1/baselines/alerts and the mpstream_baseline_* metric families:
+//
+//	mpserved -addr :8774 -data-dir /var/lib/mpstream -check-interval 10m
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/baselines -d '{"name":"aocl-nightly","from_job":"j000001"}'
+//	curl -s localhost:8774/v1/baselines
+//	curl -s -H 'Content-Type: application/json' localhost:8774/v1/check -d '{"name":"aocl-nightly"}'
+//	curl -sN localhost:8774/v1/baselines/alerts?follow=1
+//
 // Observability: every request carries an X-Mpstream-Trace ID (minted
 // when absent, propagated coordinator→worker), /v1/metrics serves the
 // Prometheus text exposition, -log-level/-log-format shape the
@@ -56,6 +68,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/cluster"
 	"mpstream/internal/device/targets"
 	"mpstream/internal/obs"
@@ -71,6 +84,10 @@ func main() {
 		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep grid fan-out (0 = GOMAXPROCS divided across the worker pool)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "ceiling for per-job timeout_ms deadlines (0 = default 15m)")
 		version      = flag.Bool("version", false, "print build and capability info (the GET /v1/version body) and exit")
+
+		dataDir       = flag.String("data-dir", "", "directory for durable state (baseline entries); empty keeps baselines in memory only")
+		checkInterval = flag.Duration("check-interval", 0, "re-check every registered baseline on this period (0 disables the drift sentinel)")
+		checkPerturb  = flag.Float64("check-perturb", 0, "drift-injection drill: scale check measurements by this factor (bandwidths x f, latencies / f; 0 or 1 = off)")
 
 		coordinator = flag.Bool("coordinator", false, "accept worker registrations and shard sweeps/surfaces across the fleet")
 		peers       = flag.String("peers", "", "comma-separated static worker base URLs to probe and shard onto (implies -coordinator)")
@@ -108,12 +125,26 @@ func main() {
 	}
 
 	opts := service.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		SweepWorkers: *sweepWorkers,
-		MaxTimeout:   *maxTimeout,
-		Logger:       log,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		SweepWorkers:  *sweepWorkers,
+		MaxTimeout:    *maxTimeout,
+		CheckInterval: *checkInterval,
+		CheckPerturb:  *checkPerturb,
+		Logger:        log,
+	}
+	if *dataDir != "" {
+		store, warns, err := baseline.OpenDirStore(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpserved:", err)
+			os.Exit(1)
+		}
+		for _, w := range warns {
+			log.Warn("mpserved: baseline store", "err", w)
+		}
+		opts.Baselines = store
+		log.Info("mpserved: baseline store open", "dir", *dataDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

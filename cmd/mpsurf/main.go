@@ -10,6 +10,15 @@
 //	mpsurf -target aocl -rates 0.25,0.5,0.75,1 -chart
 //	mpsurf -target sdaccel -csv > surface.csv
 //	mpsurf -target gpu -json | jq '.curves[].knee'
+//
+// Baseline drift monitoring (requires -server): -record-baseline
+// measures the configured surface and stores it as a named reference;
+// -check re-measures a stored baseline and exits nonzero when the
+// surface drifts out of tolerance (knee bandwidth, per-rung deltas,
+// knee shifts):
+//
+//	mpsurf -server http://127.0.0.1:8774 -target gpu -record-baseline gpu-surface
+//	mpsurf -server http://127.0.0.1:8774 -check gpu-surface
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device/targets"
@@ -50,6 +60,9 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the full surface as JSON")
 		chart      = flag.Bool("chart", false, "append an ASCII latency chart per curve (text mode)")
 		trace      = flag.Bool("trace", false, "after a -server run, fetch the job's span timeline and print it to stderr")
+
+		check    = flag.String("check", "", "re-measure the named baseline on the server and verdict the drift (requires -server); exits nonzero on a fail verdict")
+		recordBL = flag.String("record-baseline", "", "measure the configured surface on the server and store it under this baseline name (requires -server)")
 	)
 	flag.Parse()
 
@@ -61,8 +74,18 @@ func main() {
 	defer stop()
 	go func() { <-ctx.Done(); stop() }()
 
-	if err := run(ctx, os.Stdout, *target, *patterns, *ratios, *rates, *size,
-		*window, *probe, *kneeFactor, *server, *markdown, *asCSV, *asJSON, *chart, *trace); err != nil {
+	var err error
+	switch {
+	case *check != "":
+		err = runCheck(ctx, os.Stdout, *server, *check, *asJSON)
+	case *recordBL != "":
+		err = runRecordBaseline(ctx, os.Stdout, *server, *recordBL, *target,
+			*patterns, *ratios, *rates, *size, *window, *probe, *kneeFactor)
+	default:
+		err = run(ctx, os.Stdout, *target, *patterns, *ratios, *rates, *size,
+			*window, *probe, *kneeFactor, *server, *markdown, *asCSV, *asJSON, *chart, *trace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsurf:", err)
 		os.Exit(1)
 	}
@@ -154,6 +177,74 @@ func run(ctx context.Context, w io.Writer, target, patterns, ratios, rates, size
 			}
 		}
 	}
+	return nil
+}
+
+// runCheck asks the server to re-measure the named baseline and
+// renders the drift report; a fail verdict exits nonzero.
+func runCheck(ctx context.Context, w io.Writer, server, name string, asJSON bool) error {
+	if server == "" {
+		return fmt.Errorf("-check requires -server")
+	}
+	client := cluster.NewClient()
+	req := cluster.CheckRequest{Name: name, Async: true}
+	view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/check", req, nil)
+	if err != nil {
+		return err
+	}
+	if view.Status == "failed" {
+		return fmt.Errorf("server: %s", view.Error)
+	}
+	if view.Check == nil {
+		return fmt.Errorf("server returned no check report (job %s %s)", view.ID, view.Status)
+	}
+	rep := view.Check
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(w); err != nil {
+		return err
+	}
+	if rep.Verdict == baseline.VerdictFail {
+		return fmt.Errorf("baseline %q drifted out of tolerance (%d violations)", name, len(rep.Violations))
+	}
+	return nil
+}
+
+// runRecordBaseline measures the configured surface on the server (on
+// a fleet coordinator the ladder is curve-sharded across workers) and
+// stores it as a named surface baseline for later -check runs.
+func runRecordBaseline(ctx context.Context, w io.Writer, server, name, target,
+	patterns, ratios, rates, size string, window, probe int, kneeFactor float64) error {
+	if server == "" {
+		return fmt.Errorf("-record-baseline requires -server")
+	}
+	cfg, err := buildConfig(patterns, ratios, rates, size, window, probe, kneeFactor)
+	if err != nil {
+		return err
+	}
+	client := cluster.NewClient()
+	srv := strings.TrimRight(server, "/")
+	view, err := client.SubmitAndWait(ctx, srv, "/v1/surface",
+		cluster.SurfaceRequest{Target: target, Config: &cfg, Async: true}, nil)
+	if err != nil {
+		return err
+	}
+	if view.Status == "failed" {
+		return fmt.Errorf("server: %s", view.Error)
+	}
+	if view.Status != "done" {
+		return fmt.Errorf("measurement job %s ended %s; baseline not recorded", view.ID, view.Status)
+	}
+	e, err := client.RecordBaseline(ctx, srv, cluster.BaselineRequest{Name: name, Target: target, FromJob: view.ID})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mpsurf: baseline %q recorded (%s on %s, %d curves, fingerprint %s)\n",
+		e.Name, e.Kind, e.Target, len(e.Reference.Curves), e.Fingerprint)
 	return nil
 }
 

@@ -21,6 +21,14 @@
 // to a single-node sweep:
 //
 //	mpsweep -server http://127.0.0.1:8774 -target cpu -op triad -vec 1,2,4,8 -types int,double
+//
+// Baseline drift monitoring (requires -server): -record-baseline runs
+// the base config and stores the result as a named reference;
+// -check re-measures a stored baseline and exits nonzero when the
+// fresh measurement drifts out of tolerance:
+//
+//	mpsweep -server http://127.0.0.1:8774 -target cpu -record-baseline cpu-nightly
+//	mpsweep -server http://127.0.0.1:8774 -check cpu-nightly
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
@@ -65,6 +74,9 @@ func main() {
 		cus     = flag.String("cus", "", "num_compute_units axis (with -server; empty omits)")
 		dtypes  = flag.String("types", "int,double", "data-type axis (with -server; empty omits)")
 		trace   = flag.Bool("trace", false, "after the sweep, fetch the job's span timeline and print it to stderr (with -server)")
+
+		check    = flag.String("check", "", "re-measure the named baseline on the server and verdict the drift (requires -server); exits nonzero on a fail verdict")
+		recordBL = flag.String("record-baseline", "", "run the base config (-target/-size/-ntimes) on the server and store the result under this baseline name (requires -server)")
 	)
 	flag.Parse()
 
@@ -77,10 +89,15 @@ func main() {
 	go func() { <-ctx.Done(); stop() }()
 
 	var err error
-	if *server != "" {
+	switch {
+	case *check != "":
+		err = runCheck(ctx, os.Stdout, *server, *check, *asJSON)
+	case *recordBL != "":
+		err = runRecordBaseline(ctx, os.Stdout, *server, *recordBL, *target, *size, *ntimes)
+	case *server != "":
 		err = runServer(ctx, os.Stdout, *server, *target, *op, *size, *ntimes,
 			*vecs, *loops, *unrolls, *simds, *cus, *dtypes, *markdown, *asJSON, *asCSV, *trace)
-	} else {
+	default:
 		err = run(ctx, *exp, *all, *markdown, *asJSON, *asCSV)
 	}
 	if err != nil {
@@ -163,6 +180,76 @@ func runServer(ctx context.Context, w io.Writer, server, target, opName, size st
 		fmt.Fprintf(w, "best: %s at %.3f GB/s\n\n", best.Label, best.GBps(op))
 	}
 	return tb.WriteText(w)
+}
+
+// runCheck asks the server to re-measure the named baseline and
+// renders the drift report. A fail verdict is an error — the process
+// exits nonzero — so the command slots into CI and cron.
+func runCheck(ctx context.Context, w io.Writer, server, name string, asJSON bool) error {
+	if server == "" {
+		return fmt.Errorf("-check requires -server")
+	}
+	client := cluster.NewClient()
+	req := cluster.CheckRequest{Name: name, Async: true}
+	view, err := client.SubmitAndWait(ctx, strings.TrimRight(server, "/"), "/v1/check", req, nil)
+	if err != nil {
+		return err
+	}
+	if view.Status == "failed" {
+		return fmt.Errorf("server: %s", view.Error)
+	}
+	if view.Check == nil {
+		return fmt.Errorf("server returned no check report (job %s %s)", view.ID, view.Status)
+	}
+	rep := view.Check
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else if err := rep.WriteText(w); err != nil {
+		return err
+	}
+	if rep.Verdict == baseline.VerdictFail {
+		return fmt.Errorf("baseline %q drifted out of tolerance (%d violations)", name, len(rep.Violations))
+	}
+	return nil
+}
+
+// runRecordBaseline measures the base configuration on the server (a
+// plain run job: all four kernels plus the pointer chase) and stores
+// the result as a named baseline for later -check runs.
+func runRecordBaseline(ctx context.Context, w io.Writer, server, name, target, size string, ntimes int) error {
+	if server == "" {
+		return fmt.Errorf("-record-baseline requires -server")
+	}
+	base := core.DefaultConfig()
+	base.NTimes = ntimes
+	var err error
+	if base.ArrayBytes, err = report.ParseBytes(size); err != nil {
+		return err
+	}
+	client := cluster.NewClient()
+	srv := strings.TrimRight(server, "/")
+	view, err := client.SubmitAndWait(ctx, srv, "/v1/run",
+		cluster.RunRequest{Target: target, Config: &base}, nil)
+	if err != nil {
+		return err
+	}
+	if view.Status == "failed" {
+		return fmt.Errorf("server: %s", view.Error)
+	}
+	if view.Status != "done" {
+		return fmt.Errorf("measurement job %s ended %s; baseline not recorded", view.ID, view.Status)
+	}
+	e, err := client.RecordBaseline(ctx, srv, cluster.BaselineRequest{Name: name, Target: target, FromJob: view.ID})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "mpsweep: baseline %q recorded (%s on %s, fingerprint %s)\n",
+		e.Name, e.Kind, e.Target, e.Fingerprint)
+	return nil
 }
 
 // printTrace fetches a finished job's span timeline and renders it to

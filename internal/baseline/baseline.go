@@ -1,0 +1,286 @@
+// Package baseline turns the service from an evaluator into a
+// monitor: named reference measurements ("baselines") persisted per
+// canonical configuration fingerprint, re-measured on demand or on a
+// schedule, and verdicted against tolerance bands in the style of the
+// ReFrame STREAM harness — named machines, stored reference
+// bandwidths, loud failure on drift. Surfaces are compared the way the
+// Mess methodology frames them: the bandwidth–latency surface is the
+// artifact, so drift is detected per curve (knee bandwidth, knee-rate
+// shift) and per ladder rung, not just on a headline GB/s.
+//
+// The package deliberately does not import internal/service: the
+// service layer owns job scheduling and HTTP; this package owns the
+// reference shape, the verdict math (compare.go) and the persistent
+// store (store.go).
+package baseline
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+
+	"mpstream/internal/core"
+	"mpstream/internal/surface"
+)
+
+// Baseline kinds: what a stored reference measures.
+const (
+	// KindRun references one core run (per-kernel ns and GB/s).
+	KindRun = "run"
+	// KindSurface references a bandwidth–latency surface (per-curve
+	// knees and per-rung achieved bandwidth).
+	KindSurface = "surface"
+)
+
+// nameRE bounds baseline names: they become file names in the on-disk
+// store and label values in the metrics exposition.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidateName rejects names unusable as store file names or metric
+// label values.
+func ValidateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("baseline: bad name %q (want 1-64 chars of [A-Za-z0-9._-], starting alphanumeric)", name)
+	}
+	return nil
+}
+
+// Entry is one named baseline: the configuration it pins, the
+// reference metrics recorded when it was captured, and the tolerance
+// bands a re-measurement is verdicted against. Entries are the
+// JSON-per-file unit of the on-disk store.
+type Entry struct {
+	// Name is the operator-facing identity ("cpu-nightly"); unique
+	// within a store.
+	Name string `json:"name"`
+	// Target is the device the baseline was measured on.
+	Target string `json:"target"`
+	// Kind is KindRun or KindSurface.
+	Kind string `json:"kind"`
+	// Fingerprint is the canonical request digest — Config.Fingerprint
+	// for runs, the service's surface digest for surfaces — and the
+	// store's primary key: one baseline per measured configuration.
+	Fingerprint string `json:"fingerprint"`
+	// Config is the canonical run configuration (KindRun only).
+	Config *core.Config `json:"config,omitempty"`
+	// SurfaceConfig is the canonical ladder (KindSurface only).
+	SurfaceConfig *surface.Config `json:"surface_config,omitempty"`
+	// Tolerance is stored fully resolved (WithDefaults applied at
+	// record time) so the entry on disk self-describes its bands.
+	Tolerance Tolerance `json:"tolerance"`
+	// Reference holds the recorded metrics a check compares against.
+	Reference Reference `json:"reference"`
+	Created   time.Time `json:"created"`
+	Updated   time.Time `json:"updated"`
+}
+
+// Validate checks the entry is internally consistent enough to store
+// and later check.
+func (e Entry) Validate() error {
+	if err := ValidateName(e.Name); err != nil {
+		return err
+	}
+	if e.Target == "" {
+		return fmt.Errorf("baseline %q: empty target", e.Name)
+	}
+	if e.Fingerprint == "" {
+		return fmt.Errorf("baseline %q: empty fingerprint", e.Name)
+	}
+	switch e.Kind {
+	case KindRun:
+		if e.Config == nil {
+			return fmt.Errorf("baseline %q: run kind needs a config", e.Name)
+		}
+		if len(e.Reference.Kernels) == 0 {
+			return fmt.Errorf("baseline %q: run reference has no kernels", e.Name)
+		}
+	case KindSurface:
+		if e.SurfaceConfig == nil {
+			return fmt.Errorf("baseline %q: surface kind needs a surface config", e.Name)
+		}
+		if len(e.Reference.Curves) == 0 {
+			return fmt.Errorf("baseline %q: surface reference has no curves", e.Name)
+		}
+	default:
+		return fmt.Errorf("baseline %q: unknown kind %q (want %q or %q)", e.Name, e.Kind, KindRun, KindSurface)
+	}
+	return nil
+}
+
+// KernelRef is the per-kernel slice of a run reference.
+type KernelRef struct {
+	Op string `json:"op"`
+	// GBps is the best-iteration bandwidth.
+	GBps float64 `json:"gbps"`
+	// NsPerIter is the best iteration time in nanoseconds.
+	NsPerIter float64 `json:"ns_per_iter"`
+}
+
+// RungRef is one injection-ladder point of a surface reference.
+type RungRef struct {
+	Rate      float64 `json:"rate"`
+	GBps      float64 `json:"gbps"`
+	LatencyNs float64 `json:"latency_ns"`
+}
+
+// CurveRef is one (pattern, read-fraction) curve of a surface
+// reference: the knee operating point plus every measured rung.
+type CurveRef struct {
+	Pattern  string  `json:"pattern"`
+	ReadFrac float64 `json:"read_frac"`
+	// KneeRate and KneeGBps identify the knee; a knee-rate shift in a
+	// re-measurement is drift even when the knee bandwidth holds.
+	KneeRate      float64   `json:"knee_rate"`
+	KneeGBps      float64   `json:"knee_gbps"`
+	IdleLatencyNs float64   `json:"idle_latency_ns"`
+	Rungs         []RungRef `json:"rungs"`
+}
+
+// Reference is the metric set a check compares: kernels for run
+// baselines, curves for surface baselines.
+type Reference struct {
+	Kernels  []KernelRef `json:"kernels,omitempty"`
+	BestGBps float64     `json:"best_gbps,omitempty"`
+	Curves   []CurveRef  `json:"curves,omitempty"`
+	// MinKneeGBps is the surface's conservative headline: the worst
+	// knee across curves.
+	MinKneeGBps float64 `json:"min_knee_gbps,omitempty"`
+}
+
+// FromResult digests one core run into a reference.
+func FromResult(res *core.Result) Reference {
+	var ref Reference
+	for _, kr := range res.Kernels {
+		ref.Kernels = append(ref.Kernels, KernelRef{
+			Op:        kr.Op.String(),
+			GBps:      kr.GBps,
+			NsPerIter: kr.BestSeconds * 1e9,
+		})
+		if kr.GBps > ref.BestGBps {
+			ref.BestGBps = kr.GBps
+		}
+	}
+	return ref
+}
+
+// FromSurface digests a surface into a reference. A partial (stopped)
+// surface digests the measured subset — the caller decides whether a
+// partial comparison is meaningful.
+func FromSurface(s *surface.Surface) Reference {
+	var ref Reference
+	for _, c := range s.Curves {
+		cr := CurveRef{
+			Pattern:       surface.PatternLabel(c.Pattern),
+			ReadFrac:      c.ReadFrac,
+			KneeRate:      c.Knee.Rate,
+			KneeGBps:      c.Knee.GBps,
+			IdleLatencyNs: c.IdleLatencyNs,
+		}
+		for _, p := range c.Points {
+			cr.Rungs = append(cr.Rungs, RungRef{Rate: p.Rate, GBps: p.AchievedGBps, LatencyNs: p.LatencyNs})
+		}
+		ref.Curves = append(ref.Curves, cr)
+	}
+	ref.MinKneeGBps = s.MinKneeGBps()
+	return ref
+}
+
+// Scale returns the reference with every bandwidth multiplied by f and
+// every latency divided by f — a uniform calibration-drift transform.
+// The service's drift-injection drill knob (mpserved -check-perturb)
+// applies it to the *measured* side of a check so operators can
+// rehearse the alerting path against a known skew. f <= 0 or 1 returns
+// the reference unchanged.
+func (r Reference) Scale(f float64) Reference {
+	if f <= 0 || f == 1 {
+		return r
+	}
+	out := r
+	out.BestGBps *= f
+	out.MinKneeGBps *= f
+	out.Kernels = append([]KernelRef(nil), r.Kernels...)
+	for i := range out.Kernels {
+		out.Kernels[i].GBps *= f
+		out.Kernels[i].NsPerIter /= f
+	}
+	out.Curves = append([]CurveRef(nil), r.Curves...)
+	for i := range out.Curves {
+		out.Curves[i].KneeGBps *= f
+		out.Curves[i].IdleLatencyNs /= f
+		out.Curves[i].Rungs = append([]RungRef(nil), r.Curves[i].Rungs...)
+		for k := range out.Curves[i].Rungs {
+			out.Curves[i].Rungs[k].GBps *= f
+			out.Curves[i].Rungs[k].LatencyNs /= f
+		}
+	}
+	return out
+}
+
+// Default tolerance bands, as two-sided relative fractions (the
+// ReFrame STREAM exemplar's "reference ±5%" shape).
+const (
+	DefaultGBpsFrac = 0.05
+	DefaultNsFrac   = 0.05
+	DefaultKneeFrac = 0.10
+	DefaultRungFrac = 0.15
+)
+
+// Tolerance is the per-metric-family band set a check verdicts
+// against. All bands are two-sided relative fractions: a measurement
+// within reference*(1±band) passes, exactly at the boundary included.
+// Zero fields resolve to the defaults; a negative band disables that
+// family's checks entirely.
+type Tolerance struct {
+	// GBpsFrac bounds per-kernel (and best) bandwidth drift.
+	GBpsFrac float64 `json:"gbps_frac,omitempty"`
+	// NsFrac bounds per-kernel iteration-time and idle-latency drift.
+	NsFrac float64 `json:"ns_frac,omitempty"`
+	// KneeFrac bounds per-curve knee-bandwidth drift.
+	KneeFrac float64 `json:"knee_frac,omitempty"`
+	// RungFrac bounds per-rung achieved-bandwidth drift (rungs are
+	// noisier than knees, hence the wider default).
+	RungFrac float64 `json:"rung_frac,omitempty"`
+	// WarnFrac turns the inner fraction of each band into a warning
+	// zone: |drift| > WarnFrac*band (but still within the band) yields
+	// a warn verdict instead of a pass. 0 disables warnings; must be
+	// < 1 otherwise (a warn threshold at or beyond the band would be
+	// unreachable).
+	WarnFrac float64 `json:"warn_frac,omitempty"`
+}
+
+// WithDefaults resolves zero bands to the package defaults — the form
+// entries store on disk.
+func (t Tolerance) WithDefaults() Tolerance {
+	if t.GBpsFrac == 0 {
+		t.GBpsFrac = DefaultGBpsFrac
+	}
+	if t.NsFrac == 0 {
+		t.NsFrac = DefaultNsFrac
+	}
+	if t.KneeFrac == 0 {
+		t.KneeFrac = DefaultKneeFrac
+	}
+	if t.RungFrac == 0 {
+		t.RungFrac = DefaultRungFrac
+	}
+	return t
+}
+
+// Validate rejects tolerance shapes the verdict math cannot honor.
+func (t Tolerance) Validate() error {
+	if t.WarnFrac < 0 || t.WarnFrac >= 1 {
+		return fmt.Errorf("baseline: warn_frac %v must be in [0, 1)", t.WarnFrac)
+	}
+	for _, b := range []struct {
+		name string
+		v    float64
+	}{
+		{"gbps_frac", t.GBpsFrac}, {"ns_frac", t.NsFrac},
+		{"knee_frac", t.KneeFrac}, {"rung_frac", t.RungFrac},
+	} {
+		if b.v > 10 {
+			return fmt.Errorf("baseline: %s %v is not a sane relative band (want a fraction like 0.05)", b.name, b.v)
+		}
+	}
+	return nil
+}

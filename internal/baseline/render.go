@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteText renders a check report for a terminal: a verdict headline,
+// the per-metric comparison table, and the violation lines operators
+// read first.
+func (r *Report) WriteText(w io.Writer) error {
+	head := fmt.Sprintf("check %s — baseline %q (%s on %s): %s",
+		strings.ToUpper(r.Verdict), r.Baseline, r.Kind, r.Target, verdictNote(r))
+	if _, err := fmt.Fprintln(w, head); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  metric\treference\tmeasured\tdelta\tband\tverdict")
+	for _, m := range r.Metrics {
+		if m.Missing {
+			fmt.Fprintf(tw, "  %s\t%.4g\t—\tmissing\t±%.1f%%\t%s\n",
+				m.Name, m.Reference, m.Band*100, m.Verdict)
+			continue
+		}
+		band := "—"
+		if m.Band > 0 {
+			band = fmt.Sprintf("±%.1f%%", m.Band*100)
+		}
+		fmt.Fprintf(tw, "  %s\t%.4g\t%.4g\t%+.2f%%\t%s\t%s\n",
+			m.Name, m.Reference, m.Measured, m.Delta*100, band, m.Verdict)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, v := range r.Violations {
+		if _, err := fmt.Fprintln(w, "violation:", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verdictNote(r *Report) string {
+	note := fmt.Sprintf("drift ratio %.2f over %d metrics", r.DriftRatio, len(r.Metrics))
+	if r.Partial {
+		note += ", partial re-measurement"
+	}
+	return note
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/obs"
 )
 
@@ -145,6 +146,16 @@ func (c *Client) Run(ctx context.Context, worker string, req RunRequest) (JobVie
 	var out jobEnvelope
 	err := c.do(ctx, http.MethodPost, worker+"/v1/run", req, &out)
 	return out.Job, err
+}
+
+// RecordBaseline registers (or re-records) a named baseline on the
+// server and returns the stored entry.
+func (c *Client) RecordBaseline(ctx context.Context, server string, req BaselineRequest) (baseline.Entry, error) {
+	var out struct {
+		Baseline baseline.Entry `json:"baseline"`
+	}
+	err := c.do(ctx, http.MethodPost, server+"/v1/baselines", req, &out)
+	return out.Baseline, err
 }
 
 // Job polls one job's current view.

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
@@ -169,6 +170,32 @@ type SurfaceRequest struct {
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 }
 
+// BaselineRequest is the POST /v1/baselines body: register a named
+// reference measurement, sourced from a finished job (FromJob), an
+// inline run result, or an inline surface — exactly one.
+type BaselineRequest struct {
+	Name          string             `json:"name"`
+	Target        string             `json:"target"`
+	Config        *core.Config       `json:"config,omitempty"`
+	SurfaceConfig *surface.Config    `json:"surface_config,omitempty"`
+	Result        *core.Result       `json:"result,omitempty"`
+	Surface       *surface.Surface   `json:"surface,omitempty"`
+	FromJob       string             `json:"from_job,omitempty"`
+	Tolerance     baseline.Tolerance `json:"tolerance,omitempty"`
+}
+
+// CheckRequest is the POST /v1/check body: re-measure the named
+// baseline's configuration and verdict it against the stored
+// reference.
+type CheckRequest struct {
+	Name string `json:"name"`
+	// Tolerance overrides the stored bands for this check only (zero
+	// fields inherit the entry's).
+	Tolerance *baseline.Tolerance `json:"tolerance,omitempty"`
+	Async     bool                `json:"async,omitempty"`
+	TimeoutMS int64               `json:"timeout_ms,omitempty"`
+}
+
 // JobView is the subset of the service's job view the cluster layer
 // consumes; field names match the service wire format.
 type JobView struct {
@@ -181,6 +208,7 @@ type JobView struct {
 	Sweep        *dse.Exploration `json:"sweep,omitempty"`
 	Optimize     *search.Result   `json:"optimize,omitempty"`
 	Surface      *surface.Surface `json:"surface,omitempty"`
+	Check        *baseline.Report `json:"check,omitempty"`
 	Error        string           `json:"error,omitempty"`
 	// Spans piggybacks the worker's recorded spans for this job when it
 	// was submitted under a remote parent span (the coordinator's shard

@@ -139,6 +139,14 @@ func (s *SpanStore) Len() int {
 	return len(s.buf)
 }
 
+// Drops reports how many spans the ring has overwritten since
+// creation — nonzero means Trace results are truncated.
+func (s *SpanStore) Drops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
 // Recorder hands spans to a store, stamping each with the process's
 // origin label (worker ID or "coordinator"). A nil Recorder is valid
 // and records nothing.
@@ -172,6 +180,23 @@ func (r *Recorder) Ingest(spans ...Span) {
 		}
 		r.store.add(sp)
 	}
+}
+
+// StoreLen reports the recorder's ring occupancy (0 on nil).
+func (r *Recorder) StoreLen() int {
+	if r == nil {
+		return 0
+	}
+	return r.store.Len()
+}
+
+// StoreDrops reports how many spans the recorder's ring has
+// overwritten (0 on nil).
+func (r *Recorder) StoreDrops() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.store.Drops()
 }
 
 // Spans returns all recorded spans for a trace.

@@ -146,6 +146,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events stream NDJSON progress/point/result events
 //	GET    /v1/jobs/{id}/trace  span timeline of a job (?format=chrome for Perfetto)
+//	POST   /v1/baselines        record a named baseline (from a finished job or an inline result)
+//	GET    /v1/baselines        list baselines with their latest check verdicts
+//	GET    /v1/baselines/{name} one baseline with its latest check verdict
+//	DELETE /v1/baselines/{name} forget a baseline
+//	GET    /v1/baselines/alerts NDJSON feed of non-pass check verdicts (?follow=1 to stream)
+//	POST   /v1/check            re-measure a baseline and verdict the drift (a first-class job)
 //	GET    /v1/targets          list benchmark targets
 //	GET    /v1/version          build info, registered targets, strategies, objectives
 //	GET    /v1/healthz          liveness, queue, job and cache telemetry (+ worker counts on coordinators)
@@ -169,7 +175,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	// Chrome-trace exports of fleet jobs run to megabytes; gzip is
+	// negotiated per request, like the metrics expositions below.
+	mux.Handle("GET /v1/jobs/{id}/trace", obs.GzipHandler(http.HandlerFunc(s.handleJobTrace)))
+	mux.HandleFunc("POST /v1/baselines", s.handleRecordBaseline)
+	mux.HandleFunc("GET /v1/baselines", s.handleBaselines)
+	// The literal pattern wins over the {name} wildcard, so "alerts" is
+	// never a baseline name from the router's point of view (the name
+	// charset forbids nothing here — it is simply shadowed).
+	mux.HandleFunc("GET /v1/baselines/alerts", s.handleBaselineAlerts)
+	mux.HandleFunc("GET /v1/baselines/{name}", s.handleBaseline)
+	mux.HandleFunc("DELETE /v1/baselines/{name}", s.handleDeleteBaseline)
+	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -524,6 +541,138 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// BaselineResponse wraps single-baseline response bodies.
+type BaselineResponse struct {
+	Baseline BaselineView `json:"baseline"`
+}
+
+// BaselinesResponse is the GET /v1/baselines body.
+type BaselinesResponse struct {
+	Baselines []BaselineView `json:"baselines"`
+}
+
+// handleRecordBaseline is POST /v1/baselines: register (or re-record)
+// a named reference measurement from a finished job or an inline
+// payload.
+func (s *Server) handleRecordBaseline(w http.ResponseWriter, r *http.Request) {
+	var req BaselineRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	e, err := s.RecordBaseline(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BaselineResponse{Baseline: BaselineView{Entry: e}})
+}
+
+func (s *Server) handleBaselines(w http.ResponseWriter, _ *http.Request) {
+	views, err := s.Baselines()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if views == nil {
+		views = []BaselineView{}
+	}
+	writeJSON(w, http.StatusOK, BaselinesResponse{Baselines: views})
+}
+
+func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Baseline(r.PathValue("name"))
+	if err != nil {
+		writeError(w, baselineCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BaselineResponse{Baseline: v})
+}
+
+func (s *Server) handleDeleteBaseline(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.DeleteBaseline(name); err != nil {
+		writeError(w, baselineCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Deleted string `json:"deleted"`
+	}{Deleted: name})
+}
+
+// baselineCode maps baseline lookup failures to HTTP statuses.
+func baselineCode(err error) int {
+	if errors.Is(err, ErrNoBaseline) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// handleCheck is POST /v1/check: submit a re-measurement of a named
+// baseline as a first-class job (NDJSON events, spans, cancellation and
+// partial verdicts included). The response carries the job view with
+// its Check report; a fail verdict is still HTTP 200 — severity rides
+// in the report, not the status code.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	j, err := s.SubmitCheck(r.Context(), req.Name, req.Tolerance, msToDuration(req.TimeoutMS))
+	if err != nil {
+		if errors.Is(err, ErrNoBaseline) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		s.writeSubmitError(w, r, err)
+		return
+	}
+	s.respond(w, r, j, req.Async)
+}
+
+// handleBaselineAlerts is GET /v1/baselines/alerts: the NDJSON feed of
+// non-pass check verdicts. By default the retained backlog is replayed
+// and the stream closes; with ?follow=1 it stays open and streams new
+// alerts until the client disconnects or the server shuts down.
+func (s *Server) handleBaselineAlerts(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") == "1"
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	backlog, ch := s.alerts.subscribe()
+	defer s.alerts.unsubscribe(ch)
+	for _, a := range backlog {
+		if enc.Encode(a) != nil {
+			return
+		}
+	}
+	flush()
+	if !follow {
+		return
+	}
+	for {
+		select {
+		case a := <-ch:
+			if enc.Encode(a) != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
 			return
 		}
 	}

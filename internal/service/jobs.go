@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/core"
 	"mpstream/internal/dse"
 	"mpstream/internal/dse/search"
@@ -26,6 +27,7 @@ const (
 	KindSweep    Kind = "sweep"    // a parameter grid on one target
 	KindOptimize Kind = "optimize" // a budgeted strategy search over a grid
 	KindSurface  Kind = "surface"  // a bandwidth–latency surface on one target
+	KindCheck    Kind = "check"    // re-measure a baseline and verdict the drift
 )
 
 // Status is the job lifecycle state. The machine is
@@ -96,7 +98,11 @@ type View struct {
 	// Surface carries a finished surface job's bandwidth–latency
 	// characterization — partial (Stopped tagged) for a canceled one.
 	Surface *surface.Surface `json:"surface,omitempty"`
-	Error   string           `json:"error,omitempty"`
+	// Check carries a finished check job's drift verdict against its
+	// baseline — Partial-tagged for a canceled or deadline-expired
+	// check, whose measured subset was still verdicted.
+	Check *baseline.Report `json:"check,omitempty"`
+	Error string           `json:"error,omitempty"`
 	// Timing digests the job's recorded span tree once it finishes:
 	// wall/queue/run split, critical path, slowest shard. Absent when
 	// tracing is disabled.
@@ -132,6 +138,11 @@ type Job struct {
 	scfg surface.Config
 	// clo and chi bound a surface job's curves in pattern-major order.
 	clo, chi int
+	// check parameters: the baseline entry snapshot taken at submit
+	// time (a concurrent re-record or delete must not change what this
+	// check compares against) and the resolved tolerance.
+	bentry baseline.Entry
+	btol   baseline.Tolerance
 	// fleet marks jobs eligible for distribution: plain sweeps and
 	// surfaces on a coordinator. Shard jobs are never fleet-eligible —
 	// a worker must execute its slice locally, not re-shard it.

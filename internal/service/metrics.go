@@ -139,6 +139,47 @@ func (s *Server) initObs(opts Options) {
 		})
 	}
 
+	// Baseline monitor families. The verdict counter is pre-seeded so
+	// dashboards and the smoke script can read a zero before the first
+	// check (and so rate() works from the first increment).
+	for _, v := range []string{"pass", "warn", "fail"} {
+		s.reg.Counter("mpstream_baseline_checks_total",
+			"Baseline drift checks completed, by verdict.", "verdict", v)
+	}
+	s.reg.GaugeFunc("mpstream_baselines",
+		"Registered baseline entries.",
+		func() float64 {
+			entries, err := s.opts.Baselines.List()
+			if err != nil {
+				return 0
+			}
+			return float64(len(entries))
+		})
+	s.reg.Collect(func(emit func(obs.Sample)) {
+		now := time.Now()
+		s.checkMu.Lock()
+		defer s.checkMu.Unlock()
+		for name, rep := range s.checkState {
+			l := []string{"baseline", name}
+			emit(obs.Sample{Name: "mpstream_baseline_drift_ratio",
+				Help: "Worst |delta|/band of each baseline's latest check (<= 1 is within tolerance).",
+				Kind: "gauge", Labels: l, Value: rep.DriftRatio})
+			emit(obs.Sample{Name: "mpstream_baseline_last_check_age_seconds",
+				Help: "Seconds since each baseline's latest check verdict.",
+				Kind: "gauge", Labels: l, Value: now.Sub(rep.Checked).Seconds()})
+		}
+	})
+
+	// Span-ring visibility: occupancy plus the overwrite counter, so
+	// trace truncation (404s on /v1/jobs/{id}/trace for old jobs) is
+	// diagnosable instead of silent.
+	s.reg.GaugeFunc("mpstream_obs_spans_stored",
+		"Spans resident in the trace ring.",
+		func() float64 { return float64(s.rec.StoreLen()) })
+	s.reg.CounterFunc("mpstream_obs_spans_dropped_total",
+		"Spans overwritten by the bounded trace ring.",
+		func() float64 { return float64(s.rec.StoreDrops()) })
+
 	obs.RegisterSimMetrics(s.reg)
 }
 

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpstream/internal/baseline"
 	"mpstream/internal/cluster"
 	"mpstream/internal/core"
 	"mpstream/internal/device"
@@ -169,6 +170,24 @@ type Options struct {
 	// Metrics returns nil and /v1/metrics serves 404) — the
 	// uninstrumented baseline the overhead benchmark compares against.
 	DisableMetrics bool
+	// Baselines is the named-reference store behind /v1/baselines and
+	// /v1/check; nil means an in-memory store (no durability). Pass a
+	// baseline.DirStore (mpserved -data-dir) for baselines that survive
+	// restarts. The server does not own the store's directory; it only
+	// reads and writes entries.
+	Baselines baseline.Store
+	// CheckInterval, when positive, starts the drift sentinel: a
+	// background loop re-checking every registered baseline on this
+	// period (mpserved -check-interval). Checks run through the normal
+	// job queue — and through the fleet when a coordinator with alive
+	// workers is attached.
+	CheckInterval time.Duration
+	// CheckPerturb != 0 scales every check's measured metrics
+	// (bandwidths x f, latencies / f) before the verdict — a drift-
+	// injection drill knob (mpserved -check-perturb) for rehearsing the
+	// alerting path on an otherwise deterministic simulator. It touches
+	// only check verdicts, never stored results or caches.
+	CheckPerturb float64
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +230,9 @@ func (o Options) withDefaults() Options {
 	if o.NewDevice == nil {
 		o.NewDevice = targets.ByID
 	}
+	if o.Baselines == nil {
+		o.Baselines = baseline.NewMemStore()
+	}
 	if o.TargetInfos == nil {
 		o.TargetInfos = func() []device.Info {
 			devs := targets.All()
@@ -244,6 +266,16 @@ type Server struct {
 	flightMu sync.Mutex
 	flight   map[string]chan struct{}
 
+	// checkMu guards the baseline monitor state: the latest report per
+	// baseline (the drift-ratio and last-check-age gauges read it) and
+	// the sentinel's in-flight set (one outstanding check per baseline).
+	checkMu       sync.Mutex
+	checkState    map[string]baseline.Report
+	checkInflight map[string]bool
+	// alerts is the bounded feed of non-pass verdicts behind
+	// GET /v1/baselines/alerts.
+	alerts alertLog
+
 	// closeMu orders submissions against Close: enqueue holds the read
 	// lock, so once Close holds the write lock and sets closed, nothing
 	// can slip into the queue after the drain.
@@ -268,11 +300,18 @@ func New(opts Options) *Server {
 		flight:    make(map[string]chan struct{}),
 		start:     time.Now(),
 		quit:      make(chan struct{}),
+
+		checkState:    make(map[string]baseline.Report),
+		checkInflight: make(map[string]bool),
 	}
 	s.initObs(opts)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if opts.CheckInterval > 0 {
+		s.wg.Add(1)
+		go s.sentinel(opts.CheckInterval)
 	}
 	return s
 }
@@ -714,6 +753,8 @@ func (s *Server) execute(j *Job) {
 		s.executeOptimize(ctx, j)
 	case KindSurface:
 		s.executeSurface(ctx, j)
+	case KindCheck:
+		s.executeCheck(ctx, j)
 	default:
 		j.finish(StatusFailed, func(v *View) { v.Error = fmt.Sprintf("unknown job kind %q", v.Kind) })
 	}

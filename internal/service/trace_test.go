@@ -433,3 +433,46 @@ func TestMetricsGzip(t *testing.T) {
 		t.Error("identity metrics body looks wrong")
 	}
 }
+
+// TestJobTraceGzip: the span timeline endpoint honours Accept-Encoding
+// the same way /v1/metrics does — trace payloads grow with fleet size
+// and compress well.
+func TestJobTraceGzip(t *testing.T) {
+	e := newEnv(t, service.Options{})
+	cfg := smallConfig()
+	_, data := e.post(t, "/v1/run", service.RunRequest{Target: "cpu", Config: &cfg})
+	job := decodeJob(t, data)
+	if job.Status != service.StatusDone {
+		t.Fatalf("run job = %+v", job)
+	}
+
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	req, err := http.NewRequest(http.MethodGet, e.ts.URL+"/v1/jobs/"+job.ID+"/trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", got)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("body is not gzip: %v", err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tv obs.TraceView
+	if err := json.Unmarshal(plain, &tv); err != nil {
+		t.Fatalf("gunzipped trace is not a trace view: %v", err)
+	}
+	if tv.Job != job.ID || len(tv.Roots) == 0 {
+		t.Errorf("trace view = job %q, %d roots", tv.Job, len(tv.Roots))
+	}
+}

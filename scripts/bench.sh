@@ -99,7 +99,10 @@ lines = [
     "|---|---|---|---|---|---|---|",
 ]
 def delta(new, was):
-    if not was:
+    # A missing measurement on either side, or a zero baseline (an
+    # alloc-free benchmark), has no meaningful relative delta: print
+    # n/a instead of dividing by zero or reporting a bogus -100%.
+    if new is None or was is None or not was:
         return "n/a"
     return "%+.1f%%" % (100.0 * (new - was) / was)
 for r in rows:
@@ -112,7 +115,7 @@ for r in rows:
         r["name"], r["ns_per_op"], o["ns_per_op"],
         delta(r["ns_per_op"], o["ns_per_op"]),
         r.get("allocs_per_op", ""), o.get("allocs_per_op", ""),
-        delta(r.get("allocs_per_op", 0), o.get("allocs_per_op", 0))))
+        delta(r.get("allocs_per_op"), o.get("allocs_per_op"))))
 table = "\n".join(lines)
 print(table)
 summary = os.environ.get("GITHUB_STEP_SUMMARY")

@@ -28,6 +28,13 @@
 # assigned), and the merged result is identical to a single-node
 # sweep.
 #
+# Part 6 (baseline drift sentinel): start a server with -data-dir,
+# record a baseline from a finished run, check it (pass), restart the
+# server on the same -data-dir with a -check-perturb drift drill, and
+# assert the persisted baseline now fails its check — with the fail
+# verdict visible in the report, mpstream_baseline_checks_total and
+# the /v1/baselines/alerts feed.
+#
 # Run from the repository root; requires curl and python3.
 set -euo pipefail
 
@@ -428,5 +435,85 @@ fleet = json.load(open("/tmp/elastic_sweep.json"))["job"]["sweep"]
 solo = json.load(open("/tmp/elastic_solo.json"))["job"]["sweep"]
 assert fleet == solo, "elastic fleet and single-node sweeps diverge"
 print("smoke: elastic sweep identical to single-node (%d ranked points)" % len(fleet["ranked"]))
+'
+
+# ---------------------------------------------------------------------
+# Part 6: baseline drift sentinel — persistence + drift injection.
+# ---------------------------------------------------------------------
+BADDR=127.0.0.1:8789
+BBASE="http://$BADDR/v1"
+BDATA=$(mktemp -d)
+BLOG1=$(mktemp); BLOG2=$(mktemp)
+
+"$BIN" -addr "$BADDR" -data-dir "$BDATA" >"$BLOG1" 2>&1 &
+BPID=$!
+PIDS+=($BPID)
+wait_healthy "$BBASE" "$BLOG1"
+
+# Measure once, then register the result as a named baseline.
+RJOB=$(curl -sf "$BBASE/run" -H "$JSON" -d '{
+  "target": "cpu",
+  "config": {"array_bytes": 1048576, "ntimes": 3, "verify": true,
+             "optimal_loop": true, "type": "int", "vec_width": 4,
+             "pattern": {"kind": "contiguous"}}
+}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["job"]["id"])')
+curl -sf "$BBASE/baselines" -H "$JSON" -d "{\"name\":\"smoke-run\",\"from_job\":\"$RJOB\"}" \
+  | python3 -c '
+import json, sys
+b = json.load(sys.stdin)["baseline"]
+assert b["name"] == "smoke-run" and b["kind"] == "run" and b["fingerprint"], b
+print("smoke: baseline recorded, fingerprint", b["fingerprint"][:12])
+'
+
+# An undrifted check on the deterministic simulator passes.
+curl -sf "$BBASE/check" -H "$JSON" -d '{"name":"smoke-run"}' | python3 -c '
+import json, sys
+j = json.load(sys.stdin)["job"]
+assert j["status"] == "done", j["status"]
+assert j["check"]["verdict"] == "pass", j["check"]
+print("smoke: undrifted check passed (drift ratio %.3f)" % j["check"]["drift_ratio"])
+'
+
+# Restart on the same -data-dir with a drift-injection drill: the
+# baseline must survive the restart and the perturbed check must fail.
+kill "$BPID" 2>/dev/null || true
+wait "$BPID" 2>/dev/null || true
+"$BIN" -addr "$BADDR" -data-dir "$BDATA" -check-perturb 0.8 >"$BLOG2" 2>&1 &
+PIDS+=($!)
+wait_healthy "$BBASE" "$BLOG2"
+
+curl -sf "$BBASE/baselines" | python3 -c '
+import json, sys
+bl = json.load(sys.stdin)["baselines"]
+assert len(bl) == 1 and bl[0]["name"] == "smoke-run", bl
+print("smoke: baseline survived the restart from -data-dir")
+'
+
+curl -sf "$BBASE/check" -H "$JSON" -d '{"name":"smoke-run"}' | python3 -c '
+import json, sys
+j = json.load(sys.stdin)["job"]
+assert j["status"] == "done", j["status"]
+rep = j["check"]
+assert rep["verdict"] == "fail", rep["verdict"]
+assert rep["violations"], rep
+assert any("gbps[" in v and "margin" in v for v in rep["violations"]), rep["violations"]
+print("smoke: perturbed check failed as it must:", rep["violations"][0])
+'
+
+curl -sf "$BBASE/metrics" >/tmp/baseline_metrics.txt
+FAILS=$(metric /tmp/baseline_metrics.txt 'mpstream_baseline_checks_total\{verdict="fail"\}')
+[ "${FAILS%.*}" -ge 1 ] || { echo "fail-verdict counter $FAILS, want >= 1"; exit 1; }
+DRIFT=$(metric /tmp/baseline_metrics.txt 'mpstream_baseline_drift_ratio\{baseline="smoke-run"\}')
+echo "smoke: metrics report $FAILS failed checks, drift ratio $DRIFT"
+
+# The alerts feed replays the non-pass verdict as NDJSON.
+curl -sf "$BBASE/baselines/alerts" | python3 -c '
+import json, sys
+lines = [l for l in sys.stdin.read().splitlines() if l.strip()]
+assert len(lines) >= 1, "alert feed empty"
+a = json.loads(lines[-1])
+assert a["report"]["baseline"] == "smoke-run", a
+assert a["report"]["verdict"] == "fail", a
+print("smoke: alert feed carries the drift (seq %d)" % a["seq"])
 '
 echo "smoke: OK"
